@@ -1,0 +1,161 @@
+// Command riveter-run executes one TPC-H query (or an ad-hoc SQL statement)
+// with optional suspension and resumption, demonstrating the framework
+// end to end from the command line.
+//
+// Examples:
+//
+//	riveter-run -sf 0.05 -q 21                              # run Q21
+//	riveter-run -sf 0.05 -q 21 -suspend pipeline -at 0.5    # suspend+resume
+//	riveter-run -sf 0.01 -sql "SELECT count(*) FROM orders" # ad-hoc SQL
+//	riveter-run -sf 0.05 -q 17 -adaptive -p 0.7 -window 0.5,0.75
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/riveterdb/riveter"
+)
+
+func main() {
+	var (
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		qid      = flag.Int("q", 0, "TPC-H query id 1..22")
+		sqlText  = flag.String("sql", "", "ad-hoc SQL instead of a TPC-H query")
+		workers  = flag.Int("workers", 4, "workers per pipeline")
+		suspend  = flag.String("suspend", "", "suspend strategy: pipeline or process")
+		at       = flag.Float64("at", 0.5, "suspension point as a fraction of execution")
+		adaptive = flag.Bool("adaptive", false, "run under the adaptive controller")
+		prob     = flag.Float64("p", 1.0, "termination probability (adaptive mode)")
+		window   = flag.String("window", "0.5,0.75", "termination window fractions (adaptive mode)")
+		maxRows  = flag.Int64("rows", 20, "result rows to print")
+	)
+	flag.Parse()
+
+	db := riveter.Open(riveter.WithWorkers(*workers))
+	fmt.Printf("generating TPC-H SF %g ...\n", *sf)
+	if err := db.GenerateTPCH(*sf); err != nil {
+		fatal("%v", err)
+	}
+
+	var q *riveter.Query
+	var err error
+	switch {
+	case *sqlText != "":
+		q, err = db.Prepare(*sqlText)
+	case *qid >= 1 && *qid <= 22:
+		q, err = db.PrepareTPCH(*qid)
+	default:
+		fatal("pass -q 1..22 or -sql")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("plan for %s:\n%s\n", q.Name(), q.Plan())
+
+	ctx := context.Background()
+	switch {
+	case *adaptive:
+		runAdaptive(q, *prob, *window)
+	case *suspend != "":
+		runWithSuspension(ctx, db, q, *suspend, *at, *maxRows)
+	default:
+		start := time.Now()
+		res, err := q.Run(ctx)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("completed in %v, %d rows\n%s", time.Since(start).Round(time.Millisecond), res.NumRows(), res.Format(*maxRows))
+	}
+}
+
+func runWithSuspension(ctx context.Context, db *riveter.DB, q *riveter.Query, kind string, at float64, maxRows int64) {
+	var k riveter.Strategy
+	switch kind {
+	case "pipeline":
+		k = riveter.PipelineLevel
+	case "process":
+		k = riveter.ProcessLevel
+	default:
+		fatal("-suspend must be pipeline or process")
+	}
+
+	// Measure a clean run to time the suspension request.
+	start := time.Now()
+	if _, err := q.Run(ctx); err != nil {
+		fatal("%v", err)
+	}
+	normal := time.Since(start)
+	fmt.Printf("normal execution: %v\n", normal.Round(time.Millisecond))
+
+	exec, err := q.Start(ctx)
+	if err != nil {
+		fatal("%v", err)
+	}
+	time.AfterFunc(time.Duration(at*float64(normal)), func() { _ = exec.Suspend(k) })
+	err = exec.Wait()
+	switch {
+	case err == nil:
+		fmt.Println("query completed before the suspension request landed")
+		return
+	case errors.Is(err, riveter.ErrSuspended):
+	default:
+		fatal("%v", err)
+	}
+
+	path := filepath.Join(db.CheckpointDir(), "run.rvck")
+	info, err := exec.Checkpoint(path)
+	if err != nil {
+		fatal("checkpoint: %v", err)
+	}
+	fmt.Printf("suspended (%s): persisted %d bytes (state %d) to %s\n",
+		info.Kind, info.TotalBytes, info.StateBytes, info.Path)
+
+	resumeStart := time.Now()
+	res, err := q.Resume(ctx, path)
+	if err != nil {
+		fatal("resume: %v", err)
+	}
+	fmt.Printf("resumed and completed in %v, %d rows\n%s",
+		time.Since(resumeStart).Round(time.Millisecond), res.NumRows(), res.Format(maxRows))
+}
+
+func runAdaptive(q *riveter.Query, prob float64, window string) {
+	parts := strings.Split(window, ",")
+	if len(parts) != 2 {
+		fatal("-window must be start,end")
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		fatal("bad -window %q", window)
+	}
+	fmt.Println("calibrating ...")
+	a, err := q.NewAdaptive()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("normal execution time: %v\n", a.NormalTime().Round(time.Millisecond))
+	rep, err := a.Run(riveter.Scenario{Probability: prob, WindowStartFrac: lo, WindowEndFrac: hi})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("selected strategy:  %v\n", rep.Strategy)
+	fmt.Printf("suspended:          %v (persisted %d bytes)\n", rep.Suspended, rep.PersistedBytes)
+	fmt.Printf("terminated:         %v\n", rep.Terminated)
+	fmt.Printf("cost model runtime: %v\n", rep.SelectionTime)
+	fmt.Printf("execution time with suspension: %v (normal %v)\n",
+		rep.TotalTime.Round(time.Millisecond), rep.NormalTime.Round(time.Millisecond))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "riveter-run: "+format+"\n", args...)
+	os.Exit(1)
+}

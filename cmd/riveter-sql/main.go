@@ -1,0 +1,112 @@
+// Command riveter-sql is an interactive SQL shell over a Riveter database:
+// generate TPC-H data in-process or load a tpchgen/SaveDir snapshot, then
+// query it.
+//
+// Usage:
+//
+//	riveter-sql -sf 0.01                 # generate and explore
+//	riveter-sql -data ./tpch-sf01        # load columnar files
+//
+// Shell commands: \tables, \schema <table>, \plan <sql>, \timing, \quit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/riveterdb/riveter"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0, "generate TPC-H at this scale factor")
+		data    = flag.String("data", "", "load .rvc columnar files from this directory")
+		workers = flag.Int("workers", 4, "workers per pipeline")
+		rows    = flag.Int64("rows", 40, "max rows to print per result")
+	)
+	flag.Parse()
+
+	db := riveter.Open(riveter.WithWorkers(*workers))
+	switch {
+	case *data != "":
+		if err := db.LoadDir(*data); err != nil {
+			fatal("%v", err)
+		}
+	case *sf > 0:
+		fmt.Printf("generating TPC-H SF %g ...\n", *sf)
+		if err := db.GenerateTPCH(*sf); err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("pass -sf to generate data or -data to load a snapshot")
+	}
+	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
+	fmt.Println(`type SQL (single line), \tables, \schema <t>, \plan <sql>, \timing, or \quit`)
+
+	ctx := context.Background()
+	timing := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("riveter> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q` || line == "exit":
+			return
+		case line == `\tables`:
+			for _, t := range db.Tables() {
+				n, _ := db.NumRows(t)
+				fmt.Printf("  %-10s %10d rows\n", t, n)
+			}
+		case strings.HasPrefix(line, `\schema `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\schema `))
+			res, err := db.Query(ctx, "SELECT * FROM "+name+" LIMIT 0")
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			for _, c := range res.Schema.Columns {
+				fmt.Printf("  %-20s %s\n", c.Name, c.Type)
+			}
+		case line == `\timing`:
+			timing = !timing
+			fmt.Printf("timing %v\n", timing)
+		case strings.HasPrefix(line, `\plan `):
+			q, err := db.Prepare(strings.TrimPrefix(line, `\plan `))
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Print(q.Plan())
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown command %q\n", line)
+		default:
+			start := time.Now()
+			res, err := db.Query(ctx, strings.TrimSuffix(line, ";"))
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Print(res.Format(*rows))
+			if timing {
+				fmt.Printf("(%d rows in %v)\n", res.NumRows(), time.Since(start).Round(time.Millisecond))
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "riveter-sql: "+format+"\n", args...)
+	os.Exit(1)
+}

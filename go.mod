@@ -1,0 +1,3 @@
+module github.com/riveterdb/riveter
+
+go 1.22

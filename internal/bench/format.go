@@ -1,0 +1,100 @@
+// Package bench is the experiment harness reproducing every table and
+// figure of the paper's evaluation (§IV). Each experiment builds the
+// workload, drives the Riveter controller, and renders the same rows or
+// series the paper reports. It is shared by cmd/riveter-bench and the
+// testing.B benchmarks in bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var line strings.Builder
+	for i, h := range t.Header {
+		fmt.Fprintf(&line, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(line.String(), " "))))
+	for _, row := range t.Rows {
+		line.Reset()
+		for i, c := range row {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			fmt.Fprintf(&line, "%-*s  ", wd, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// humanBytes renders a byte count compactly.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// humanDur renders a duration with millisecond precision.
+func humanDur(d time.Duration) string {
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// boxStats computes (min, q1, median, q3, max) of a sample.
+func boxStats(vals []float64) [5]float64 {
+	if len(vals) == 0 {
+		return [5]float64{}
+	}
+	s := append([]float64{}, vals...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := p * float64(len(s)-1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return [5]float64{s[0], q(0.25), q(0.5), q(0.75), s[len(s)-1]}
+}

@@ -1,0 +1,172 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Col("id", vector.TypeInt64),
+		Col("name", vector.TypeString),
+		Col("score", vector.TypeFloat64),
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Arity() != 3 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.IndexOf("name") != 1 || s.IndexOf("missing") != -1 {
+		t.Error("IndexOf wrong")
+	}
+	ts := s.Types()
+	if ts[0] != vector.TypeInt64 || ts[2] != vector.TypeFloat64 {
+		t.Error("Types wrong")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Columns[0].Name != "score" || p.Columns[1].Name != "id" {
+		t.Error("Project wrong")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[1] != "name" {
+		t.Error("Names wrong")
+	}
+}
+
+func TestTableAppendAndScan(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	for i := 0; i < 100; i++ {
+		err := tbl.AppendRow(
+			vector.NewInt64(int64(i)),
+			vector.NewString("n"),
+			vector.NewFloat64(float64(i)*0.5),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.NumRows() != 100 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+
+	dst := vector.NewChunk([]vector.Type{vector.TypeFloat64, vector.TypeInt64})
+	n := tbl.ScanInto(dst, 90, 50, []int{2, 0})
+	if n != 10 || dst.Len() != 10 {
+		t.Fatalf("scan returned %d rows", n)
+	}
+	if dst.Col(1).Int64s()[0] != 90 || dst.Col(0).Float64s()[9] != 99*0.5 {
+		t.Error("scan values wrong")
+	}
+	if got := tbl.ScanInto(dst, 100, 10, []int{0}); got != 0 {
+		t.Errorf("scan past end = %d", got)
+	}
+}
+
+func TestTableAppendChunk(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	c := vector.NewChunk(testSchema().Types())
+	c.AppendRowValues(vector.NewInt64(1), vector.NewString("a"), vector.NewFloat64(1))
+	c.AppendRowValues(vector.NewInt64(2), vector.NewNull(vector.TypeString), vector.NewFloat64(2))
+	if err := tbl.AppendChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !tbl.Value(1, 1).Null {
+		t.Error("null not preserved")
+	}
+
+	bad := vector.NewChunk([]vector.Type{vector.TypeInt64})
+	if err := tbl.AppendChunk(bad); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	bad2 := vector.NewChunk([]vector.Type{vector.TypeString, vector.TypeString, vector.TypeFloat64})
+	if err := tbl.AppendChunk(bad2); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	if err := tbl.AppendRow(vector.NewInt64(1)); err == nil {
+		t.Error("row arity mismatch must fail")
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	for i := 0; i < 1000; i++ {
+		var name vector.Value
+		if i%10 == 0 {
+			name = vector.NewNull(vector.TypeString)
+		} else {
+			name = vector.NewString([]string{"a", "b", "c"}[i%3])
+		}
+		_ = tbl.AppendRow(vector.NewInt64(int64(i%50)), name, vector.NewFloat64(float64(i)))
+	}
+	st := tbl.Stats()
+	if st.Rows != 1000 {
+		t.Fatalf("stats rows = %d", st.Rows)
+	}
+	if st.Columns[0].Distinct != 50 {
+		t.Errorf("id distinct = %d, want 50", st.Columns[0].Distinct)
+	}
+	if st.Columns[1].NullCount != 100 {
+		t.Errorf("null count = %d, want 100", st.Columns[1].NullCount)
+	}
+	if st.Columns[2].Min.F != 0 || st.Columns[2].Max.F != 999 {
+		t.Errorf("min/max = %v/%v", st.Columns[2].Min, st.Columns[2].Max)
+	}
+	if st.RowWidth() <= 0 {
+		t.Error("row width must be positive")
+	}
+	// Stats are cached until append invalidates them.
+	if tbl.Stats() != st {
+		t.Error("stats should be cached")
+	}
+	_ = tbl.AppendRow(vector.NewInt64(1), vector.NewString("x"), vector.NewFloat64(0))
+	if tbl.Stats() == st {
+		t.Error("append must invalidate stats")
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := New()
+	_, err := c.Create("orders", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("orders", testSchema()); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	tbl, err := c.Table("orders")
+	if err != nil || tbl.Name() != "orders" {
+		t.Fatalf("lookup: %v", err)
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Error("missing table lookup must fail")
+	}
+	other := NewTable("lineitem", testSchema())
+	if err := c.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(other); err == nil {
+		t.Error("duplicate add must fail")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "lineitem" || names[1] != "orders" {
+		t.Errorf("names = %v", names)
+	}
+	if err := c.Drop("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("orders"); err == nil {
+		t.Error("double drop must fail")
+	}
+	if c.MemBytes() < 0 {
+		t.Error("membytes negative")
+	}
+}

@@ -1,0 +1,82 @@
+// Package catalog defines relational schemas, in-memory columnar tables, and
+// the database catalog that maps table names to storage. It is the engine's
+// source of base data and of the statistics used by the planner's
+// cardinality estimation.
+package catalog
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from alternating name/type pairs.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Col is a convenience constructor for Column.
+func Col(name string, t vector.Type) Column { return Column{Name: name, Type: t} }
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// IndexOf returns the position of the named column, or -1.
+func (s *Schema) IndexOf(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Types returns the column types in order.
+func (s *Schema) Types() []vector.Type {
+	ts := make([]vector.Type, len(s.Columns))
+	for i, c := range s.Columns {
+		ts[i] = c.Type
+	}
+	return ts
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	ns := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		ns[i] = c.Name
+	}
+	return ns
+}
+
+// Project returns a new schema with only the given column positions.
+func (s *Schema) Project(idx []int) *Schema {
+	out := &Schema{Columns: make([]Column, len(idx))}
+	for i, j := range idx {
+		out.Columns[i] = s.Columns[j]
+	}
+	return out
+}
+
+// String renders the schema for debugging.
+func (s *Schema) String() string {
+	out := "("
+	for i, c := range s.Columns {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %s", c.Name, c.Type)
+	}
+	return out + ")"
+}

@@ -1,0 +1,85 @@
+package catalog
+
+import "github.com/riveterdb/riveter/internal/vector"
+
+// ColumnStats summarizes one column for cardinality estimation: approximate
+// distinct count, null fraction, and min/max for orderable types.
+type ColumnStats struct {
+	Distinct  int64
+	NullCount int64
+	Min, Max  vector.Value
+	AvgWidth  float64 // average in-memory width in bytes
+}
+
+// TableStats summarizes a table for the planner.
+type TableStats struct {
+	Rows    int64
+	Columns []ColumnStats
+}
+
+// statsSampleLimit caps the number of rows examined when computing distinct
+// counts; beyond it, the distinct count is linearly extrapolated. This keeps
+// stats collection cheap and mirrors the sampling real optimizers do.
+const statsSampleLimit = 1 << 16
+
+// Stats returns (computing lazily, caching) the table statistics.
+func (t *Table) Stats() *TableStats {
+	if t.stats != nil {
+		return t.stats
+	}
+	st := &TableStats{Rows: t.rows, Columns: make([]ColumnStats, len(t.cols))}
+	sample := t.rows
+	if sample > statsSampleLimit {
+		sample = statsSampleLimit
+	}
+	for j, col := range t.cols {
+		cs := ColumnStats{}
+		seen := make(map[uint64]struct{}, 1024)
+		var widthSum int64
+		for i := int64(0); i < sample; i++ {
+			v := col.Value(int(i))
+			if v.Null {
+				cs.NullCount++
+				continue
+			}
+			seen[v.Hash()] = struct{}{}
+			if cs.Min.Type == vector.TypeInvalid || v.Compare(cs.Min) < 0 {
+				cs.Min = v
+			}
+			if cs.Max.Type == vector.TypeInvalid || v.Compare(cs.Max) > 0 {
+				cs.Max = v
+			}
+			if col.Type() == vector.TypeString {
+				widthSum += int64(len(v.S)) + 16
+			} else {
+				widthSum += int64(col.Type().FixedWidth())
+			}
+		}
+		cs.Distinct = int64(len(seen))
+		if sample > 0 && t.rows > sample {
+			// Linear extrapolation; deliberately crude (see DESIGN.md: the
+			// optimizer-based size estimator is meant to be naive).
+			scale := float64(t.rows) / float64(sample)
+			cs.Distinct = int64(float64(cs.Distinct) * scale)
+			cs.NullCount = int64(float64(cs.NullCount) * scale)
+		}
+		if cs.Distinct < 1 {
+			cs.Distinct = 1
+		}
+		if sample > 0 {
+			cs.AvgWidth = float64(widthSum) / float64(sample)
+		}
+		st.Columns[j] = cs
+	}
+	t.stats = st
+	return st
+}
+
+// RowWidth returns the average row width in bytes according to the stats.
+func (s *TableStats) RowWidth() float64 {
+	var w float64
+	for _, c := range s.Columns {
+		w += c.AvgWidth
+	}
+	return w
+}

@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Table is an append-only, column-major, in-memory relation. Each column is
+// stored as a single contiguous vector, which makes row-range morsel scans
+// trivial and cheap.
+type Table struct {
+	name   string
+	schema *Schema
+	cols   []*vector.Vector
+	rows   int64
+
+	stats *TableStats // lazily computed; invalidated on append
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	t := &Table{name: name, schema: schema}
+	t.cols = make([]*vector.Vector, schema.Arity())
+	for i, c := range schema.Columns {
+		t.cols[i] = vector.New(c.Type, 0)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int64 { return t.rows }
+
+// Column returns the full storage vector of column i (read-only use).
+func (t *Table) Column(i int) *vector.Vector { return t.cols[i] }
+
+// AppendChunk appends all rows of the chunk, whose column types must match
+// the schema.
+func (t *Table) AppendChunk(c *vector.Chunk) error {
+	if c.NumCols() != t.schema.Arity() {
+		return fmt.Errorf("table %s: append %d columns to %d-column schema", t.name, c.NumCols(), t.schema.Arity())
+	}
+	for j := range t.cols {
+		want, got := t.schema.Columns[j].Type, c.Col(j).Type()
+		if want != got {
+			return fmt.Errorf("table %s column %s: append type %v to %v", t.name, t.schema.Columns[j].Name, got, want)
+		}
+	}
+	for i := 0; i < c.Len(); i++ {
+		for j, col := range t.cols {
+			col.AppendFrom(c.Col(j), i)
+		}
+	}
+	t.rows += int64(c.Len())
+	t.stats = nil
+	return nil
+}
+
+// AppendRow appends a single row of boxed values (slow path; loaders and
+// tests).
+func (t *Table) AppendRow(vals ...vector.Value) error {
+	if len(vals) != t.schema.Arity() {
+		return fmt.Errorf("table %s: append row of %d values to %d-column schema", t.name, len(vals), t.schema.Arity())
+	}
+	for j, col := range t.cols {
+		col.AppendValue(vals[j])
+	}
+	t.rows++
+	t.stats = nil
+	return nil
+}
+
+// ScanInto copies rows [start, start+count) of the projected columns into
+// dst, which must have matching column types. It returns the number of rows
+// copied (possibly fewer than count at the end of the table).
+func (t *Table) ScanInto(dst *vector.Chunk, start, count int64, proj []int) int {
+	if start >= t.rows {
+		return 0
+	}
+	end := start + count
+	if end > t.rows {
+		end = t.rows
+	}
+	dst.Reset()
+	for k, j := range proj {
+		src := t.cols[j]
+		dc := dst.Col(k)
+		for i := start; i < end; i++ {
+			dc.AppendFrom(src, int(i))
+		}
+	}
+	n := int(end - start)
+	dst.SetLen(n)
+	return n
+}
+
+// MemBytes estimates the resident size of the table.
+func (t *Table) MemBytes() int64 {
+	var b int64
+	for _, c := range t.cols {
+		b += c.MemBytes()
+	}
+	return b
+}
+
+// Value returns the boxed value at (row, col); for tests and result checks.
+func (t *Table) Value(row int64, col int) vector.Value {
+	return t.cols[col].Value(int(row))
+}

@@ -1,0 +1,193 @@
+package costmodel
+
+import (
+	"math"
+	"time"
+)
+
+// Strategy enumerates the suspension/resumption strategies.
+type Strategy int
+
+// The three strategies of §II-A.
+const (
+	StrategyRedo Strategy = iota
+	StrategyPipeline
+	StrategyProcess
+)
+
+var strategyNames = [...]string{"redo", "pipeline", "process"}
+
+// String returns the strategy name.
+func (s Strategy) String() string { return strategyNames[s] }
+
+// Params hold the scenario the cost model evaluates against: I/O profile,
+// termination probability P_T, and window [T_s, T_e] (absolute offsets from
+// query start).
+type Params struct {
+	IO          IOProfile
+	Probability float64
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+	// ProbeSteps is the number of future suspension points CostEstProc
+	// probes within one average pipeline time ("advancing suspension time
+	// points by each time unit"). Default 10.
+	ProbeSteps int
+}
+
+// Input is the state observed at a pipeline breaker (Algorithm 1 lines 3-7).
+type Input struct {
+	// Ct is the current time since query start.
+	Ct time.Duration
+	// AvgPipelineTime is T_sum / N_ppl over finalized pipelines.
+	AvgPipelineTime time.Duration
+	// PipelineStateBytes is S^ppl, the measured serialized size of the
+	// pipeline-level checkpoint at this breaker.
+	PipelineStateBytes int64
+	// AvailableMemory is M; estimated states above it make a strategy
+	// infeasible (lines 21-24, 35-38).
+	AvailableMemory int64
+	// EstTotal is the estimated total execution time of the query, used to
+	// convert probe instants into execution fractions for the estimator.
+	EstTotal time.Duration
+	// NextBreakerEta, when positive, is the estimated time until the next
+	// pipeline breaker. It is zero when the decision runs at a breaker
+	// (Algorithm 1's proactive path) and positive when a resource alert
+	// interrupts mid-pipeline — then a pipeline-level suspension is
+	// deferred until the current pipeline completes, so its termination
+	// exposure starts that much later (the Fig. 9 / Fig. 12 lag).
+	NextBreakerEta time.Duration
+	// Query feeds the process-image size estimator.
+	Query QueryInfo
+}
+
+// Decision is the cost model's output.
+type Decision struct {
+	Strategy Strategy
+	// Expected costs of each strategy (infinite = infeasible).
+	CostRedo, CostPipeline, CostProcess time.Duration
+	// ProcessSuspendAt is the probed suspension instant minimizing the
+	// process-level cost (valid when Strategy == StrategyProcess).
+	ProcessSuspendAt time.Duration
+	// ModelTime is the cost model's own running time (Table V).
+	ModelTime time.Duration
+}
+
+const infCost = time.Duration(math.MaxInt64 / 4)
+
+// overlapProbability maps the instant `done` at which a suspension (or the
+// next breaker) completes to the termination probability mass it is exposed
+// to (Algorithm 1 lines 10-16 / 25-31 / 39-45).
+func overlapProbability(done time.Duration, p Params) float64 {
+	switch {
+	case done >= p.WindowEnd:
+		return p.Probability
+	case done >= p.WindowStart:
+		span := p.WindowEnd - p.WindowStart
+		if span <= 0 {
+			return p.Probability
+		}
+		return float64(done-p.WindowStart) / float64(span) * p.Probability
+	default:
+		return 0
+	}
+}
+
+// Select runs Algorithm 1 at a pipeline breaker and returns the strategy
+// with minimum expected cost.
+func Select(in Input, p Params, est SizeEstimator) Decision {
+	start := time.Now()
+	d := Decision{
+		CostRedo:     costEstRedo(in, p),
+		CostPipeline: costEstPpl(in, p),
+	}
+	d.CostProcess, d.ProcessSuspendAt = costEstProc(in, p, est)
+
+	d.Strategy = StrategyRedo
+	best := d.CostRedo
+	if d.CostPipeline < best {
+		d.Strategy, best = StrategyPipeline, d.CostPipeline
+	}
+	if d.CostProcess < best {
+		d.Strategy, best = StrategyProcess, d.CostProcess
+	}
+	d.ModelTime = time.Since(start)
+	return d
+}
+
+// costEstRedo implements CostEstRedo (lines 9-17): the expected cost of not
+// suspending is the progress C_t lost when a termination lands before the
+// next breaker.
+func costEstRedo(in Input, p Params) time.Duration {
+	nextBreaker := in.Ct + in.AvgPipelineTime
+	if in.NextBreakerEta > 0 {
+		nextBreaker = in.Ct + in.NextBreakerEta
+	}
+	var prob float64
+	switch {
+	case in.Ct >= p.WindowStart || nextBreaker >= p.WindowEnd:
+		prob = p.Probability
+	case nextBreaker >= p.WindowStart:
+		span := p.WindowEnd - p.WindowStart
+		if span <= 0 {
+			prob = p.Probability
+		} else {
+			prob = float64(nextBreaker-p.WindowStart) / float64(span) * p.Probability
+		}
+	default:
+		prob = 0
+	}
+	return time.Duration(prob * float64(in.Ct))
+}
+
+// costEstPpl implements CostEstPpl (lines 33-46).
+func costEstPpl(in Input, p Params) time.Duration {
+	if in.AvailableMemory > 0 && in.PipelineStateBytes > in.AvailableMemory {
+		return infCost
+	}
+	ls := p.IO.SuspendLatency(in.PipelineStateBytes)
+	lr := p.IO.ResumeLatency(in.PipelineStateBytes)
+	// The suspension cannot start before the next breaker; mid-pipeline the
+	// exposure window shifts by the breaker ETA.
+	prob := overlapProbability(in.Ct+in.NextBreakerEta+ls, p)
+	return ls + lr + time.Duration(prob*float64(in.Ct))
+}
+
+// costEstProc implements CostEstProc (lines 18-32): probe future suspension
+// instants within one average pipeline time and take the cheapest.
+func costEstProc(in Input, p Params, est SizeEstimator) (time.Duration, time.Duration) {
+	steps := p.ProbeSteps
+	if steps <= 0 {
+		steps = 10
+	}
+	span := in.AvgPipelineTime
+	if span <= 0 {
+		span = time.Millisecond
+	}
+	bestCost := infCost
+	bestAt := in.Ct
+	for i := 0; i <= steps; i++ {
+		st := in.Ct + time.Duration(int64(span)*int64(i)/int64(steps))
+		frac := 0.5
+		if in.EstTotal > 0 {
+			frac = float64(st) / float64(in.EstTotal)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		size := int64(0)
+		if est != nil {
+			size = est.EstimateProcessImage(in.Query, frac)
+		}
+		if in.AvailableMemory > 0 && size > in.AvailableMemory {
+			continue // L = infinity at this point
+		}
+		ls := p.IO.SuspendLatency(size)
+		lr := p.IO.ResumeLatency(size)
+		prob := overlapProbability(st+ls, p)
+		cost := ls + lr + time.Duration(prob*float64(st))
+		if cost < bestCost {
+			bestCost, bestAt = cost, st
+		}
+	}
+	return bestCost, bestAt
+}

@@ -1,0 +1,229 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/plan"
+)
+
+// QueryInfo carries the features the size estimators use.
+type QueryInfo struct {
+	Name string
+	// InputBytes is the total resident size of the base tables the query
+	// scans; InputRows their total row count.
+	InputBytes int64
+	// InputRows is the total base-table row count.
+	InputRows int64
+	// Ops counts the operators in the physical query plan.
+	Ops plan.OperatorCounts
+	// Node is the logical plan root (used by the optimizer-based estimator).
+	Node plan.Node
+	// Cat is the catalog the plan runs against.
+	Cat *catalog.Catalog
+}
+
+// BuildQueryInfo derives QueryInfo from a plan and catalog.
+func BuildQueryInfo(name string, node plan.Node, cat *catalog.Catalog) QueryInfo {
+	info := QueryInfo{Name: name, Node: node, Cat: cat, Ops: plan.CountOperators(node)}
+	seen := map[string]bool{}
+	plan.Walk(node, func(n plan.Node) {
+		sc, ok := n.(*plan.Scan)
+		if !ok || seen[sc.Table] {
+			return
+		}
+		seen[sc.Table] = true
+		if tbl, err := cat.Table(sc.Table); err == nil {
+			info.InputBytes += tbl.MemBytes()
+			info.InputRows += tbl.NumRows()
+		}
+	})
+	return info
+}
+
+// SizeEstimator predicts the process-level image size of a query when
+// suspended at the given fraction of its execution.
+type SizeEstimator interface {
+	EstimateProcessImage(q QueryInfo, fraction float64) int64
+}
+
+// features maps (query, fraction) to the regression design row. The chosen
+// basis mirrors the paper: input data size and cardinality, query metadata
+// (operator counts), and the suspension point.
+func features(q QueryInfo, fraction float64) []float64 {
+	joins := float64(q.Ops.Joins + q.Ops.OuterJoins + q.Ops.SemiAnti)
+	return []float64{
+		1,
+		float64(q.InputBytes),
+		float64(q.InputBytes) * fraction,
+		float64(q.InputRows) * fraction,
+		joins * fraction * float64(q.InputBytes) / 1e3,
+		float64(q.Ops.Aggregates) * fraction,
+		float64(q.Ops.Tables),
+	}
+}
+
+// Sample is one observed (query, suspension fraction) -> image size pair.
+type Sample struct {
+	Query    QueryInfo
+	Fraction float64
+	Bytes    int64
+}
+
+// RegressionEstimator fits a least-squares linear model over the feature
+// basis from observed suspension history ("we collect data from 200 query
+// executions and employ a regression-based approach to fit the curve").
+type RegressionEstimator struct {
+	mu      sync.RWMutex
+	samples []Sample
+	weights []float64
+}
+
+// NewRegressionEstimator returns an empty (untrained) estimator.
+func NewRegressionEstimator() *RegressionEstimator { return &RegressionEstimator{} }
+
+// Observe records a training sample.
+func (r *RegressionEstimator) Observe(s Sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.weights = nil // refit lazily
+	r.mu.Unlock()
+}
+
+// NumSamples returns the training-set size.
+func (r *RegressionEstimator) NumSamples() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.samples)
+}
+
+// Fit solves the normal equations with ridge damping. It is called lazily
+// by EstimateProcessImage; exposing it lets tests assert convergence.
+func (r *RegressionEstimator) Fit() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fitLocked()
+}
+
+func (r *RegressionEstimator) fitLocked() error {
+	if len(r.samples) == 0 {
+		return fmt.Errorf("costmodel: no training samples")
+	}
+	dim := len(features(r.samples[0].Query, r.samples[0].Fraction))
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	aty := make([]float64, dim)
+	for _, s := range r.samples {
+		x := features(s.Query, s.Fraction)
+		y := float64(s.Bytes)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += x[i] * x[j]
+			}
+			aty[i] += x[i] * y
+		}
+	}
+	// Ridge damping scaled to the diagonal keeps the system well-posed when
+	// features are collinear (e.g. all samples share one query shape).
+	for i := 0; i < dim; i++ {
+		ata[i][i] += 1e-6*ata[i][i] + 1e-9
+	}
+	w, err := solve(ata, aty)
+	if err != nil {
+		return err
+	}
+	r.weights = w
+	return nil
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("costmodel: singular system")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// EstimateProcessImage implements SizeEstimator.
+func (r *RegressionEstimator) EstimateProcessImage(q QueryInfo, fraction float64) int64 {
+	r.mu.RLock()
+	w := r.weights
+	r.mu.RUnlock()
+	if w == nil {
+		if err := r.Fit(); err != nil {
+			return 0
+		}
+		r.mu.RLock()
+		w = r.weights
+		r.mu.RUnlock()
+	}
+	x := features(q, fraction)
+	var y float64
+	for i := range x {
+		y += w[i] * x[i]
+	}
+	if y < 0 {
+		y = 0
+	}
+	return int64(y)
+}
+
+// OptimizerEstimator is the paper's robustness fallback: it prices the
+// intermediate data of the core operator closest to the plan root using the
+// cost-based optimizer's (deliberately naive) cardinality estimate, the
+// column data types' widths, and the suspension-time ratio. Table IV shows
+// it overestimating join queries by many orders of magnitude — that is the
+// expected behaviour, reproduced here by the unbounded multiplicative join
+// cardinalities in plan.EstimateRows.
+type OptimizerEstimator struct{}
+
+// EstimateProcessImage implements SizeEstimator.
+func (OptimizerEstimator) EstimateProcessImage(q QueryInfo, fraction float64) int64 {
+	core := plan.CoreOperator(q.Node)
+	if core == nil {
+		core = q.Node
+	}
+	rows := plan.EstimateRows(core, q.Cat)
+	width := plan.EstimateWidth(core)
+	est := rows * width * fraction
+	if est > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	if est < 0 {
+		est = 0
+	}
+	return int64(est)
+}

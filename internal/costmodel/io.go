@@ -1,0 +1,108 @@
+// Package costmodel implements Riveter's cost model (§III-C): suspension and
+// resumption latency estimation from intermediate-data sizes and I/O
+// characteristics, the two process-image size estimators (regression-based
+// and optimizer-based, Table IV), and the adaptive strategy selection of
+// Algorithm 1.
+package costmodel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// IOProfile characterizes the persistence device used for checkpoints.
+type IOProfile struct {
+	// WriteBytesPerSec and ReadBytesPerSec are sustained bandwidths.
+	WriteBytesPerSec float64
+	ReadBytesPerSec  float64
+	// FixedLatency covers file creation, fsync, and manifest overhead.
+	FixedLatency time.Duration
+}
+
+// DefaultIOProfile is a conservative local-SSD profile used when
+// calibration is skipped.
+func DefaultIOProfile() IOProfile {
+	return IOProfile{
+		WriteBytesPerSec: 400 << 20,
+		ReadBytesPerSec:  800 << 20,
+		FixedLatency:     2 * time.Millisecond,
+	}
+}
+
+// SuspendLatency estimates L_s for a payload of the given size.
+func (p IOProfile) SuspendLatency(bytes int64) time.Duration {
+	if p.WriteBytesPerSec <= 0 {
+		return p.FixedLatency
+	}
+	return p.FixedLatency + time.Duration(float64(bytes)/p.WriteBytesPerSec*float64(time.Second))
+}
+
+// ResumeLatency estimates L_r for a payload of the given size.
+func (p IOProfile) ResumeLatency(bytes int64) time.Duration {
+	if p.ReadBytesPerSec <= 0 {
+		return p.FixedLatency
+	}
+	return p.FixedLatency + time.Duration(float64(bytes)/p.ReadBytesPerSec*float64(time.Second))
+}
+
+// CalibrateIO measures the device backing dir with a small write/read probe
+// and returns a profile. The probe size balances accuracy against startup
+// cost.
+func CalibrateIO(dir string) (IOProfile, error) {
+	const probeBytes = 8 << 20
+	path := filepath.Join(dir, ".riveter-io-probe")
+	defer os.Remove(path)
+
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i * 131)
+	}
+
+	wStart := time.Now()
+	f, err := os.Create(path)
+	if err != nil {
+		return IOProfile{}, fmt.Errorf("costmodel: calibrate: %w", err)
+	}
+	for written := 0; written < probeBytes; written += len(buf) {
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return IOProfile{}, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return IOProfile{}, err
+	}
+	if err := f.Close(); err != nil {
+		return IOProfile{}, err
+	}
+	wDur := time.Since(wStart)
+
+	rStart := time.Now()
+	rf, err := os.Open(path)
+	if err != nil {
+		return IOProfile{}, err
+	}
+	for {
+		_, err := rf.Read(buf)
+		if err != nil {
+			break
+		}
+	}
+	rf.Close()
+	rDur := time.Since(rStart)
+
+	prof := IOProfile{FixedLatency: 2 * time.Millisecond}
+	if wDur > 0 {
+		prof.WriteBytesPerSec = probeBytes / wDur.Seconds()
+	}
+	if rDur > 0 {
+		prof.ReadBytesPerSec = probeBytes / rDur.Seconds()
+	}
+	if prof.WriteBytesPerSec <= 0 || prof.ReadBytesPerSec <= 0 {
+		return DefaultIOProfile(), nil
+	}
+	return prof, nil
+}

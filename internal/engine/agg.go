@@ -1,0 +1,548 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// aggState is the running state of one aggregate function for one group.
+type aggState struct {
+	sumF     float64
+	sumI     int64
+	count    int64
+	minmax   vector.Value
+	distinct map[vector.Value]struct{} // only for DISTINCT aggregates
+}
+
+func newAggState(spec plan.AggSpec) *aggState {
+	st := &aggState{}
+	if spec.Distinct {
+		st.distinct = make(map[vector.Value]struct{})
+	}
+	return st
+}
+
+// update folds value v (non-NULL unless countStar) into the state.
+func (st *aggState) update(spec plan.AggSpec, v vector.Value) {
+	if spec.Func == plan.AggCountStar {
+		st.count++
+		return
+	}
+	if v.Null {
+		return // SQL aggregates ignore NULLs
+	}
+	if spec.Distinct {
+		if _, seen := st.distinct[v]; seen {
+			return
+		}
+		st.distinct[v] = struct{}{}
+	}
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		st.count++
+		if v.Type == vector.TypeFloat64 {
+			st.sumF += v.F
+		} else {
+			st.sumI += v.I
+			st.sumF += float64(v.I)
+		}
+	case plan.AggCount:
+		st.count++
+	case plan.AggMin:
+		if st.minmax.Type == vector.TypeInvalid || v.Compare(st.minmax) < 0 {
+			st.minmax = v
+		}
+	case plan.AggMax:
+		if st.minmax.Type == vector.TypeInvalid || v.Compare(st.minmax) > 0 {
+			st.minmax = v
+		}
+	}
+}
+
+// merge folds another state for the same (spec, group) into st.
+func (st *aggState) merge(spec plan.AggSpec, o *aggState) {
+	if spec.Distinct {
+		for v := range o.distinct {
+			if _, seen := st.distinct[v]; !seen {
+				st.distinct[v] = struct{}{}
+				st.count++ // recounted below for count-distinct finalize
+			}
+		}
+		return
+	}
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		st.count += o.count
+		st.sumF += o.sumF
+		st.sumI += o.sumI
+	case plan.AggCount, plan.AggCountStar:
+		st.count += o.count
+	case plan.AggMin:
+		if o.minmax.Type != vector.TypeInvalid && (st.minmax.Type == vector.TypeInvalid || o.minmax.Compare(st.minmax) < 0) {
+			st.minmax = o.minmax
+		}
+	case plan.AggMax:
+		if o.minmax.Type != vector.TypeInvalid && (st.minmax.Type == vector.TypeInvalid || o.minmax.Compare(st.minmax) > 0) {
+			st.minmax = o.minmax
+		}
+	}
+}
+
+// result produces the final value of the aggregate.
+func (st *aggState) result(spec plan.AggSpec) vector.Value {
+	if spec.Distinct {
+		return vector.NewInt64(int64(len(st.distinct)))
+	}
+	switch spec.Func {
+	case plan.AggCount, plan.AggCountStar:
+		return vector.NewInt64(st.count)
+	case plan.AggAvg:
+		if st.count == 0 {
+			return vector.NewNull(vector.TypeFloat64)
+		}
+		return vector.NewFloat64(st.sumF / float64(st.count))
+	case plan.AggSum:
+		if st.count == 0 {
+			return vector.NewNull(spec.ResultType())
+		}
+		if spec.ResultType() == vector.TypeFloat64 {
+			return vector.NewFloat64(st.sumF)
+		}
+		return vector.NewInt64(st.sumI)
+	default: // min/max
+		if st.minmax.Type == vector.TypeInvalid {
+			return vector.NewNull(spec.ResultType())
+		}
+		return st.minmax
+	}
+}
+
+// save serializes the state.
+func (st *aggState) save(enc *vector.Encoder) {
+	enc.Float64(st.sumF)
+	enc.Varint(st.sumI)
+	enc.Varint(st.count)
+	enc.Value(st.minmax)
+	if st.distinct != nil {
+		enc.Bool(true)
+		enc.Uvarint(uint64(len(st.distinct)))
+		for v := range st.distinct {
+			enc.Value(v)
+		}
+	} else {
+		enc.Bool(false)
+	}
+}
+
+func loadAggState(dec *vector.Decoder) *aggState {
+	st := &aggState{}
+	st.sumF = dec.Float64()
+	st.sumI = dec.Varint()
+	st.count = dec.Varint()
+	st.minmax = dec.Value()
+	if dec.Bool() {
+		n := int(dec.Uvarint())
+		st.distinct = make(map[vector.Value]struct{}, n)
+		for i := 0; i < n; i++ {
+			st.distinct[dec.Value()] = struct{}{}
+		}
+	}
+	return st
+}
+
+func (st *aggState) memBytes() int64 {
+	b := int64(64)
+	if st.distinct != nil {
+		b += int64(len(st.distinct)) * 64
+	}
+	return b
+}
+
+// groupKey holds the boxed values of a group's key columns, kept for output
+// materialization and state serialization. Keys of up to eight columns are
+// supported, which covers TPC-H (Q10 groups by seven columns).
+type groupKey [8]vector.Value
+
+// encodeKeyFromVecs appends a canonical byte encoding of row r's group-key
+// columns to dst. The encoding is injective (length-prefixed strings, type
+// tags for null), so byte equality equals value equality.
+func encodeKeyFromVecs(dst []byte, groupVecs []*vector.Vector, r int) []byte {
+	for _, v := range groupVecs {
+		if v.IsNull(r) {
+			dst = append(dst, 0)
+			continue
+		}
+		switch v.Type() {
+		case vector.TypeInt64, vector.TypeDate:
+			dst = append(dst, 1)
+			x := uint64(v.Int64s()[r])
+			dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case vector.TypeFloat64:
+			dst = append(dst, 2)
+			x := uint64(floatBitsForKey(v.Float64s()[r]))
+			dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case vector.TypeString:
+			s := v.Strings()[r]
+			dst = append(dst, 3)
+			n := uint32(len(s))
+			dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+			dst = append(dst, s...)
+		case vector.TypeBool:
+			if v.Bools()[r] {
+				dst = append(dst, 4, 1)
+			} else {
+				dst = append(dst, 4, 0)
+			}
+		}
+	}
+	return dst
+}
+
+// encodeKeyFromValues is encodeKeyFromVecs over boxed values (Combine path).
+func encodeKeyFromValues(dst []byte, key groupKey, n int) []byte {
+	for i := 0; i < n; i++ {
+		v := key[i]
+		if v.Null {
+			dst = append(dst, 0)
+			continue
+		}
+		switch v.Type {
+		case vector.TypeInt64, vector.TypeDate:
+			dst = append(dst, 1)
+			x := uint64(v.I)
+			dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case vector.TypeFloat64:
+			dst = append(dst, 2)
+			x := floatBitsForKey(v.F)
+			dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case vector.TypeString:
+			dst = append(dst, 3)
+			n := uint32(len(v.S))
+			dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+			dst = append(dst, v.S...)
+		case vector.TypeBool:
+			if v.B {
+				dst = append(dst, 4, 1)
+			} else {
+				dst = append(dst, 4, 0)
+			}
+		}
+	}
+	return dst
+}
+
+func floatBitsForKey(f float64) uint64 {
+	if f == 0 {
+		f = 0 // canonicalize -0
+	}
+	return mathFloat64bits(f)
+}
+
+// aggHashTable maps encoded group keys to per-aggregate states.
+type aggHashTable struct {
+	groups map[string]*aggGroup
+	order  []string // first-seen order for deterministic output
+}
+
+type aggGroup struct {
+	key    groupKey
+	states []*aggState
+}
+
+func newAggHashTable() *aggHashTable {
+	return &aggHashTable{groups: make(map[string]*aggGroup)}
+}
+
+// get looks up the encoded key, creating the group on first sight; boxed key
+// values are captured lazily via makeKey only when the group is new.
+func (h *aggHashTable) get(enc []byte, makeKey func() groupKey, specs []plan.AggSpec) *aggGroup {
+	if g, ok := h.groups[string(enc)]; ok {
+		return g
+	}
+	g := &aggGroup{key: makeKey(), states: make([]*aggState, len(specs))}
+	for i, sp := range specs {
+		g.states[i] = newAggState(sp)
+	}
+	k := string(enc)
+	h.groups[k] = g
+	h.order = append(h.order, k)
+	return g
+}
+
+// HashAggSink is the pipeline breaker for hash aggregation. Worker-local
+// hash tables are merged into the global table at Combine; Finalize
+// materializes the groups into a row buffer scannable by the next pipeline —
+// the exact "global state" of the paper's Fig. 3.
+type HashAggSink struct {
+	groupBy  []expr.Expr
+	specs    []plan.AggSpec
+	outTypes []vector.Type
+
+	global *aggHashTable
+	buf    *RowBuffer
+	final  bool
+}
+
+// NewHashAggSink builds the sink. outTypes is groupTypes ++ aggregate
+// result types (matching plan.Aggregate's schema).
+func NewHashAggSink(groupBy []expr.Expr, specs []plan.AggSpec, outTypes []vector.Type) *HashAggSink {
+	if len(groupBy) > len(groupKey{}) {
+		panic(fmt.Sprintf("aggregate with %d group columns (max %d)", len(groupBy), len(groupKey{})))
+	}
+	return &HashAggSink{groupBy: groupBy, specs: specs, outTypes: outTypes, global: newAggHashTable()}
+}
+
+type aggLocal struct {
+	table     *aggHashTable
+	keyBuf    []byte
+	rowGroups []*aggGroup
+}
+
+// MakeLocal implements Sink.
+func (s *HashAggSink) MakeLocal() LocalState { return &aggLocal{table: newAggHashTable()} }
+
+// Consume implements Sink. The hot loop avoids boxing: group keys are
+// encoded to a reusable byte buffer, and SUM/AVG/COUNT aggregates read the
+// raw column slices directly.
+func (s *HashAggSink) Consume(ls LocalState, c *vector.Chunk) error {
+	l := ls.(*aggLocal)
+	n := c.Len()
+	if n == 0 {
+		return nil
+	}
+	groupVecs := make([]*vector.Vector, len(s.groupBy))
+	for i, g := range s.groupBy {
+		v, err := g.Eval(c)
+		if err != nil {
+			return err
+		}
+		groupVecs[i] = v
+	}
+	argVecs := make([]*vector.Vector, len(s.specs))
+	for i, sp := range s.specs {
+		if sp.Arg == nil {
+			continue
+		}
+		v, err := sp.Arg.Eval(c)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+
+	// Locate (or create) each row's group.
+	if cap(l.rowGroups) < n {
+		l.rowGroups = make([]*aggGroup, n)
+	}
+	rowGroups := l.rowGroups[:n]
+	keyBuf := l.keyBuf[:0]
+	for r := 0; r < n; r++ {
+		keyBuf = encodeKeyFromVecs(keyBuf[:0], groupVecs, r)
+		rr := r
+		rowGroups[r] = l.table.get(keyBuf, func() groupKey {
+			var key groupKey
+			for i, gv := range groupVecs {
+				key[i] = gv.Value(rr)
+			}
+			return key
+		}, s.specs)
+	}
+	l.keyBuf = keyBuf
+
+	// Fold each aggregate with a type-specialized loop.
+	for i, sp := range s.specs {
+		av := argVecs[i]
+		switch {
+		case sp.Func == plan.AggCountStar:
+			for r := 0; r < n; r++ {
+				rowGroups[r].states[i].count++
+			}
+		case sp.Distinct || sp.Func == plan.AggMin || sp.Func == plan.AggMax:
+			for r := 0; r < n; r++ {
+				rowGroups[r].states[i].update(sp, av.Value(r))
+			}
+		case sp.Func == plan.AggCount:
+			for r := 0; r < n; r++ {
+				if !av.IsNull(r) {
+					rowGroups[r].states[i].count++
+				}
+			}
+		case av.Type() == vector.TypeFloat64: // sum/avg over doubles
+			fs := av.Float64s()
+			hasNulls := av.HasNulls()
+			for r := 0; r < n; r++ {
+				if hasNulls && av.IsNull(r) {
+					continue
+				}
+				st := rowGroups[r].states[i]
+				st.count++
+				st.sumF += fs[r]
+			}
+		case av.Type() == vector.TypeInt64 || av.Type() == vector.TypeDate:
+			xs := av.Int64s()
+			hasNulls := av.HasNulls()
+			for r := 0; r < n; r++ {
+				if hasNulls && av.IsNull(r) {
+					continue
+				}
+				st := rowGroups[r].states[i]
+				st.count++
+				st.sumI += xs[r]
+				st.sumF += float64(xs[r])
+			}
+		default:
+			for r := 0; r < n; r++ {
+				rowGroups[r].states[i].update(sp, av.Value(r))
+			}
+		}
+	}
+	return nil
+}
+
+// Combine implements Sink.
+func (s *HashAggSink) Combine(ls LocalState) error {
+	l := ls.(*aggLocal)
+	var keyBuf []byte
+	for _, enc := range l.table.order {
+		lg := l.table.groups[enc]
+		keyBuf = encodeKeyFromValues(keyBuf[:0], lg.key, len(s.groupBy))
+		gg := s.global.get(keyBuf, func() groupKey { return lg.key }, s.specs)
+		for i, sp := range s.specs {
+			gg.states[i].merge(sp, lg.states[i])
+		}
+	}
+	return nil
+}
+
+// Finalize implements Sink.
+func (s *HashAggSink) Finalize() error {
+	s.buf = NewRowBuffer(s.outTypes)
+	if len(s.groupBy) == 0 && len(s.global.order) == 0 {
+		// Global aggregation over zero rows still yields one row.
+		s.global.get(nil, func() groupKey { return groupKey{} }, s.specs)
+	}
+	for _, enc := range s.global.order {
+		g := s.global.groups[enc]
+		row := make([]vector.Value, 0, len(s.outTypes))
+		for i := range s.groupBy {
+			row = append(row, g.key[i])
+		}
+		for i, sp := range s.specs {
+			row = append(row, g.states[i].result(sp))
+		}
+		s.buf.AppendRowValues(row...)
+	}
+	s.final = true
+	return nil
+}
+
+// Buffer implements BufferedSink.
+func (s *HashAggSink) Buffer() *RowBuffer { return s.buf }
+
+// NumGroups returns the current number of global groups.
+func (s *HashAggSink) NumGroups() int { return len(s.global.order) }
+
+func (s *HashAggSink) saveTable(enc *vector.Encoder, t *aggHashTable) {
+	enc.Uvarint(uint64(len(t.order)))
+	for _, ek := range t.order {
+		g := t.groups[ek]
+		for i := 0; i < len(s.groupBy); i++ {
+			enc.Value(g.key[i])
+		}
+		for _, st := range g.states {
+			st.save(enc)
+		}
+	}
+}
+
+func (s *HashAggSink) loadTable(dec *vector.Decoder) (*aggHashTable, error) {
+	t := newAggHashTable()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	var keyBuf []byte
+	for r := 0; r < n; r++ {
+		var key groupKey
+		for i := 0; i < len(s.groupBy); i++ {
+			key[i] = dec.Value()
+		}
+		g := &aggGroup{key: key, states: make([]*aggState, len(s.specs))}
+		for i := range s.specs {
+			g.states[i] = loadAggState(dec)
+		}
+		keyBuf = encodeKeyFromValues(keyBuf[:0], key, len(s.groupBy))
+		ek := string(keyBuf)
+		t.groups[ek] = g
+		t.order = append(t.order, ek)
+	}
+	return t, dec.Err()
+}
+
+// SaveGlobal implements Sink. After finalize the scannable buffer is the
+// state; the group table is persisted too so a resumed sink could continue
+// combining (process-level resume before finalize reloads locals instead).
+func (s *HashAggSink) SaveGlobal(enc *vector.Encoder) error {
+	s.buf.Save(enc)
+	return enc.Err()
+}
+
+// LoadGlobal implements Sink.
+func (s *HashAggSink) LoadGlobal(dec *vector.Decoder) error {
+	buf, err := LoadRowBuffer(dec)
+	if err != nil {
+		return err
+	}
+	s.buf = buf
+	s.final = true
+	return nil
+}
+
+// SaveLocal implements Sink.
+func (s *HashAggSink) SaveLocal(ls LocalState, enc *vector.Encoder) error {
+	s.saveTable(enc, ls.(*aggLocal).table)
+	return enc.Err()
+}
+
+// LoadLocal implements Sink.
+func (s *HashAggSink) LoadLocal(dec *vector.Decoder) (LocalState, error) {
+	t, err := s.loadTable(dec)
+	if err != nil {
+		return nil, err
+	}
+	return &aggLocal{table: t}, nil
+}
+
+// MemBytes implements Sink.
+func (s *HashAggSink) MemBytes() int64 {
+	var b int64
+	for _, g := range s.global.groups {
+		b += 64
+		for _, st := range g.states {
+			b += st.memBytes()
+		}
+	}
+	if s.buf != nil {
+		b += s.buf.MemBytes()
+	}
+	return b
+}
+
+// LocalMemBytes implements Sink.
+func (s *HashAggSink) LocalMemBytes(ls LocalState) int64 {
+	var b int64
+	for _, g := range ls.(*aggLocal).table.groups {
+		b += 64
+		for _, st := range g.states {
+			b += st.memBytes()
+		}
+	}
+	return b
+}
+
+// mathFloat64bits avoids importing math in multiple files for one function.
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

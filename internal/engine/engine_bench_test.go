@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Micro-benchmarks of the engine's core operators and of the suspension
+// machinery itself (state serialization and round-trips).
+
+func benchCatalog(b *testing.B, rows int) *catalog.Catalog {
+	b.Helper()
+	cat := catalog.New()
+	tbl, err := cat.Create("t", catalog.NewSchema(
+		catalog.Col("k", vector.TypeInt64),
+		catalog.Col("g", vector.TypeInt64),
+		catalog.Col("v", vector.TypeFloat64),
+		catalog.Col("s", vector.TypeString),
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := vector.NewChunk(tbl.Schema().Types())
+	for i := 0; i < rows; i++ {
+		if chunk.Full() {
+			_ = tbl.AppendChunk(chunk)
+			chunk.Reset()
+		}
+		chunk.AppendRowValues(
+			vector.NewInt64(int64(i)),
+			vector.NewInt64(int64(i%1024)),
+			vector.NewFloat64(float64(i%1000)),
+			vector.NewString([]string{"alpha", "beta", "gamma", "delta"}[i%4]),
+		)
+	}
+	_ = tbl.AppendChunk(chunk)
+	return cat
+}
+
+func benchRun(b *testing.B, cat *catalog.Catalog, node plan.Node, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp, err := Compile(node, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ex := NewExecutor(pp, Options{Workers: workers})
+		if _, err := ex.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	cat := benchCatalog(b, 1<<18)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "k", "v")
+	node := t.Filter(expr.Gt(t.Col("v"), expr.Float(500))).
+		Agg(nil, plan.CountStar("n")).Node()
+	benchRun(b, cat, node, 4)
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	cat := benchCatalog(b, 1<<18)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "g", "v")
+	node := t.Agg([]string{"g"}, plan.Sum(t.Col("v"), "s"), plan.CountStar("n")).Node()
+	benchRun(b, cat, node, 4)
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	cat := benchCatalog(b, 1<<17)
+	// Self-join on the group column: ~128 matches per probe row band.
+	bl := plan.NewBuilder(cat)
+	l := bl.Scan("t", "k", "g")
+	r := bl.Scan("t", "k", "g").Rename("r.")
+	rf := r.Filter(expr.Lt(r.Col("r.k"), expr.Int(1024)))
+	node := l.Join(rf, plan.InnerJoin, []string{"g"}, []string{"r.k"}).
+		Agg(nil, plan.CountStar("n")).Node()
+	benchRun(b, cat, node, 4)
+}
+
+func BenchmarkSort(b *testing.B) {
+	cat := benchCatalog(b, 1<<17)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "v", "k")
+	node := t.Sort(plan.Desc("v"), plan.Asc("k")).Limit(1).Node()
+	benchRun(b, cat, node, 4)
+}
+
+func BenchmarkTopN(b *testing.B) {
+	cat := benchCatalog(b, 1<<18)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "v", "k")
+	node := t.Sort(plan.Desc("v"), plan.Asc("k")).Limit(100).Node()
+	benchRun(b, cat, node, 4)
+}
+
+// BenchmarkWorkerScaling measures morsel-parallel speedup of a scan+agg.
+func BenchmarkWorkerScaling(b *testing.B) {
+	cat := benchCatalog(b, 1<<19)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "g", "v")
+	node := t.Agg([]string{"g"}, plan.Sum(t.Col("v"), "s")).Node()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchRun(b, cat, node, w)
+		})
+	}
+}
+
+// BenchmarkPipelineCheckpointSaveLoad measures a full pipeline-level
+// suspension state round-trip (serialize + deserialize).
+func BenchmarkPipelineCheckpointSaveLoad(b *testing.B) {
+	cat := benchCatalog(b, 1<<17)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "g", "v")
+	node := t.Agg([]string{"g"}, plan.Sum(t.Col("v"), "s")).
+		Sort(plan.Desc("s")).Node()
+	pp, _ := Compile(node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers: 4,
+		OnBreaker: func(ev *BreakerEvent) BreakerAction {
+			if ev.PipelineIdx == 0 {
+				return ActionSuspend
+			}
+			return ActionContinue
+		},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.SaveState(vector.NewEncoder(&buf)); err != nil {
+		b.Fatal(err)
+	}
+	state := buf.Bytes()
+	b.SetBytes(int64(len(state)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := ex.SaveState(vector.NewEncoder(&out)); err != nil {
+			b.Fatal(err)
+		}
+		pp2, _ := Compile(node, cat)
+		ex2 := NewExecutor(pp2, Options{Workers: 4})
+		if err := ex2.LoadState(vector.NewDecoder(bytes.NewReader(out.Bytes()))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessSuspendResume measures a complete suspend->save->load->
+// finish cycle relative to BenchmarkHashAggregate's clean run.
+func BenchmarkProcessSuspendResume(b *testing.B) {
+	cat := benchCatalog(b, 1<<17)
+	bl := plan.NewBuilder(cat)
+	t := bl.Scan("t", "g", "v")
+	node := t.Agg([]string{"g"}, plan.Sum(t.Col("v"), "s")).Node()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp, _ := Compile(node, cat)
+		ex := NewExecutor(pp, Options{
+			Workers:     4,
+			AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: 1 << 21},
+		})
+		_, err := ex.Run(context.Background())
+		if err == nil {
+			continue // finished before the trigger; still a measurement
+		}
+		if !errors.Is(err, ErrSuspended) {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ex.SaveState(vector.NewEncoder(&buf)); err != nil {
+			b.Fatal(err)
+		}
+		pp2, _ := Compile(node, cat)
+		ex2 := NewExecutor(pp2, Options{Workers: 4})
+		if err := ex2.LoadState(vector.NewDecoder(bytes.NewReader(buf.Bytes()))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex2.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,542 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// SuspendKind identifies the suspension granularity.
+type SuspendKind int32
+
+// Suspension kinds. KindNone means no suspension is pending.
+const (
+	KindNone SuspendKind = iota
+	// KindPipeline suspends at the next pipeline breaker (after the current
+	// pipeline finalizes) — the paper's pipeline-level strategy.
+	KindPipeline
+	// KindProcess suspends at the next morsel boundary of every worker —
+	// the paper's process-level (CRIU-style) strategy.
+	KindProcess
+)
+
+// ErrSuspended is returned by Run when execution stopped due to a suspension
+// request; the executor then holds the state to be checkpointed.
+var ErrSuspended = errors.New("engine: execution suspended")
+
+// BreakerAction is the decision returned by the breaker callback.
+type BreakerAction int
+
+// Breaker decisions.
+const (
+	ActionContinue BreakerAction = iota
+	ActionSuspend
+)
+
+// BreakerEvent describes the pipeline breaker the executor just crossed; it
+// is handed to the OnBreaker callback, where Riveter's cost model decides
+// whether to suspend (paper §III-C: decisions are made when query execution
+// reaches a pipeline breaker).
+type BreakerEvent struct {
+	ex *Executor
+
+	// PipelineIdx is the pipeline that just finalized.
+	PipelineIdx int
+	// NumPipelines is the total pipeline count of the plan.
+	NumPipelines int
+	// Elapsed is total execution time so far (across resumes).
+	Elapsed time.Duration
+	// PipelineTimes holds the duration of each finalized pipeline.
+	PipelineTimes []time.Duration
+}
+
+// MeasurePipelineCheckpointBytes serializes the would-be pipeline-level
+// checkpoint to a counting writer and returns its exact size — the paper's
+// "serialize the intermediate data in binary format, which allows us to
+// determine its size".
+func (e *BreakerEvent) MeasurePipelineCheckpointBytes() int64 {
+	return e.ex.measureState(KindPipeline, e.PipelineIdx+1)
+}
+
+// LiveStateBytes returns the resident size of live operator state.
+func (e *BreakerEvent) LiveStateBytes() int64 { return e.ex.liveStateBytes() }
+
+// ProcessImageBytes returns the modeled CRIU image size at this moment.
+func (e *BreakerEvent) ProcessImageBytes() int64 {
+	return e.ex.acct.ImageBytes(e.ex.liveStateBytes())
+}
+
+// AutoSuspend configures a progress-triggered suspension: once the
+// accountant's processed-bytes counter crosses the threshold, workers raise
+// the suspension request themselves at the next morsel boundary. This gives
+// deterministic "suspend at ~X% of execution" semantics independent of
+// wall-clock timer granularity.
+type AutoSuspend struct {
+	Kind             SuspendKind
+	AtProcessedBytes int64
+}
+
+// Options configure an Executor.
+type Options struct {
+	// Workers is the number of worker goroutines per pipeline (>=1).
+	Workers int
+	// Accountant models process-image growth; nil gets a default.
+	Accountant *Accountant
+	// OnBreaker, when set, is invoked synchronously after every pipeline
+	// finalize. Returning ActionSuspend triggers a pipeline-level
+	// suspension at this breaker.
+	OnBreaker func(*BreakerEvent) BreakerAction
+	// AutoSuspend, when its threshold is positive, arms a one-shot
+	// progress-triggered suspension.
+	AutoSuspend AutoSuspend
+}
+
+// Executor runs a physical plan with morsel-driven parallelism and supports
+// the three suspension paths: context cancellation (redo), pipeline-level
+// suspension at breakers, and process-level suspension at morsel boundaries.
+type Executor struct {
+	pp   *PhysicalPlan
+	opts Options
+	acct *Accountant
+
+	suspendReq  atomic.Int32
+	autoFired   atomic.Bool
+	autoFiredAt atomic.Int64 // UnixNano of the auto-suspend trigger
+
+	mu          sync.Mutex
+	done        []bool
+	pipeTimes   []time.Duration
+	current     int   // pipeline being executed
+	cursor      int64 // restored morsel cursor for current pipeline
+	locals      []LocalState
+	elapsed     time.Duration // accumulated across resumes
+	pipeElapsed time.Duration // accumulated time within the current pipeline
+	suspended   *SuspendInfo
+	ranAlready  bool
+}
+
+// SuspendInfo describes the captured suspension.
+type SuspendInfo struct {
+	Kind SuspendKind
+	// Pipeline is the next pipeline to run (pipeline-level) or the pipeline
+	// interrupted mid-flight (process-level).
+	Pipeline int
+	// Cursor is the morsel cursor of the interrupted pipeline.
+	Cursor int64
+	// Elapsed is the total execution time consumed so far.
+	Elapsed time.Duration
+}
+
+// NewExecutor builds an executor for a compiled plan.
+func NewExecutor(pp *PhysicalPlan, opts Options) *Executor {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	acct := opts.Accountant
+	if acct == nil {
+		acct = NewAccountant()
+	}
+	return &Executor{
+		pp:        pp,
+		opts:      opts,
+		acct:      acct,
+		done:      make([]bool, len(pp.Pipelines)),
+		pipeTimes: make([]time.Duration, len(pp.Pipelines)),
+	}
+}
+
+// Plan returns the physical plan.
+func (ex *Executor) Plan() *PhysicalPlan { return ex.pp }
+
+// Workers returns the configured worker count.
+func (ex *Executor) Workers() int { return ex.opts.Workers }
+
+// Accountant returns the memory accountant.
+func (ex *Executor) Accountant() *Accountant { return ex.acct }
+
+// RequestSuspend asks the executor to suspend at the next opportunity of the
+// given kind. Safe to call from any goroutine. A later request overrides an
+// earlier one only if none has been consumed yet.
+func (ex *Executor) RequestSuspend(kind SuspendKind) {
+	ex.suspendReq.Store(int32(kind))
+}
+
+// Suspended returns the suspension capture after Run returned ErrSuspended.
+func (ex *Executor) Suspended() *SuspendInfo {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.suspended
+}
+
+// AutoSuspendFiredAt returns when the progress-triggered suspension request
+// fired, or the zero time if it has not.
+func (ex *Executor) AutoSuspendFiredAt() time.Time {
+	n := ex.autoFiredAt.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// ClearSuspension discards a process-level suspension capture and lets Run
+// continue the query in place (locals and morsel cursor are retained). It
+// turns a suspension barrier into a quiesce point: Riveter uses it to run
+// the cost model against a consistent executor state and then keep going
+// when the chosen strategy is not an immediate process-level suspension.
+func (ex *Executor) ClearSuspension() {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.suspended = nil
+	ex.suspendReq.Store(int32(KindNone))
+}
+
+// Progress describes how far execution has advanced; used by the cost model
+// to estimate the time to the next pipeline breaker.
+type Progress struct {
+	// Pipeline is the pipeline currently executing (or next to execute).
+	Pipeline int
+	// NumPipelines is the plan's pipeline count.
+	NumPipelines int
+	// DoneMorsels and TotalMorsels cover the current pipeline.
+	DoneMorsels, TotalMorsels int64
+	// PipelineElapsed is the time spent in the current pipeline so far.
+	PipelineElapsed time.Duration
+}
+
+// NextBreakerEta estimates the remaining time of the current pipeline by
+// extrapolating its observed per-morsel rate.
+func (p Progress) NextBreakerEta() time.Duration {
+	if p.DoneMorsels <= 0 || p.TotalMorsels <= p.DoneMorsels {
+		return 0
+	}
+	perMorsel := float64(p.PipelineElapsed) / float64(p.DoneMorsels)
+	return time.Duration(perMorsel * float64(p.TotalMorsels-p.DoneMorsels))
+}
+
+// CurrentProgress returns the execution progress snapshot. Meaningful when
+// the executor is quiesced (suspended) or between pipelines.
+func (ex *Executor) CurrentProgress() Progress {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	p := Progress{Pipeline: ex.current, NumPipelines: len(ex.pp.Pipelines)}
+	if ex.current < len(ex.pp.Pipelines) {
+		pl := ex.pp.Pipelines[ex.current]
+		deps := true
+		for _, d := range pl.Deps {
+			if !ex.done[d] {
+				deps = false
+				break
+			}
+		}
+		if deps {
+			p.TotalMorsels = pl.Source.MorselCount()
+		}
+		p.DoneMorsels = ex.cursor
+		if p.DoneMorsels > p.TotalMorsels {
+			p.DoneMorsels = p.TotalMorsels
+		}
+		p.PipelineElapsed = ex.pipeElapsed
+	}
+	return p
+}
+
+// EstimateNextBreakerCheckpointBytes approximates the pipeline-level
+// checkpoint size at the current pipeline's completion: the finalized live
+// states the next pipelines still need, plus the in-flight pipeline's
+// worker-local state (which its breaker will merge into the global state).
+// Local states are priced by serializing them to a counting writer — the
+// checkpoint's L_s depends on serialized bytes, which for hash tables are
+// far below their resident size. Call only while the executor is quiesced.
+func (ex *Executor) EstimateNextBreakerCheckpointBytes() int64 {
+	ex.mu.Lock()
+	current := ex.current
+	locals := ex.locals
+	ex.mu.Unlock()
+	n := ex.measureState(KindPipeline, current+1)
+	if locals != nil && current < len(ex.pp.Pipelines) {
+		sink := ex.pp.Pipelines[current].Sink
+		var cw countingWriter
+		enc := vector.NewEncoder(&cw)
+		for _, ls := range locals {
+			_ = sink.SaveLocal(ls, enc)
+		}
+		n += cw.n
+	}
+	return n
+}
+
+// Elapsed returns total execution time accumulated so far (across resumes).
+func (ex *Executor) Elapsed() time.Duration {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.elapsed
+}
+
+// PipelineTimes returns a copy of the per-pipeline durations recorded so far.
+func (ex *Executor) PipelineTimes() []time.Duration {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	out := make([]time.Duration, 0, len(ex.pipeTimes))
+	for i, d := range ex.pipeTimes {
+		if ex.done[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DonePipelines returns how many pipelines have finalized.
+func (ex *Executor) DonePipelines() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	n := 0
+	for _, d := range ex.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the plan to completion, a suspension, or cancellation.
+// It may be called again after LoadState to continue a resumed query.
+func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
+	ex.mu.Lock()
+	if ex.suspended != nil {
+		ex.mu.Unlock()
+		return nil, fmt.Errorf("engine: executor already suspended; build a new executor and LoadState to resume")
+	}
+	start := time.Now()
+	startPipe := ex.current
+	restoredCursor := ex.cursor
+	restoredLocals := ex.locals
+	ex.ranAlready = true
+	ex.mu.Unlock()
+
+	defer func() {
+		ex.mu.Lock()
+		ex.elapsed += time.Since(start)
+		ex.mu.Unlock()
+	}()
+
+	for pi := startPipe; pi < len(ex.pp.Pipelines); pi++ {
+		if ex.done[pi] {
+			continue
+		}
+		p := ex.pp.Pipelines[pi]
+		for _, dep := range p.Deps {
+			if !ex.done[dep] {
+				return nil, fmt.Errorf("engine: pipeline %d scheduled before dep %d", pi, dep)
+			}
+		}
+		pipeStart := time.Now()
+
+		var cursor atomic.Int64
+		locals := make([]LocalState, ex.opts.Workers)
+		if pi == startPipe && restoredLocals != nil {
+			if len(restoredLocals) != ex.opts.Workers {
+				return nil, fmt.Errorf("engine: resume requires %d workers, have %d", len(restoredLocals), ex.opts.Workers)
+			}
+			copy(locals, restoredLocals)
+			cursor.Store(restoredCursor)
+		} else {
+			for w := range locals {
+				locals[w] = p.Sink.MakeLocal()
+			}
+		}
+
+		morsels := p.Source.MorselCount()
+		var (
+			wg        sync.WaitGroup
+			procStop  atomic.Bool
+			workerErr atomic.Value
+		)
+		for w := 0; w < ex.opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := ex.runWorker(ctx, p, &cursor, morsels, locals[w], &procStop); err != nil {
+					workerErr.CompareAndSwap(nil, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if err, _ := workerErr.Load().(error); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if procStop.Load() {
+			// Process-level suspension: capture mid-pipeline state.
+			cur := cursor.Load()
+			if cur > morsels {
+				cur = morsels
+			}
+			ex.mu.Lock()
+			ex.current = pi
+			ex.cursor = cur
+			ex.locals = locals
+			ex.pipeElapsed += time.Since(pipeStart)
+			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi, Cursor: cur, Elapsed: ex.elapsed + time.Since(start)}
+			ex.mu.Unlock()
+			return nil, ErrSuspended
+		}
+
+		// Pipeline complete: combine locals deterministically, finalize.
+		for _, ls := range locals {
+			if err := p.Sink.Combine(ls); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.Sink.Finalize(); err != nil {
+			return nil, err
+		}
+		ex.mu.Lock()
+		ex.done[pi] = true
+		ex.pipeTimes[pi] = ex.pipeElapsed + time.Since(pipeStart)
+		ex.pipeElapsed = 0
+		ex.current = pi + 1
+		ex.cursor = 0
+		ex.locals = nil
+		ex.mu.Unlock()
+
+		if pi == len(ex.pp.Pipelines)-1 {
+			break // last pipeline: no breaker decision after the result sink
+		}
+		// A process-level request that arrived during Combine/Finalize (when
+		// no worker loop was polling) is honored here: the pipeline boundary
+		// is a valid morsel boundary of the next pipeline (cursor 0, fresh
+		// locals), so the quiesce latency is bounded by one finalize rather
+		// than left pending until the next pipeline spins up workers.
+		if SuspendKind(ex.suspendReq.Load()) == KindProcess {
+			next := ex.pp.Pipelines[pi+1]
+			fresh := make([]LocalState, ex.opts.Workers)
+			for w := range fresh {
+				fresh[w] = next.Sink.MakeLocal()
+			}
+			ex.mu.Lock()
+			ex.current = pi + 1
+			ex.cursor = 0
+			ex.locals = fresh
+			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi + 1, Elapsed: ex.elapsed + time.Since(start)}
+			ex.mu.Unlock()
+			return nil, ErrSuspended
+		}
+		if ex.breakerSuspend(pi, start) {
+			ex.mu.Lock()
+			ex.suspended = &SuspendInfo{Kind: KindPipeline, Pipeline: pi + 1, Elapsed: ex.elapsed + time.Since(start)}
+			ex.mu.Unlock()
+			return nil, ErrSuspended
+		}
+	}
+
+	res := &ResultSet{Schema: ex.pp.OutSchema, Buf: ex.pp.Result().Buffer()}
+	return res, nil
+}
+
+// breakerSuspend runs the breaker hook after pipeline pi finalized and
+// reports whether a pipeline-level suspension should trigger.
+func (ex *Executor) breakerSuspend(pi int, runStart time.Time) bool {
+	// An explicit pipeline-level request wins.
+	if SuspendKind(ex.suspendReq.Load()) == KindPipeline {
+		ex.suspendReq.Store(int32(KindNone))
+		return true
+	}
+	if ex.opts.OnBreaker == nil {
+		return false
+	}
+	ex.mu.Lock()
+	times := make([]time.Duration, 0, pi+1)
+	for i := 0; i <= pi; i++ {
+		if ex.done[i] {
+			times = append(times, ex.pipeTimes[i])
+		}
+	}
+	elapsed := ex.elapsed + time.Since(runStart)
+	ex.mu.Unlock()
+	ev := &BreakerEvent{
+		ex:            ex,
+		PipelineIdx:   pi,
+		NumPipelines:  len(ex.pp.Pipelines),
+		Elapsed:       elapsed,
+		PipelineTimes: times,
+	}
+	return ex.opts.OnBreaker(ev) == ActionSuspend
+}
+
+// runWorker is one morsel-pulling worker loop.
+func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.Int64, morsels int64, local LocalState, procStop *atomic.Bool) error {
+	chunk := vector.NewChunk(p.Source.OutTypes())
+	chain := makeChain(p.Ops, func(c *vector.Chunk) error {
+		return p.Sink.Consume(local, c)
+	})
+	auto := ex.opts.AutoSuspend
+	for {
+		if ctx.Err() != nil {
+			return nil // cancellation surfaces via ctx.Err in Run
+		}
+		if auto.AtProcessedBytes > 0 && !ex.autoFired.Load() &&
+			ex.acct.ProcessedBytes() >= auto.AtProcessedBytes {
+			if ex.autoFired.CompareAndSwap(false, true) {
+				ex.autoFiredAt.Store(time.Now().UnixNano())
+				ex.RequestSuspend(auto.Kind)
+			}
+		}
+		if SuspendKind(ex.suspendReq.Load()) == KindProcess {
+			procStop.Store(true)
+			return nil
+		}
+		idx := cursor.Add(1) - 1
+		if idx >= morsels {
+			return nil
+		}
+		n, err := p.Source.ReadMorsel(idx, chunk)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		ex.acct.AddProcessed(chunk.MemBytes())
+		if err := chain(chunk); err != nil {
+			return err
+		}
+	}
+}
+
+// makeChain composes streaming operators into a single push function.
+func makeChain(ops []StreamOp, final func(*vector.Chunk) error) func(*vector.Chunk) error {
+	h := final
+	for i := len(ops) - 1; i >= 0; i-- {
+		op, next := ops[i], h
+		h = func(c *vector.Chunk) error { return op.Process(c, next) }
+	}
+	return h
+}
+
+// liveStateBytes sums the resident size of all sink global states and
+// the current pipeline's captured locals. Callers need not hold mu: sinks
+// are only mutated between pipelines on the Run goroutine, and this is
+// invoked either from the breaker hook (same goroutine) or after suspension.
+func (ex *Executor) liveStateBytes() int64 {
+	var b int64
+	for i, p := range ex.pp.Pipelines {
+		if ex.done[i] {
+			b += p.Sink.MemBytes()
+		}
+	}
+	if ex.locals != nil {
+		p := ex.pp.Pipelines[ex.current]
+		for _, ls := range ex.locals {
+			b += p.Sink.LocalMemBytes(ls)
+		}
+	}
+	return b
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// HashJoinBuildSink is the pipeline breaker that materializes the build
+// (right) side of a hash join. The buffered rows are laid out as the key
+// columns followed by the full build-side payload; the bucket index maps key
+// hashes to row ids and is rebuilt from the buffer on load, so checkpoints
+// persist only the rows — exactly the "entire hash table for the join" the
+// paper measures for join-ending pipelines (Fig. 8).
+type HashJoinBuildSink struct {
+	keyExprs []expr.Expr // over the build input schema
+	keyTypes []vector.Type
+	payTypes []vector.Type
+	rowTypes []vector.Type // keyTypes ++ payTypes
+
+	buf     *RowBuffer
+	buckets map[uint64][]int64
+	final   bool
+}
+
+// NewHashJoinBuildSink builds the sink for the given key expressions and
+// build-side input types.
+func NewHashJoinBuildSink(keys []expr.Expr, inTypes []vector.Type) *HashJoinBuildSink {
+	kt := make([]vector.Type, len(keys))
+	for i, k := range keys {
+		kt[i] = k.Type()
+	}
+	rt := append(append([]vector.Type{}, kt...), inTypes...)
+	return &HashJoinBuildSink{
+		keyExprs: keys,
+		keyTypes: kt,
+		payTypes: inTypes,
+		rowTypes: rt,
+		buf:      NewRowBuffer(rt),
+	}
+}
+
+type joinBuildLocal struct {
+	buf *RowBuffer
+}
+
+// MakeLocal implements Sink.
+func (s *HashJoinBuildSink) MakeLocal() LocalState {
+	return &joinBuildLocal{buf: NewRowBuffer(s.rowTypes)}
+}
+
+// Consume implements Sink.
+func (s *HashJoinBuildSink) Consume(ls LocalState, c *vector.Chunk) error {
+	l := ls.(*joinBuildLocal)
+	keyVecs := make([]*vector.Vector, len(s.keyExprs))
+	for i, k := range s.keyExprs {
+		v, err := k.Eval(c)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	for i := 0; i < c.Len(); i++ {
+		dst := l.buf.tail()
+		// Append key columns then payload columns for row i.
+		for k, kv := range keyVecs {
+			dst.Col(k).AppendFrom(kv, i)
+		}
+		for j := 0; j < c.NumCols(); j++ {
+			dst.Col(len(keyVecs)+j).AppendFrom(c.Col(j), i)
+		}
+		dst.SetLen(dst.Len() + 1)
+		l.buf.rows++
+	}
+	return nil
+}
+
+// Combine implements Sink.
+func (s *HashJoinBuildSink) Combine(ls LocalState) error {
+	s.buf.Concat(ls.(*joinBuildLocal).buf)
+	return nil
+}
+
+// Finalize implements Sink.
+func (s *HashJoinBuildSink) Finalize() error {
+	s.rebuildBuckets()
+	s.final = true
+	return nil
+}
+
+func (s *HashJoinBuildSink) rebuildBuckets() {
+	nk := len(s.keyTypes)
+	s.buckets = make(map[uint64][]int64, s.buf.Rows())
+	if nk == 0 {
+		return // cross join: no index, every row matches
+	}
+	keyIdx := make([]int, nk)
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	var rowID int64
+	var hashes []uint64
+	for ci := 0; ci < s.buf.NumChunks(); ci++ {
+		c := s.buf.Chunk(ci)
+		hashes = c.Hash(keyIdx, hashes)
+		for i := 0; i < c.Len(); i++ {
+			if rowHasNullKey(c, nk, i) {
+				rowID++
+				continue // SQL equality: NULL keys never match
+			}
+			s.buckets[hashes[i]] = append(s.buckets[hashes[i]], rowID)
+			rowID++
+		}
+	}
+}
+
+func rowHasNullKey(c *vector.Chunk, nk, i int) bool {
+	for k := 0; k < nk; k++ {
+		if c.Col(k).IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumKeys returns the number of equi-join keys.
+func (s *HashJoinBuildSink) NumKeys() int { return len(s.keyTypes) }
+
+// Rows returns the number of buffered build rows.
+func (s *HashJoinBuildSink) Rows() int64 { return s.buf.Rows() }
+
+// SaveGlobal implements Sink.
+func (s *HashJoinBuildSink) SaveGlobal(enc *vector.Encoder) error {
+	s.buf.Save(enc)
+	return enc.Err()
+}
+
+// LoadGlobal implements Sink.
+func (s *HashJoinBuildSink) LoadGlobal(dec *vector.Decoder) error {
+	buf, err := LoadRowBuffer(dec)
+	if err != nil {
+		return err
+	}
+	s.buf = buf
+	s.rebuildBuckets()
+	s.final = true
+	return nil
+}
+
+// SaveLocal implements Sink.
+func (s *HashJoinBuildSink) SaveLocal(ls LocalState, enc *vector.Encoder) error {
+	ls.(*joinBuildLocal).buf.Save(enc)
+	return enc.Err()
+}
+
+// LoadLocal implements Sink.
+func (s *HashJoinBuildSink) LoadLocal(dec *vector.Decoder) (LocalState, error) {
+	buf, err := LoadRowBuffer(dec)
+	if err != nil {
+		return nil, err
+	}
+	return &joinBuildLocal{buf: buf}, nil
+}
+
+// MemBytes implements Sink.
+func (s *HashJoinBuildSink) MemBytes() int64 {
+	b := s.buf.MemBytes()
+	if s.buckets != nil {
+		b += int64(len(s.buckets)) * 48 // map overhead estimate
+		b += s.buf.Rows() * 8
+	}
+	return b
+}
+
+// LocalMemBytes implements Sink.
+func (s *HashJoinBuildSink) LocalMemBytes(ls LocalState) int64 {
+	return ls.(*joinBuildLocal).buf.MemBytes()
+}
+
+// HashJoinProbeOp is the streaming probe operator. It reads the immutable
+// finalized state of its build sink and therefore carries no per-worker
+// state of its own.
+type HashJoinProbeOp struct {
+	Type     plan.JoinType
+	build    *HashJoinBuildSink
+	keyExprs []expr.Expr // over the probe input schema
+	extra    expr.Expr   // over probe ++ build payload; may be nil
+
+	probeTypes []vector.Type
+	outTypes   []vector.Type
+	pairTypes  []vector.Type // probeTypes ++ build payload types
+}
+
+// NewHashJoinProbeOp builds the probe operator.
+func NewHashJoinProbeOp(jt plan.JoinType, build *HashJoinBuildSink, keys []expr.Expr, extra expr.Expr, probeTypes []vector.Type) *HashJoinProbeOp {
+	pair := append(append([]vector.Type{}, probeTypes...), build.payTypes...)
+	out := pair
+	if jt == plan.SemiJoin || jt == plan.AntiJoin {
+		out = probeTypes
+	}
+	return &HashJoinProbeOp{
+		Type:       jt,
+		build:      build,
+		keyExprs:   keys,
+		extra:      extra,
+		probeTypes: probeTypes,
+		outTypes:   out,
+		pairTypes:  pair,
+	}
+}
+
+// OutTypes implements StreamOp.
+func (p *HashJoinProbeOp) OutTypes() []vector.Type { return p.outTypes }
+
+// Process implements StreamOp.
+func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) error {
+	if !p.build.final {
+		return fmt.Errorf("hash join probe before build finalize")
+	}
+	n := in.Len()
+	if n == 0 {
+		return nil
+	}
+	// Evaluate and hash the probe keys.
+	keyVecs := make([]*vector.Vector, len(p.keyExprs))
+	for i, k := range p.keyExprs {
+		v, err := k.Eval(in)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	hashes := make([]uint64, n)
+	for _, kv := range keyVecs {
+		kv.HashInto(hashes)
+	}
+
+	matched := make([]bool, n)
+	emitPairs := p.Type == plan.InnerJoin || p.Type == plan.LeftOuterJoin || p.Type == plan.CrossJoin
+	pairOut := vector.NewChunk(p.pairTypes)
+	pairProbeRows := make([]int, 0, vector.ChunkCapacity)
+
+	flush := func() error {
+		if pairOut.Len() == 0 {
+			return nil
+		}
+		keepChunk := pairOut
+		keepRows := pairProbeRows
+		if p.extra != nil {
+			sel, err := p.extra.Eval(pairOut)
+			if err != nil {
+				return err
+			}
+			filtered := vector.NewChunk(p.pairTypes)
+			frows := make([]int, 0, len(keepRows))
+			bs := sel.Bools()
+			for i := 0; i < pairOut.Len(); i++ {
+				if sel.IsNull(i) || !bs[i] {
+					continue
+				}
+				filtered.AppendRowFrom(pairOut, i)
+				frows = append(frows, pairProbeRows[i])
+			}
+			keepChunk, keepRows = filtered, frows
+		}
+		for _, pr := range keepRows {
+			matched[pr] = true
+		}
+		if emitPairs && keepChunk.Len() > 0 {
+			if err := emit(keepChunk); err != nil {
+				return err
+			}
+		}
+		pairOut = vector.NewChunk(p.pairTypes)
+		pairProbeRows = pairProbeRows[:0]
+		return nil
+	}
+
+	appendPair := func(probeRow int, buildRow int64) error {
+		ci, ri := p.build.buf.Locate(buildRow)
+		bc := p.build.buf.Chunk(ci)
+		nk := len(p.build.keyTypes)
+		for j := 0; j < in.NumCols(); j++ {
+			pairOut.Col(j).AppendFrom(in.Col(j), probeRow)
+		}
+		for j := 0; j < len(p.build.payTypes); j++ {
+			pairOut.Col(in.NumCols()+j).AppendFrom(bc.Col(nk+j), ri)
+		}
+		pairOut.SetLen(pairOut.Len() + 1)
+		pairProbeRows = append(pairProbeRows, probeRow)
+		if pairOut.Len() >= vector.ChunkCapacity {
+			return flush()
+		}
+		return nil
+	}
+
+	if len(p.keyExprs) == 0 {
+		// Cross join: every build row pairs with every probe row.
+		for i := 0; i < n; i++ {
+			for r := int64(0); r < p.build.buf.Rows(); r++ {
+				if err := appendPair(i, r); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if probeRowHasNullKey(keyVecs, i) {
+				continue // NULL keys never match
+			}
+			for _, r := range p.build.buckets[hashes[i]] {
+				if !p.keysEqual(keyVecs, i, r) {
+					continue
+				}
+				if err := appendPair(i, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	switch p.Type {
+	case plan.LeftOuterJoin:
+		// Emit unmatched probe rows padded with NULL build columns.
+		out := vector.NewChunk(p.pairTypes)
+		for i := 0; i < n; i++ {
+			if matched[i] {
+				continue
+			}
+			for j := 0; j < in.NumCols(); j++ {
+				out.Col(j).AppendFrom(in.Col(j), i)
+			}
+			for j := 0; j < len(p.build.payTypes); j++ {
+				out.Col(in.NumCols() + j).AppendNull()
+			}
+			out.SetLen(out.Len() + 1)
+			if out.Len() >= vector.ChunkCapacity {
+				if err := emit(out); err != nil {
+					return err
+				}
+				out = vector.NewChunk(p.pairTypes)
+			}
+		}
+		if out.Len() > 0 {
+			return emit(out)
+		}
+	case plan.SemiJoin, plan.AntiJoin:
+		want := p.Type == plan.SemiJoin
+		out := vector.NewChunk(p.probeTypes)
+		for i := 0; i < n; i++ {
+			if matched[i] != want {
+				continue
+			}
+			out.AppendRowFrom(in, i)
+			if out.Len() >= vector.ChunkCapacity {
+				if err := emit(out); err != nil {
+					return err
+				}
+				out = vector.NewChunk(p.probeTypes)
+			}
+		}
+		if out.Len() > 0 {
+			return emit(out)
+		}
+	}
+	return nil
+}
+
+func probeRowHasNullKey(keyVecs []*vector.Vector, i int) bool {
+	for _, kv := range keyVecs {
+		if kv.IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// keysEqual verifies probe row i's keys against build row r's key columns.
+func (p *HashJoinProbeOp) keysEqual(keyVecs []*vector.Vector, i int, r int64) bool {
+	ci, ri := p.build.buf.Locate(r)
+	bc := p.build.buf.Chunk(ci)
+	for k, kv := range keyVecs {
+		bcol := bc.Col(k)
+		if bcol.IsNull(ri) {
+			return false
+		}
+		switch kv.Type() {
+		case vector.TypeInt64, vector.TypeDate:
+			if kv.Int64s()[i] != bcol.Int64s()[ri] {
+				return false
+			}
+		case vector.TypeFloat64:
+			if kv.Float64s()[i] != bcol.Float64s()[ri] {
+				return false
+			}
+		case vector.TypeString:
+			if kv.Strings()[i] != bcol.Strings()[ri] {
+				return false
+			}
+		case vector.TypeBool:
+			if kv.Bools()[i] != bcol.Bools()[ri] {
+				return false
+			}
+		}
+	}
+	return true
+}

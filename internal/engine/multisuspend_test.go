@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// TestMultipleSuspensionsPipelineLevel exercises the paper's §VI extension:
+// a query suspended and resumed several times within one execution, each
+// suspension at a later breaker.
+func TestMultipleSuspensionsPipelineLevel(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp, err := Compile(node, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numBreakers := pp.NumPipelines() - 1
+
+	// Chain: run -> suspend at breaker k -> save -> new executor -> load ->
+	// continue, for every breaker in sequence.
+	var state []byte
+	for k := 0; k < numBreakers; k++ {
+		ppk, _ := Compile(node, cat)
+		target := k
+		ex := NewExecutor(ppk, Options{
+			Workers: 2,
+			OnBreaker: func(ev *BreakerEvent) BreakerAction {
+				if ev.PipelineIdx == target {
+					return ActionSuspend
+				}
+				return ActionContinue
+			},
+		})
+		if state != nil {
+			loadState(t, ex, state)
+		}
+		_, err := ex.Run(context.Background())
+		if !errors.Is(err, ErrSuspended) {
+			t.Fatalf("suspension %d: err = %v", k, err)
+		}
+		state = saveState(t, ex)
+	}
+
+	// Final resume runs to completion.
+	ppf, _ := Compile(node, cat)
+	ex := NewExecutor(ppf, Options{Workers: 2})
+	loadState(t, ex, state)
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after chained suspensions differs from clean run")
+	}
+}
+
+// TestMultipleSuspensionsProcessLevel alternates process-level suspensions
+// with partial progress.
+func TestMultipleSuspensionsProcessLevel(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	var state []byte
+	for round := 0; round < 4; round++ {
+		pp, _ := Compile(node, cat)
+		// Suspend after a modest amount of additional progress.
+		ex := NewExecutor(pp, Options{
+			Workers:     2,
+			AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: int64(round+1) * 200_000},
+		})
+		if state != nil {
+			loadState(t, ex, state)
+		}
+		res, err := ex.Run(context.Background())
+		if err == nil {
+			// Completed: compare and stop.
+			if res.SortedKey() != ref {
+				t.Fatalf("round %d: completed result differs", round)
+			}
+			return
+		}
+		if !errors.Is(err, ErrSuspended) {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+		state = saveState(t, ex)
+	}
+	pp, _ := Compile(node, cat)
+	ex := NewExecutor(pp, Options{Workers: 2})
+	loadState(t, ex, state)
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after repeated process suspensions differs")
+	}
+}
+
+// TestQuiesceAndContinue exercises ClearSuspension: a process-level barrier
+// used as a decision point, after which execution continues in place.
+func TestQuiesceAndContinue(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp, _ := Compile(node, cat)
+	ex := NewExecutor(pp, Options{Workers: 2})
+	ex.RequestSuspend(KindProcess)
+	_, err := ex.Run(context.Background())
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("err = %v", err)
+	}
+	prog := ex.CurrentProgress()
+	if prog.NumPipelines != pp.NumPipelines() {
+		t.Errorf("progress = %+v", prog)
+	}
+	if n := ex.EstimateNextBreakerCheckpointBytes(); n < 0 {
+		t.Errorf("next-breaker estimate = %d", n)
+	}
+
+	ex.ClearSuspension()
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatalf("continue after quiesce: %v", err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after quiesce-and-continue differs")
+	}
+}
+
+// TestQuiesceThenPipelineSuspend is the controller's pipeline path: quiesce,
+// decide, continue with a pipeline-level suspension armed.
+func TestQuiesceThenPipelineSuspend(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp, _ := Compile(node, cat)
+	ex := NewExecutor(pp, Options{Workers: 2})
+	ex.RequestSuspend(KindProcess)
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	ex.ClearSuspension()
+	ex.RequestSuspend(KindPipeline)
+	_, err := ex.Run(context.Background())
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("pipeline suspension after quiesce: %v", err)
+	}
+	if info := ex.Suspended(); info.Kind != KindPipeline {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	state := saveState(t, ex)
+	pp2, _ := Compile(node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 3})
+	loadState(t, ex2, state)
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result differs after quiesce->pipeline-suspend->resume")
+	}
+}
+
+// TestWorkerErrorPropagation ensures an operator failure inside a worker
+// surfaces as an error, not a hang or partial result.
+func TestWorkerErrorPropagation(t *testing.T) {
+	cat := testDB(t)
+	b := plan.NewBuilder(cat)
+	e := b.Scan("emp", "id", "name")
+	// LIKE over BIGINT fails at evaluation time (constructed manually to
+	// bypass builder checks).
+	bad := &plan.Filter{
+		Child: e.Node(),
+		Cond:  badLike{},
+	}
+	pp, err := Compile(bad, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(pp, Options{Workers: 4})
+	if _, err := ex.Run(context.Background()); err == nil {
+		t.Fatal("worker error must propagate")
+	}
+}
+
+// badLike is an expression that always fails to evaluate.
+type badLike struct{}
+
+func (badLike) Type() vector.Type { return vector.TypeBool }
+func (badLike) Eval(*vector.Chunk) (*vector.Vector, error) {
+	return nil, fmt.Errorf("injected failure")
+}
+func (badLike) String() string { return "bad" }
+
+// TestAutoSuspendFiresOnce verifies the one-shot semantics across resumes.
+func TestAutoSuspendFiresOnce(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	pp, _ := Compile(node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers:     2,
+		AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: 1},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	if ex.AutoSuspendFiredAt().IsZero() {
+		t.Fatal("auto-suspend fire time missing")
+	}
+	// Continue in place: the auto trigger must not re-fire.
+	ex.ClearSuspension()
+	if _, err := ex.Run(context.Background()); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// StreamOp is a non-blocking operator inside a pipeline. Process may emit
+// zero or more output chunks per input chunk via the emit callback.
+// Implementations must be stateless across chunks (probe operators read the
+// immutable global state of their build pipeline), which is what makes
+// morsel-boundary suspension state-free above the sinks.
+type StreamOp interface {
+	Process(in *vector.Chunk, emit func(*vector.Chunk) error) error
+	// OutTypes returns the operator's output column types.
+	OutTypes() []vector.Type
+}
+
+// FilterOp keeps rows where the condition is true (NULL counts as false).
+type FilterOp struct {
+	Cond  expr.Expr
+	types []vector.Type
+}
+
+// NewFilterOp builds a filter operator over inputs of the given types.
+func NewFilterOp(cond expr.Expr, inTypes []vector.Type) *FilterOp {
+	return &FilterOp{Cond: cond, types: inTypes}
+}
+
+// OutTypes implements StreamOp.
+func (f *FilterOp) OutTypes() []vector.Type { return f.types }
+
+// Process implements StreamOp.
+func (f *FilterOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) error {
+	if in.Len() == 0 {
+		return nil
+	}
+	sel, err := f.Cond.Eval(in)
+	if err != nil {
+		return err
+	}
+	if sel.Type() != vector.TypeBool {
+		return fmt.Errorf("filter condition of type %v", sel.Type())
+	}
+	out := vector.NewChunk(f.types)
+	bs := sel.Bools()
+	for i := 0; i < in.Len(); i++ {
+		if sel.IsNull(i) || !bs[i] {
+			continue
+		}
+		out.AppendRowFrom(in, i)
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	return emit(out)
+}
+
+// ProjectOp computes one output column per expression.
+type ProjectOp struct {
+	Exprs []expr.Expr
+	types []vector.Type
+}
+
+// NewProjectOp builds a projection operator.
+func NewProjectOp(exprs []expr.Expr) *ProjectOp {
+	types := make([]vector.Type, len(exprs))
+	for i, e := range exprs {
+		types[i] = e.Type()
+	}
+	return &ProjectOp{Exprs: exprs, types: types}
+}
+
+// OutTypes implements StreamOp.
+func (p *ProjectOp) OutTypes() []vector.Type { return p.types }
+
+// Process implements StreamOp.
+func (p *ProjectOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) error {
+	if in.Len() == 0 {
+		return nil
+	}
+	out := vector.NewChunk(p.types)
+	for j, e := range p.Exprs {
+		v, err := e.Eval(in)
+		if err != nil {
+			return err
+		}
+		// Column references may return the input vector itself; chunks must
+		// own their columns, so copy in that case.
+		if _, shared := e.(*expr.Column); shared {
+			cp := vector.New(v.Type(), v.Len())
+			for i := 0; i < v.Len(); i++ {
+				cp.AppendFrom(v, i)
+			}
+			v = cp
+		}
+		*out.Col(j) = *v
+	}
+	out.SetLen(in.Len())
+	return emit(out)
+}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Pipeline is one executable pipeline: a source, a chain of streaming
+// operators, and a sink (the pipeline breaker ending it).
+type Pipeline struct {
+	ID    int
+	Label string
+
+	Source Source
+	Ops    []StreamOp
+	Sink   Sink
+
+	// Deps are pipeline IDs that must be finalized before this pipeline can
+	// run (its source scans their sinks, or its probes address them).
+	Deps []int
+}
+
+// PhysicalPlan is the compiled, executable form of a logical plan: pipelines
+// in a valid execution order (every pipeline appears after its Deps), the
+// last one sinking into the result collector.
+type PhysicalPlan struct {
+	Pipelines   []*Pipeline
+	OutSchema   *catalog.Schema
+	Fingerprint uint64
+	Root        plan.Node
+}
+
+// NumPipelines returns the pipeline count.
+func (pp *PhysicalPlan) NumPipelines() int { return len(pp.Pipelines) }
+
+// Result returns the final collector sink.
+func (pp *PhysicalPlan) Result() *CollectorSink {
+	return pp.Pipelines[len(pp.Pipelines)-1].Sink.(*CollectorSink)
+}
+
+type compiler struct {
+	cat   *catalog.Catalog
+	pipes []*Pipeline
+}
+
+// Compile lowers a logical plan into pipelines. Pipelines are emitted
+// bottom-up, so the slice order is already a valid sequential schedule.
+func Compile(root plan.Node, cat *catalog.Catalog) (*PhysicalPlan, error) {
+	c := &compiler{cat: cat}
+	final := &Pipeline{Label: "result"}
+	types, err := c.compile(root, final)
+	if err != nil {
+		return nil, err
+	}
+	final.Sink = NewCollectorSink(types, -1)
+	c.register(final)
+	return &PhysicalPlan{
+		Pipelines:   c.pipes,
+		OutSchema:   root.Schema(),
+		Fingerprint: plan.Fingerprint(root),
+		Root:        root,
+	}, nil
+}
+
+func (c *compiler) register(p *Pipeline) {
+	p.ID = len(c.pipes)
+	c.pipes = append(c.pipes, p)
+}
+
+// compile lowers node n into pipeline p, setting p's source and appending
+// streaming operators. It returns the column types flowing out of the chain.
+func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		tbl, err := c.cat.Table(t.Table)
+		if err != nil {
+			return nil, err
+		}
+		src := NewTableSource(tbl, t.Projection)
+		p.Source = src
+		p.Label = appendLabel(p.Label, "scan("+t.Table+")")
+		types := src.OutTypes()
+		if t.Filter != nil {
+			p.Ops = append(p.Ops, NewFilterOp(t.Filter, types))
+		}
+		return types, nil
+
+	case *plan.Filter:
+		types, err := c.compile(t.Child, p)
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, NewFilterOp(t.Cond, types))
+		return types, nil
+
+	case *plan.Project:
+		if _, err := c.compile(t.Child, p); err != nil {
+			return nil, err
+		}
+		op := NewProjectOp(t.Exprs)
+		p.Ops = append(p.Ops, op)
+		return op.OutTypes(), nil
+
+	case *plan.Rename:
+		return c.compile(t.Child, p)
+
+	case *plan.Join:
+		// Build side: its own pipeline ending in the build sink.
+		bp := &Pipeline{}
+		rtypes, err := c.compile(t.Right, bp)
+		if err != nil {
+			return nil, err
+		}
+		build := NewHashJoinBuildSink(t.RightKeys, rtypes)
+		bp.Sink = build
+		bp.Label = appendLabel(bp.Label, fmt.Sprintf("build(%s)", t.Type))
+		c.register(bp)
+
+		// Probe side continues the current pipeline.
+		ltypes, err := c.compile(t.Left, p)
+		if err != nil {
+			return nil, err
+		}
+		probe := NewHashJoinProbeOp(t.Type, build, t.LeftKeys, t.Extra, ltypes)
+		p.Ops = append(p.Ops, probe)
+		p.Deps = append(p.Deps, bp.ID)
+		p.Label = appendLabel(p.Label, fmt.Sprintf("probe(%s)", t.Type))
+		return probe.OutTypes(), nil
+
+	case *plan.Aggregate:
+		cp := &Pipeline{}
+		if _, err := c.compile(t.Child, cp); err != nil {
+			return nil, err
+		}
+		outTypes := t.Schema().Types()
+		sink := NewHashAggSink(t.GroupBy, t.Aggs, outTypes)
+		cp.Sink = sink
+		cp.Label = appendLabel(cp.Label, "aggregate")
+		c.register(cp)
+
+		p.Source = NewSinkSource(sink, outTypes)
+		p.Deps = append(p.Deps, cp.ID)
+		p.Label = appendLabel(p.Label, "scan(agg)")
+		return outTypes, nil
+
+	case *plan.Sort:
+		cp := &Pipeline{}
+		inTypes, err := c.compile(t.Child, cp)
+		if err != nil {
+			return nil, err
+		}
+		sink := NewSortSink(t.Keys, inTypes)
+		cp.Sink = sink
+		cp.Label = appendLabel(cp.Label, "sort")
+		c.register(cp)
+
+		p.Source = NewSinkSource(sink, inTypes)
+		p.Deps = append(p.Deps, cp.ID)
+		p.Label = appendLabel(p.Label, "scan(sorted)")
+		return inTypes, nil
+
+	case *plan.Limit:
+		if srt, ok := t.Child.(*plan.Sort); ok {
+			// Fuse ORDER BY + LIMIT into a top-N breaker.
+			cp := &Pipeline{}
+			inTypes, err := c.compile(srt.Child, cp)
+			if err != nil {
+				return nil, err
+			}
+			sink := NewTopNSink(srt.Keys, inTypes, t.N, t.Offset)
+			cp.Sink = sink
+			cp.Label = appendLabel(cp.Label, fmt.Sprintf("topn(%d)", t.N))
+			c.register(cp)
+
+			p.Source = NewSinkSource(sink, inTypes)
+			p.Deps = append(p.Deps, cp.ID)
+			p.Label = appendLabel(p.Label, "scan(topn)")
+			return inTypes, nil
+		}
+		// Standalone limit: materialize the child with a row cap.
+		cp := &Pipeline{}
+		inTypes, err := c.compile(t.Child, cp)
+		if err != nil {
+			return nil, err
+		}
+		sink := NewCollectorSink(inTypes, t.Offset+t.N)
+		sink.OffsetRows = t.Offset
+		cp.Sink = sink
+		cp.Label = appendLabel(cp.Label, fmt.Sprintf("limit(%d)", t.N))
+		c.register(cp)
+
+		p.Source = NewSinkSource(sink, inTypes)
+		p.Deps = append(p.Deps, cp.ID)
+		p.Label = appendLabel(p.Label, "scan(limit)")
+		return inTypes, nil
+
+	case *plan.UnionAll:
+		var sinks []BufferedSink
+		var types []vector.Type
+		for i, in := range t.Inputs {
+			cp := &Pipeline{}
+			it, err := c.compile(in, cp)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				types = it
+			}
+			sink := NewCollectorSink(it, -1)
+			cp.Sink = sink
+			cp.Label = appendLabel(cp.Label, fmt.Sprintf("union-input(%d)", i))
+			c.register(cp)
+			sinks = append(sinks, sink)
+			p.Deps = append(p.Deps, cp.ID)
+		}
+		p.Source = NewUnionSource(sinks, types)
+		p.Label = appendLabel(p.Label, "scan(union)")
+		return types, nil
+
+	default:
+		return nil, fmt.Errorf("engine: cannot compile %T", n)
+	}
+}
+
+func appendLabel(cur, add string) string {
+	if cur == "" {
+		return add
+	}
+	return cur + "->" + add
+}

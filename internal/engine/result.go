@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// ResultSet is a fully materialized query result.
+type ResultSet struct {
+	Schema *catalog.Schema
+	Buf    *RowBuffer
+}
+
+// NumRows returns the row count.
+func (r *ResultSet) NumRows() int64 { return r.Buf.Rows() }
+
+// Row returns the boxed values of row i.
+func (r *ResultSet) Row(i int64) []vector.Value { return r.Buf.Row(i) }
+
+// Rows materializes all rows as boxed values.
+func (r *ResultSet) Rows() [][]vector.Value {
+	out := make([][]vector.Value, r.NumRows())
+	for i := int64(0); i < r.NumRows(); i++ {
+		out[i] = r.Row(i)
+	}
+	return out
+}
+
+// SortedKey returns a canonical multiset key of the result, independent of
+// row order; used to compare results across worker counts and resumes.
+func (r *ResultSet) SortedKey() string {
+	rows := make([]string, r.NumRows())
+	for i := int64(0); i < r.NumRows(); i++ {
+		vals := r.Row(i)
+		parts := make([]string, len(vals))
+		for j, v := range vals {
+			if v.Type == vector.TypeFloat64 && !v.Null {
+				// Six significant digits: tolerant of float summation-order
+				// differences across worker counts and resumes.
+				parts[j] = fmt.Sprintf("%.6g", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// String renders the result as an aligned table (up to maxRows rows).
+func (r *ResultSet) String() string {
+	return r.Format(50)
+}
+
+// Format renders up to maxRows rows as an aligned text table.
+func (r *ResultSet) Format(maxRows int64) string {
+	var b strings.Builder
+	names := r.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	n := r.NumRows()
+	if n > maxRows {
+		n = maxRows
+	}
+	cells := make([][]string, n)
+	for i := int64(0); i < n; i++ {
+		row := r.Row(i)
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			if v.Type == vector.TypeFloat64 && !v.Null {
+				s = fmt.Sprintf("%.2f", v.F)
+			}
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	for j, name := range names {
+		fmt.Fprintf(&b, "%-*s  ", widths[j], name)
+	}
+	b.WriteString("\n")
+	for i := range cells {
+		for j := range cells[i] {
+			fmt.Fprintf(&b, "%-*s  ", widths[j], cells[i][j])
+		}
+		b.WriteString("\n")
+	}
+	if r.NumRows() > maxRows {
+		fmt.Fprintf(&b, "... (%d rows total)\n", r.NumRows())
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+// Package engine implements Riveter's push-based, morsel-driven pipeline
+// execution engine — the DuckDB-style substrate the paper's pipeline-level
+// suspension strategy is built on.
+//
+// A physical plan is a DAG of pipelines split at pipeline breakers (hash-join
+// build, hash aggregate, sort/top-N, materialization). Each pipeline runs as
+// N workers pulling row-range morsels from its source through a chain of
+// streaming operators into a sink; every worker owns a local sink state, and
+// at pipeline completion the local states are combined into the sink's global
+// state and finalized. The engine exposes exactly the two suspension hooks
+// the paper needs: after every pipeline finalize (pipeline-level) and at
+// every morsel boundary (process-level).
+package engine
+
+import (
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// RowBuffer is a chunked, append-only row store used by sink states: hash
+// join build sides, sort inputs, and materialized results.
+type RowBuffer struct {
+	types  []vector.Type
+	chunks []*vector.Chunk
+	rows   int64
+}
+
+// NewRowBuffer returns an empty buffer for rows of the given column types.
+func NewRowBuffer(types []vector.Type) *RowBuffer {
+	return &RowBuffer{types: types}
+}
+
+// Types returns the column types.
+func (b *RowBuffer) Types() []vector.Type { return b.types }
+
+// Rows returns the number of buffered rows.
+func (b *RowBuffer) Rows() int64 { return b.rows }
+
+// NumChunks returns the number of chunks.
+func (b *RowBuffer) NumChunks() int { return len(b.chunks) }
+
+// Chunk returns chunk i.
+func (b *RowBuffer) Chunk(i int) *vector.Chunk { return b.chunks[i] }
+
+func (b *RowBuffer) tail() *vector.Chunk {
+	if len(b.chunks) == 0 || b.chunks[len(b.chunks)-1].Full() {
+		b.chunks = append(b.chunks, vector.NewChunk(b.types))
+	}
+	return b.chunks[len(b.chunks)-1]
+}
+
+// AppendChunk appends all rows of c.
+func (b *RowBuffer) AppendChunk(c *vector.Chunk) {
+	for i := 0; i < c.Len(); i++ {
+		b.tail().AppendRowFrom(c, i)
+	}
+	b.rows += int64(c.Len())
+}
+
+// AppendRowFrom appends row i of c.
+func (b *RowBuffer) AppendRowFrom(c *vector.Chunk, i int) {
+	b.tail().AppendRowFrom(c, i)
+	b.rows++
+}
+
+// AppendRowValues appends one boxed row.
+func (b *RowBuffer) AppendRowValues(vals ...vector.Value) {
+	b.tail().AppendRowValues(vals...)
+	b.rows++
+}
+
+// Row returns the boxed values of global row index r.
+func (b *RowBuffer) Row(r int64) []vector.Value {
+	ci, ri := int(r/vector.ChunkCapacity), int(r%vector.ChunkCapacity)
+	return b.chunks[ci].Row(ri)
+}
+
+// Locate maps a global row index to (chunk, row-in-chunk).
+func (b *RowBuffer) Locate(r int64) (ci, ri int) {
+	return int(r / vector.ChunkCapacity), int(r % vector.ChunkCapacity)
+}
+
+// Value returns the boxed value at (row, col).
+func (b *RowBuffer) Value(r int64, col int) vector.Value {
+	ci, ri := b.Locate(r)
+	return b.chunks[ci].Col(col).Value(ri)
+}
+
+// Concat appends all rows of other (which must share types).
+func (b *RowBuffer) Concat(other *RowBuffer) {
+	for _, c := range other.chunks {
+		b.AppendChunk(c)
+	}
+}
+
+// MemBytes estimates the resident size of the buffer.
+func (b *RowBuffer) MemBytes() int64 {
+	var n int64
+	for _, c := range b.chunks {
+		n += c.MemBytes()
+	}
+	return n
+}
+
+// Save serializes the buffer.
+func (b *RowBuffer) Save(enc *vector.Encoder) {
+	enc.Uvarint(uint64(len(b.types)))
+	for _, t := range b.types {
+		enc.Uvarint(uint64(t))
+	}
+	enc.Uvarint(uint64(len(b.chunks)))
+	for _, c := range b.chunks {
+		enc.Chunk(c)
+	}
+}
+
+// LoadRowBuffer deserializes a buffer written by Save.
+func LoadRowBuffer(dec *vector.Decoder) (*RowBuffer, error) {
+	nt := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	types := make([]vector.Type, nt)
+	for i := range types {
+		types[i] = vector.Type(dec.Uvarint())
+	}
+	nc := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	b := NewRowBuffer(types)
+	for i := 0; i < nc; i++ {
+		c := dec.Chunk()
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+		b.chunks = append(b.chunks, c)
+		b.rows += int64(c.Len())
+	}
+	return b, dec.Err()
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// MorselRows is the number of rows claimed by a worker per morsel. One morsel
+// is the granularity of both work stealing and process-level suspension.
+const MorselRows = vector.ChunkCapacity
+
+// Source produces the morsels of a pipeline. Implementations must be safe
+// for concurrent ReadMorsel calls with distinct destination chunks.
+type Source interface {
+	// MorselCount returns the total number of morsels. It is only called
+	// after the source's dependency pipelines have finalized.
+	MorselCount() int64
+	// ReadMorsel fills dst with the rows of morsel idx and returns the row
+	// count (0 at the end of ragged inputs).
+	ReadMorsel(idx int64, dst *vector.Chunk) (int, error)
+	// OutTypes returns the column types the source produces.
+	OutTypes() []vector.Type
+}
+
+// TableSource scans a base table with column projection.
+type TableSource struct {
+	table *catalog.Table
+	proj  []int
+	types []vector.Type
+}
+
+// NewTableSource builds a table scan source.
+func NewTableSource(t *catalog.Table, proj []int) *TableSource {
+	types := make([]vector.Type, len(proj))
+	for i, j := range proj {
+		types[i] = t.Schema().Columns[j].Type
+	}
+	return &TableSource{table: t, proj: proj, types: types}
+}
+
+// MorselCount implements Source.
+func (s *TableSource) MorselCount() int64 {
+	return (s.table.NumRows() + MorselRows - 1) / MorselRows
+}
+
+// ReadMorsel implements Source.
+func (s *TableSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
+	n := s.table.ScanInto(dst, idx*MorselRows, MorselRows, s.proj)
+	return n, nil
+}
+
+// OutTypes implements Source.
+func (s *TableSource) OutTypes() []vector.Type { return s.types }
+
+// BufferedSink is implemented by sinks whose finalized global state is a
+// row buffer scannable by downstream pipelines (aggregates, sorts,
+// collectors). The hash-join build sink is not buffered: probes address it
+// directly.
+type BufferedSink interface {
+	Sink
+	// Buffer returns the finalized output rows. Only valid after Finalize.
+	Buffer() *RowBuffer
+}
+
+// SinkSource scans the finalized buffer of an upstream pipeline's sink.
+type SinkSource struct {
+	sink  BufferedSink
+	types []vector.Type
+}
+
+// NewSinkSource builds a source over a buffered sink.
+func NewSinkSource(sink BufferedSink, types []vector.Type) *SinkSource {
+	return &SinkSource{sink: sink, types: types}
+}
+
+// MorselCount implements Source.
+func (s *SinkSource) MorselCount() int64 { return int64(s.sink.Buffer().NumChunks()) }
+
+// ReadMorsel implements Source.
+func (s *SinkSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
+	buf := s.sink.Buffer()
+	if idx >= int64(buf.NumChunks()) {
+		return 0, nil
+	}
+	src := buf.Chunk(int(idx))
+	dst.Reset()
+	for i := 0; i < src.Len(); i++ {
+		dst.AppendRowFrom(src, i)
+	}
+	return src.Len(), nil
+}
+
+// OutTypes implements Source.
+func (s *SinkSource) OutTypes() []vector.Type { return s.types }
+
+// UnionSource concatenates the finalized buffers of several upstream sinks.
+type UnionSource struct {
+	sinks []BufferedSink
+	types []vector.Type
+}
+
+// NewUnionSource builds a source over multiple buffered sinks.
+func NewUnionSource(sinks []BufferedSink, types []vector.Type) *UnionSource {
+	return &UnionSource{sinks: sinks, types: types}
+}
+
+// MorselCount implements Source.
+func (s *UnionSource) MorselCount() int64 {
+	var n int64
+	for _, sk := range s.sinks {
+		n += int64(sk.Buffer().NumChunks())
+	}
+	return n
+}
+
+// ReadMorsel implements Source.
+func (s *UnionSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
+	for _, sk := range s.sinks {
+		buf := sk.Buffer()
+		if idx < int64(buf.NumChunks()) {
+			src := buf.Chunk(int(idx))
+			dst.Reset()
+			for i := 0; i < src.Len(); i++ {
+				dst.AppendRowFrom(src, i)
+			}
+			return src.Len(), nil
+		}
+		idx -= int64(buf.NumChunks())
+	}
+	return 0, fmt.Errorf("union source: morsel index out of range")
+}
+
+// OutTypes implements Source.
+func (s *UnionSource) OutTypes() []vector.Type { return s.types }

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Executor state serialization: the payload of both checkpoint flavors.
+//
+// Pipeline-level checkpoints persist the finalized global sink states that
+// pending pipelines still consume, plus the pipeline progress bitmap.
+// Process-level checkpoints additionally persist the interrupted pipeline's
+// morsel cursor and every worker's local sink state — the full execution
+// context, as a CRIU dump would.
+
+const (
+	stateMagic   = "RVST"
+	stateVersion = 1
+)
+
+// SaveState serializes the executor's suspension state. Must be called only
+// after Run returned ErrSuspended (or before Run for a cold checkpoint).
+func (ex *Executor) SaveState(enc *vector.Encoder) error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	kind := KindPipeline
+	cursor := int64(0)
+	next := ex.current
+	if ex.suspended != nil {
+		kind = ex.suspended.Kind
+		cursor = ex.suspended.Cursor
+		next = ex.suspended.Pipeline
+	}
+	return ex.saveStateLocked(enc, kind, next, cursor, ex.locals)
+}
+
+func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind, next int, cursor int64, locals []LocalState) error {
+	enc.String(stateMagic)
+	enc.Uvarint(stateVersion)
+	enc.Uvarint(uint64(kind))
+	enc.Uvarint(ex.pp.Fingerprint)
+	enc.Uvarint(uint64(ex.opts.Workers))
+	enc.Varint(int64(ex.elapsed))
+	enc.Varint(int64(ex.pipeElapsed))
+	enc.Varint(ex.acct.ProcessedBytes())
+	enc.Uvarint(uint64(len(ex.pp.Pipelines)))
+	for i := range ex.pp.Pipelines {
+		enc.Bool(ex.done[i])
+		if ex.done[i] {
+			enc.Varint(int64(ex.pipeTimes[i]))
+		}
+	}
+	enc.Uvarint(uint64(next))
+	enc.Uvarint(uint64(cursor))
+
+	live := ex.livePipes(next)
+	enc.Uvarint(uint64(len(live)))
+	for _, pi := range live {
+		enc.Uvarint(uint64(pi))
+		if err := ex.pp.Pipelines[pi].Sink.SaveGlobal(enc); err != nil {
+			return err
+		}
+	}
+
+	if kind == KindProcess {
+		enc.Uvarint(uint64(len(locals)))
+		sink := ex.pp.Pipelines[next].Sink
+		for _, ls := range locals {
+			if err := sink.SaveLocal(ls, enc); err != nil {
+				return err
+			}
+		}
+	}
+	return enc.Err()
+}
+
+// livePipes returns done pipelines whose sink state is still consumed
+// by a pipeline that has not finished (including the interrupted one).
+func (ex *Executor) livePipes(next int) []int {
+	needed := map[int]bool{}
+	for qi := next; qi < len(ex.pp.Pipelines); qi++ {
+		if qi < len(ex.done) && ex.done[qi] {
+			continue
+		}
+		for _, dep := range ex.pp.Pipelines[qi].Deps {
+			if ex.done[dep] {
+				needed[dep] = true
+			}
+		}
+	}
+	live := make([]int, 0, len(needed))
+	for pi := 0; pi < len(ex.pp.Pipelines); pi++ {
+		if needed[pi] {
+			live = append(live, pi)
+		}
+	}
+	return live
+}
+
+// LoadState restores a suspension state into a freshly built executor over
+// the same physical plan. After LoadState, Run continues the query.
+func (ex *Executor) LoadState(dec *vector.Decoder) error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.ranAlready {
+		return fmt.Errorf("engine: LoadState on a used executor")
+	}
+	if m := dec.String(); m != stateMagic {
+		return fmt.Errorf("engine: bad state magic %q", m)
+	}
+	if v := dec.Uvarint(); v != stateVersion {
+		return fmt.Errorf("engine: unsupported state version %d", v)
+	}
+	kind := SuspendKind(dec.Uvarint())
+	fp := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if fp != ex.pp.Fingerprint {
+		return fmt.Errorf("engine: checkpoint plan fingerprint %016x does not match plan %016x", fp, ex.pp.Fingerprint)
+	}
+	workers := int(dec.Uvarint())
+	if kind == KindProcess && workers != ex.opts.Workers {
+		// The paper's process-level strategy "requires identical resource
+		// configurations ... as were in use at the time of suspension".
+		return fmt.Errorf("engine: process-level resume requires %d workers, executor has %d", workers, ex.opts.Workers)
+	}
+	ex.elapsed = time.Duration(dec.Varint())
+	ex.pipeElapsed = time.Duration(dec.Varint())
+	ex.acct.SetProcessed(dec.Varint())
+	np := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if np != len(ex.pp.Pipelines) {
+		return fmt.Errorf("engine: checkpoint has %d pipelines, plan has %d", np, len(ex.pp.Pipelines))
+	}
+	for i := 0; i < np; i++ {
+		ex.done[i] = dec.Bool()
+		if ex.done[i] {
+			ex.pipeTimes[i] = time.Duration(dec.Varint())
+		}
+	}
+	next := int(dec.Uvarint())
+	cursor := int64(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if next < 0 || next > np {
+		return fmt.Errorf("engine: checkpoint next pipeline %d out of range", next)
+	}
+
+	nLive := int(dec.Uvarint())
+	for i := 0; i < nLive; i++ {
+		pi := int(dec.Uvarint())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if pi < 0 || pi >= np {
+			return fmt.Errorf("engine: checkpoint live pipeline %d out of range", pi)
+		}
+		if err := ex.pp.Pipelines[pi].Sink.LoadGlobal(dec); err != nil {
+			return fmt.Errorf("engine: load global state of pipeline %d: %w", pi, err)
+		}
+	}
+
+	ex.current = next
+	ex.cursor = 0
+	ex.locals = nil
+	if kind == KindProcess {
+		nl := int(dec.Uvarint())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if nl != ex.opts.Workers {
+			return fmt.Errorf("engine: checkpoint has %d worker locals, executor has %d workers", nl, ex.opts.Workers)
+		}
+		sink := ex.pp.Pipelines[next].Sink
+		locals := make([]LocalState, nl)
+		for w := 0; w < nl; w++ {
+			ls, err := sink.LoadLocal(dec)
+			if err != nil {
+				return fmt.Errorf("engine: load local state %d: %w", w, err)
+			}
+			locals[w] = ls
+		}
+		ex.locals = locals
+		ex.cursor = cursor
+	}
+	return dec.Err()
+}
+
+// countingWriter counts bytes written.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)
+
+// measureState serializes a hypothetical checkpoint of the given kind
+// to a counting writer and returns its size in bytes.
+func (ex *Executor) measureState(kind SuspendKind, next int) int64 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	var cw countingWriter
+	enc := vector.NewEncoder(&cw)
+	_ = ex.saveStateLocked(enc, kind, next, ex.cursor, ex.locals)
+	return cw.n
+}
+
+// MeasureSuspendedStateBytes returns the serialized size of the actual
+// suspension capture (after Run returned ErrSuspended).
+func (ex *Executor) MeasureSuspendedStateBytes() int64 {
+	ex.mu.Lock()
+	s := ex.suspended
+	ex.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return ex.measureState(s.Kind, s.Pipeline)
+}
+
+// ProcessImagePadding returns the number of padding bytes a process-level
+// checkpoint must append so the persisted image matches the modeled resident
+// process size (the CRIU dump includes non-deallocated memory that our
+// serialized live state does not).
+func (ex *Executor) ProcessImagePadding(serialized int64) int64 {
+	img := ex.acct.ImageBytes(ex.liveStateBytes())
+	if img <= serialized {
+		return 0
+	}
+	return img - serialized
+}

@@ -1,0 +1,121 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var arithNames = [...]string{"+", "-", "*", "/"}
+
+// String returns the operator symbol.
+func (op ArithOp) String() string { return arithNames[op] }
+
+// Arith is a binary arithmetic expression over numeric operands.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+	typ  vector.Type
+}
+
+func newArith(op ArithOp, l, r Expr) Expr {
+	pl, pr, t, err := promote(l, r)
+	if err != nil {
+		panic(fmt.Sprintf("arith %v: %v", op, err))
+	}
+	if op == OpDiv {
+		// SQL division over integers is performed in the double domain here;
+		// TPC-H arithmetic is decimal either way.
+		pl, pr, t = ToFloat(pl), ToFloat(pr), vector.TypeFloat64
+	}
+	return &Arith{Op: op, L: pl, R: pr, typ: t}
+}
+
+// Add returns l + r with numeric promotion.
+func Add(l, r Expr) Expr { return newArith(OpAdd, l, r) }
+
+// Sub returns l - r with numeric promotion.
+func Sub(l, r Expr) Expr { return newArith(OpSub, l, r) }
+
+// Mul returns l * r with numeric promotion.
+func Mul(l, r Expr) Expr { return newArith(OpMul, l, r) }
+
+// Div returns l / r evaluated in the double domain.
+func Div(l, r Expr) Expr { return newArith(OpDiv, l, r) }
+
+// Type implements Expr.
+func (a *Arith) Type() vector.Type { return a.typ }
+
+// String implements Expr.
+func (a *Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// Eval implements Expr.
+func (a *Arith) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	lv, err := a.L.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := a.R.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.Len()
+	out := vector.New(a.typ, n)
+	anyNull := lv.HasNulls() || rv.HasNulls()
+	switch a.typ {
+	case vector.TypeInt64, vector.TypeDate:
+		ls, rs := lv.Int64s(), rv.Int64s()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			switch a.Op {
+			case OpAdd:
+				out.AppendInt64(ls[i] + rs[i])
+			case OpSub:
+				out.AppendInt64(ls[i] - rs[i])
+			case OpMul:
+				out.AppendInt64(ls[i] * rs[i])
+			default:
+				return nil, fmt.Errorf("integer division must have been promoted")
+			}
+		}
+	case vector.TypeFloat64:
+		ls, rs := lv.Float64s(), rv.Float64s()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			switch a.Op {
+			case OpAdd:
+				out.AppendFloat64(ls[i] + rs[i])
+			case OpSub:
+				out.AppendFloat64(ls[i] - rs[i])
+			case OpMul:
+				out.AppendFloat64(ls[i] * rs[i])
+			case OpDiv:
+				if rs[i] == 0 {
+					out.AppendNull() // SQL: division by zero -> NULL in our engine
+				} else {
+					out.AppendFloat64(ls[i] / rs[i])
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("arith over non-numeric type %v", a.typ)
+	}
+	return out, nil
+}

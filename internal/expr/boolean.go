@@ -1,0 +1,174 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// AndExpr is an n-ary conjunction with SQL three-valued logic.
+type AndExpr struct {
+	Args []Expr
+}
+
+// And returns the conjunction of the arguments (flattening nested ANDs).
+func And(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if inner, ok := a.(*AndExpr); ok {
+			flat = append(flat, inner.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &AndExpr{Args: flat}
+}
+
+// Type implements Expr.
+func (a *AndExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (a *AndExpr) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Eval implements Expr.
+func (a *AndExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	return evalConnective(a.Args, c, true)
+}
+
+// OrExpr is an n-ary disjunction with SQL three-valued logic.
+type OrExpr struct {
+	Args []Expr
+}
+
+// Or returns the disjunction of the arguments (flattening nested ORs).
+func Or(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if inner, ok := a.(*OrExpr); ok {
+			flat = append(flat, inner.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &OrExpr{Args: flat}
+}
+
+// Type implements Expr.
+func (o *OrExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (o *OrExpr) String() string {
+	parts := make([]string, len(o.Args))
+	for i, e := range o.Args {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Eval implements Expr.
+func (o *OrExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	return evalConnective(o.Args, c, false)
+}
+
+// evalConnective implements three-valued AND (isAnd) / OR (!isAnd):
+// state per row is true/false/null, folded across arguments.
+func evalConnective(args []Expr, c *vector.Chunk, isAnd bool) (*vector.Vector, error) {
+	n := c.Len()
+	vals := make([]bool, n)
+	nulls := make([]bool, n)
+	for i := range vals {
+		vals[i] = isAnd // identity element: AND starts true, OR starts false
+	}
+	for _, arg := range args {
+		if arg.Type() != vector.TypeBool {
+			return nil, fmt.Errorf("boolean connective over %v", arg.Type())
+		}
+		av, err := arg.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		bs := av.Bools()
+		for i := 0; i < n; i++ {
+			argNull := av.IsNull(i)
+			argVal := !argNull && bs[i]
+			if isAnd {
+				// false AND x = false; null AND true = null
+				switch {
+				case !nulls[i] && !vals[i]:
+					// already false; stays false
+				case argNull:
+					nulls[i] = true
+				case !argVal:
+					vals[i], nulls[i] = false, false
+				}
+			} else {
+				switch {
+				case !nulls[i] && vals[i]:
+					// already true; stays true
+				case argNull:
+					nulls[i] = true
+				case argVal:
+					vals[i], nulls[i] = true, false
+				}
+			}
+		}
+	}
+	out := vector.New(vector.TypeBool, n)
+	for i := 0; i < n; i++ {
+		if nulls[i] {
+			out.AppendNull()
+		} else {
+			out.AppendBool(vals[i])
+		}
+	}
+	return out, nil
+}
+
+// NotExpr negates a boolean expression (NULL stays NULL).
+type NotExpr struct {
+	In Expr
+}
+
+// Not returns NOT e.
+func Not(e Expr) Expr { return &NotExpr{In: e} }
+
+// Type implements Expr.
+func (nx *NotExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (nx *NotExpr) String() string { return fmt.Sprintf("NOT %s", nx.In) }
+
+// Eval implements Expr.
+func (nx *NotExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := nx.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if av.Type() != vector.TypeBool {
+		return nil, fmt.Errorf("NOT over %v", av.Type())
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeBool, n)
+	bs := av.Bools()
+	for i := 0; i < n; i++ {
+		if av.IsNull(i) {
+			out.AppendNull()
+		} else {
+			out.AppendBool(!bs[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var cmpNames = [...]string{"=", "<>", "<", "<=", ">", ">="}
+
+// String returns the operator symbol.
+func (op CmpOp) String() string { return cmpNames[op] }
+
+// matches reports whether a three-way comparison result satisfies the op.
+func (op CmpOp) matches(c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// Compare is a binary comparison yielding BOOLEAN (NULL if either side is).
+type Compare struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func newCompare(op CmpOp, l, r Expr) Expr {
+	pl, pr, _, err := promote(l, r)
+	if err != nil {
+		panic(fmt.Sprintf("compare %v: %v", op, err))
+	}
+	return &Compare{Op: op, L: pl, R: pr}
+}
+
+// Eq returns l = r.
+func Eq(l, r Expr) Expr { return newCompare(OpEq, l, r) }
+
+// Ne returns l <> r.
+func Ne(l, r Expr) Expr { return newCompare(OpNe, l, r) }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return newCompare(OpLt, l, r) }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return newCompare(OpLe, l, r) }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return newCompare(OpGt, l, r) }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return newCompare(OpGe, l, r) }
+
+// Between returns low <= e AND e <= high.
+func Between(e, low, high Expr) Expr { return And(Ge(e, low), Le(e, high)) }
+
+// Type implements Expr.
+func (cmp *Compare) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (cmp *Compare) String() string { return fmt.Sprintf("(%s %s %s)", cmp.L, cmp.Op, cmp.R) }
+
+// Eval implements Expr.
+func (cmp *Compare) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	lv, err := cmp.L.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := cmp.R.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Type() != rv.Type() {
+		// DATE vs BIGINT share int64 representation; anything else is a bug.
+		lOK := lv.Type() == vector.TypeInt64 || lv.Type() == vector.TypeDate
+		rOK := rv.Type() == vector.TypeInt64 || rv.Type() == vector.TypeDate
+		if !lOK || !rOK {
+			return nil, fmt.Errorf("compare type mismatch: %v vs %v", lv.Type(), rv.Type())
+		}
+	}
+	n := lv.Len()
+	out := vector.New(vector.TypeBool, n)
+	anyNull := lv.HasNulls() || rv.HasNulls()
+	appendCmp := func(i, c3 int) {
+		_ = i
+		out.AppendBool(cmp.Op.matches(c3))
+	}
+	switch lv.Type() {
+	case vector.TypeInt64, vector.TypeDate:
+		ls, rs := lv.Int64s(), rv.Int64s()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			appendCmp(i, cmp3Int(ls[i], rs[i]))
+		}
+	case vector.TypeFloat64:
+		ls, rs := lv.Float64s(), rv.Float64s()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			appendCmp(i, cmp3Float(ls[i], rs[i]))
+		}
+	case vector.TypeString:
+		ls, rs := lv.Strings(), rv.Strings()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			appendCmp(i, cmp3Str(ls[i], rs[i]))
+		}
+	case vector.TypeBool:
+		ls, rs := lv.Bools(), rv.Bools()
+		for i := 0; i < n; i++ {
+			if anyNull && (lv.IsNull(i) || rv.IsNull(i)) {
+				out.AppendNull()
+				continue
+			}
+			appendCmp(i, cmp3Bool(ls[i], rs[i]))
+		}
+	default:
+		return nil, fmt.Errorf("compare over unsupported type %v", lv.Type())
+	}
+	return out, nil
+}
+
+func cmp3Int(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp3Float(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp3Str(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp3Bool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}

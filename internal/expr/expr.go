@@ -1,0 +1,168 @@
+// Package expr implements typed scalar expression trees and their vectorized
+// evaluation over data chunks. Expressions are bound at construction time:
+// every node knows its result type, and numeric type promotion (BIGINT ->
+// DOUBLE) is inserted eagerly by the constructor helpers.
+//
+// NULL semantics follow SQL: comparisons and arithmetic over NULL yield NULL,
+// and filters treat NULL as false. Expression String() forms are
+// deterministic and feed the plan fingerprint used to validate checkpoints.
+package expr
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Expr is a scalar expression evaluable over a chunk.
+type Expr interface {
+	// Type returns the statically known result type.
+	Type() vector.Type
+	// Eval evaluates the expression over every row of the chunk.
+	Eval(c *vector.Chunk) (*vector.Vector, error)
+	// String renders a deterministic form used for plan fingerprints.
+	String() string
+}
+
+// Column references an input column by position.
+type Column struct {
+	Index int
+	Typ   vector.Type
+	Name  string // display only; not part of semantics
+}
+
+// Col returns a column reference expression.
+func Col(index int, t vector.Type) *Column { return &Column{Index: index, Typ: t} }
+
+// NamedCol returns a column reference that prints with a name.
+func NamedCol(index int, t vector.Type, name string) *Column {
+	return &Column{Index: index, Typ: t, Name: name}
+}
+
+// Type implements Expr.
+func (c *Column) Type() vector.Type { return c.Typ }
+
+// Eval implements Expr.
+func (c *Column) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	if c.Index < 0 || c.Index >= in.NumCols() {
+		return nil, fmt.Errorf("column index %d out of range (%d cols)", c.Index, in.NumCols())
+	}
+	v := in.Col(c.Index)
+	if v.Type() != c.Typ {
+		return nil, fmt.Errorf("column %d: bound type %v but chunk has %v", c.Index, c.Typ, v.Type())
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (c *Column) String() string { return fmt.Sprintf("#%d:%v", c.Index, c.Typ) }
+
+// Const is a literal value.
+type Const struct {
+	Val vector.Value
+}
+
+// Lit returns a literal expression.
+func Lit(v vector.Value) *Const { return &Const{Val: v} }
+
+// Int returns a BIGINT literal.
+func Int(v int64) *Const { return Lit(vector.NewInt64(v)) }
+
+// Float returns a DOUBLE literal.
+func Float(v float64) *Const { return Lit(vector.NewFloat64(v)) }
+
+// Str returns a VARCHAR literal.
+func Str(v string) *Const { return Lit(vector.NewString(v)) }
+
+// Date returns a DATE literal from a YYYY-MM-DD string.
+func Date(s string) *Const { return Lit(vector.NewDate(vector.MustParseDate(s))) }
+
+// Type implements Expr.
+func (l *Const) Type() vector.Type { return l.Val.Type }
+
+// Eval implements Expr.
+func (l *Const) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	n := in.Len()
+	v := vector.New(l.Val.Type, n)
+	for i := 0; i < n; i++ {
+		v.AppendValue(l.Val)
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (l *Const) String() string { return fmt.Sprintf("%v[%v]", l.Val, l.Val.Type) }
+
+// Cast converts BIGINT/DATE to DOUBLE (the only implicit conversion the
+// engine needs; TPC-H mixes integer quantities with decimal arithmetic).
+type Cast struct {
+	In Expr
+	To vector.Type
+}
+
+// ToFloat wraps e in a cast to DOUBLE if it is not already one.
+func ToFloat(e Expr) Expr {
+	if e.Type() == vector.TypeFloat64 {
+		return e
+	}
+	return &Cast{In: e, To: vector.TypeFloat64}
+}
+
+// Type implements Expr.
+func (c *Cast) Type() vector.Type { return c.To }
+
+// Eval implements Expr.
+func (c *Cast) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	src, err := c.In.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	if src.Type() == c.To {
+		return src, nil
+	}
+	n := src.Len()
+	out := vector.New(c.To, n)
+	switch {
+	case c.To == vector.TypeFloat64 && (src.Type() == vector.TypeInt64 || src.Type() == vector.TypeDate):
+		ints := src.Int64s()
+		for i := 0; i < n; i++ {
+			if src.IsNull(i) {
+				out.AppendNull()
+			} else {
+				out.AppendFloat64(float64(ints[i]))
+			}
+		}
+	case c.To == vector.TypeInt64 && src.Type() == vector.TypeFloat64:
+		fs := src.Float64s()
+		for i := 0; i < n; i++ {
+			if src.IsNull(i) {
+				out.AppendNull()
+			} else {
+				out.AppendInt64(int64(fs[i]))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unsupported cast %v -> %v", src.Type(), c.To)
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (c *Cast) String() string { return fmt.Sprintf("cast(%s as %v)", c.In, c.To) }
+
+// promote returns both expressions cast to a common numeric type.
+func promote(l, r Expr) (Expr, Expr, vector.Type, error) {
+	lt, rt := l.Type(), r.Type()
+	if lt == rt {
+		return l, r, lt, nil
+	}
+	if lt.Numeric() && rt.Numeric() {
+		// DATE +- BIGINT stays in the int64 domain; mixing with DOUBLE promotes.
+		if lt == vector.TypeFloat64 || rt == vector.TypeFloat64 {
+			return ToFloat(l), ToFloat(r), vector.TypeFloat64, nil
+		}
+		// DATE with BIGINT: keep int64 representation.
+		return l, r, vector.TypeInt64, nil
+	}
+	return nil, nil, vector.TypeInvalid, fmt.Errorf("incompatible types %v and %v", lt, rt)
+}

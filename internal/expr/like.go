@@ -1,0 +1,92 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// LikeExpr matches a string expression against a SQL LIKE pattern with the
+// wildcards % (any run, including empty) and _ (exactly one byte).
+type LikeExpr struct {
+	In      Expr
+	Pattern string
+	Negate  bool
+}
+
+// Like returns in LIKE pattern.
+func Like(in Expr, pattern string) Expr { return &LikeExpr{In: in, Pattern: pattern} }
+
+// NotLike returns in NOT LIKE pattern.
+func NotLike(in Expr, pattern string) Expr {
+	return &LikeExpr{In: in, Pattern: pattern, Negate: true}
+}
+
+// Type implements Expr.
+func (l *LikeExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (l *LikeExpr) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s %q)", l.In, op, l.Pattern)
+}
+
+// Eval implements Expr.
+func (l *LikeExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := l.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if av.Type() != vector.TypeString {
+		return nil, fmt.Errorf("LIKE over %v", av.Type())
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeBool, n)
+	ss := av.Strings()
+	for i := 0; i < n; i++ {
+		if av.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		m := LikeMatch(ss[i], l.Pattern)
+		if l.Negate {
+			m = !m
+		}
+		out.AppendBool(m)
+	}
+	return out, nil
+}
+
+// LikeMatch reports whether s matches the SQL LIKE pattern. It uses the
+// classic greedy two-pointer wildcard algorithm: on mismatch after a %, the
+// match restarts one byte later at the remembered % position, giving O(n*m)
+// worst case and O(n) for typical patterns.
+func LikeMatch(s, pattern string) bool {
+	var (
+		si, pi         int
+		starPi, starSi = -1, 0
+	)
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starPi, starSi = pi, si
+			pi++
+		case starPi >= 0:
+			pi = starPi + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

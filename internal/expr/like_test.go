@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+func TestLikeMatchTable(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "ab", false},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "%d%", false},
+		{"PROMO BURNISHED", "PROMO%", true},
+		{"STANDARD BURNISHED", "PROMO%", false},
+		{"MEDIUM POLISHED BRASS", "%BRASS", true},
+		{"forest green metallic", "%green%", true},
+		{"special packages with requests", "%special%requests%", true},
+		{"special packages", "%special%requests%", false},
+		{"aXbXc", "a%b%c", true},
+		{"abc", "a%b%c%", true},
+		{"aaa", "a%a", true},
+		{"ab", "a__", false},
+		{"ab", "__", true},
+		{"x", "%%", true},
+		{"mississippi", "%iss%ippi", true},
+		{"mississippi", "%iss%issippi", true},
+	}
+	for _, tc := range cases {
+		if got := LikeMatch(tc.s, tc.p); got != tc.want {
+			t.Errorf("LikeMatch(%q, %q) = %v, want %v", tc.s, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestLikeMatchesRegexpOracle cross-checks the wildcard matcher against a
+// regexp translation over random inputs.
+func TestLikeMatchesRegexpOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("abc%_")
+	for iter := 0; iter < 3000; iter++ {
+		pn, sn := rng.Intn(8), rng.Intn(10)
+		pat := make([]byte, pn)
+		for i := range pat {
+			pat[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := make([]byte, sn)
+		for i := range s {
+			s[i] = alphabet[rng.Intn(3)] // only literal chars in the subject
+		}
+		re := likeToRegexp(string(pat))
+		want := re.MatchString(string(s))
+		if got := LikeMatch(string(s), string(pat)); got != want {
+			t.Fatalf("LikeMatch(%q, %q) = %v, regexp oracle says %v", s, pat, got, want)
+		}
+	}
+}
+
+func likeToRegexp(pattern string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString("^")
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	b.WriteString("$")
+	return regexp.MustCompile(b.String())
+}
+
+func TestLikeExprEval(t *testing.T) {
+	c := vector.NewChunk([]vector.Type{vector.TypeString})
+	c.AppendRowValues(vector.NewString("PROMO PLATED TIN"))
+	c.AppendRowValues(vector.NewString("SMALL ANODIZED"))
+	c.AppendRowValues(vector.NewNull(vector.TypeString))
+
+	v, err := Like(Col(0, vector.TypeString), "PROMO%").Eval(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bools()[0] || v.Bools()[1] || !v.IsNull(2) {
+		t.Error("LIKE eval wrong")
+	}
+	v, err = NotLike(Col(0, vector.TypeString), "PROMO%").Eval(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Bools()[0] || !v.Bools()[1] || !v.IsNull(2) {
+		t.Error("NOT LIKE eval wrong")
+	}
+	// LIKE over a non-string column must fail.
+	ci := vector.NewChunk([]vector.Type{vector.TypeInt64})
+	ci.AppendRowValues(vector.NewInt64(1))
+	if _, err := Like(Col(0, vector.TypeInt64), "%").Eval(ci); err == nil {
+		t.Error("LIKE over BIGINT must fail")
+	}
+}

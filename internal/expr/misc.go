@@ -1,0 +1,342 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// InExpr tests membership of an expression in a list of constants.
+type InExpr struct {
+	In     Expr
+	List   []vector.Value
+	Negate bool
+}
+
+// In returns e IN (vals...).
+func In(e Expr, vals ...vector.Value) Expr { return &InExpr{In: e, List: vals} }
+
+// NotIn returns e NOT IN (vals...).
+func NotIn(e Expr, vals ...vector.Value) Expr { return &InExpr{In: e, List: vals, Negate: true} }
+
+// InStrings returns e IN (strings...).
+func InStrings(e Expr, ss ...string) Expr {
+	vals := make([]vector.Value, len(ss))
+	for i, s := range ss {
+		vals[i] = vector.NewString(s)
+	}
+	return In(e, vals...)
+}
+
+// Type implements Expr.
+func (ix *InExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (ix *InExpr) String() string {
+	parts := make([]string, len(ix.List))
+	for i, v := range ix.List {
+		parts[i] = v.String()
+	}
+	op := "IN"
+	if ix.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s [%s])", ix.In, op, strings.Join(parts, ","))
+}
+
+// Eval implements Expr.
+func (ix *InExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := ix.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeBool, n)
+	for i := 0; i < n; i++ {
+		if av.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		v := av.Value(i)
+		found := false
+		for _, cand := range ix.List {
+			if !cand.Null && cand.Equal(v) {
+				found = true
+				break
+			}
+		}
+		if ix.Negate {
+			found = !found
+		}
+		out.AppendBool(found)
+	}
+	return out, nil
+}
+
+// IsNullExpr tests for SQL NULL.
+type IsNullExpr struct {
+	In     Expr
+	Negate bool
+}
+
+// IsNull returns e IS NULL.
+func IsNull(e Expr) Expr { return &IsNullExpr{In: e} }
+
+// IsNotNull returns e IS NOT NULL.
+func IsNotNull(e Expr) Expr { return &IsNullExpr{In: e, Negate: true} }
+
+// Type implements Expr.
+func (nx *IsNullExpr) Type() vector.Type { return vector.TypeBool }
+
+// String implements Expr.
+func (nx *IsNullExpr) String() string {
+	if nx.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", nx.In)
+	}
+	return fmt.Sprintf("(%s IS NULL)", nx.In)
+}
+
+// Eval implements Expr.
+func (nx *IsNullExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := nx.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeBool, n)
+	for i := 0; i < n; i++ {
+		isNull := av.IsNull(i)
+		if nx.Negate {
+			isNull = !isNull
+		}
+		out.AppendBool(isNull)
+	}
+	return out, nil
+}
+
+// CaseExpr is CASE WHEN cond THEN val ... ELSE else END. Conditions are
+// evaluated in order; NULL conditions count as false.
+type CaseExpr struct {
+	Whens []Expr // boolean
+	Thens []Expr
+	Else  Expr // may be nil -> NULL
+	typ   vector.Type
+}
+
+// Case builds a CASE expression; all THEN/ELSE branches must share a type.
+func Case(whens []Expr, thens []Expr, elseExpr Expr) Expr {
+	if len(whens) == 0 || len(whens) != len(thens) {
+		panic("Case: whens and thens must be non-empty and equal length")
+	}
+	t := thens[0].Type()
+	for _, th := range thens[1:] {
+		if th.Type() != t {
+			panic(fmt.Sprintf("Case: branch type %v != %v", th.Type(), t))
+		}
+	}
+	if elseExpr != nil && elseExpr.Type() != t {
+		panic(fmt.Sprintf("Case: ELSE type %v != %v", elseExpr.Type(), t))
+	}
+	return &CaseExpr{Whens: whens, Thens: thens, Else: elseExpr, typ: t}
+}
+
+// When is a convenience for a single-branch CASE: CASE WHEN cond THEN a ELSE b END.
+func When(cond, then, els Expr) Expr { return Case([]Expr{cond}, []Expr{then}, els) }
+
+// Type implements Expr.
+func (cx *CaseExpr) Type() vector.Type { return cx.typ }
+
+// String implements Expr.
+func (cx *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for i := range cx.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", cx.Whens[i], cx.Thens[i])
+	}
+	if cx.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", cx.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Eval implements Expr.
+func (cx *CaseExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	n := c.Len()
+	conds := make([]*vector.Vector, len(cx.Whens))
+	for i, w := range cx.Whens {
+		v, err := w.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		if v.Type() != vector.TypeBool {
+			return nil, fmt.Errorf("CASE condition of type %v", v.Type())
+		}
+		conds[i] = v
+	}
+	thens := make([]*vector.Vector, len(cx.Thens))
+	for i, th := range cx.Thens {
+		v, err := th.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		thens[i] = v
+	}
+	var elseV *vector.Vector
+	if cx.Else != nil {
+		v, err := cx.Else.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		elseV = v
+	}
+	out := vector.New(cx.typ, n)
+	for i := 0; i < n; i++ {
+		matched := false
+		for bi, cond := range conds {
+			if !cond.IsNull(i) && cond.Bools()[i] {
+				out.AppendFrom(thens[bi], i)
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		if elseV != nil {
+			out.AppendFrom(elseV, i)
+		} else {
+			out.AppendNull()
+		}
+	}
+	return out, nil
+}
+
+// ExtractField selects the component Extract pulls from a date.
+type ExtractField uint8
+
+// Extractable date fields.
+const (
+	FieldYear ExtractField = iota
+	FieldMonth
+)
+
+// ExtractExpr pulls a calendar field out of a DATE as BIGINT.
+type ExtractExpr struct {
+	Field ExtractField
+	In    Expr
+}
+
+// ExtractYear returns EXTRACT(YEAR FROM e).
+func ExtractYear(e Expr) Expr { return &ExtractExpr{Field: FieldYear, In: e} }
+
+// ExtractMonth returns EXTRACT(MONTH FROM e).
+func ExtractMonth(e Expr) Expr { return &ExtractExpr{Field: FieldMonth, In: e} }
+
+// Type implements Expr.
+func (ex *ExtractExpr) Type() vector.Type { return vector.TypeInt64 }
+
+// String implements Expr.
+func (ex *ExtractExpr) String() string {
+	f := "YEAR"
+	if ex.Field == FieldMonth {
+		f = "MONTH"
+	}
+	return fmt.Sprintf("EXTRACT(%s FROM %s)", f, ex.In)
+}
+
+// Eval implements Expr.
+func (ex *ExtractExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := ex.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if av.Type() != vector.TypeDate {
+		return nil, fmt.Errorf("EXTRACT over %v", av.Type())
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeInt64, n)
+	ds := av.Int64s()
+	for i := 0; i < n; i++ {
+		if av.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		switch ex.Field {
+		case FieldYear:
+			out.AppendInt64(int64(vector.DateYear(ds[i])))
+		default:
+			out.AppendInt64(int64(vector.DateMonth(ds[i])))
+		}
+	}
+	return out, nil
+}
+
+// SubstrExpr is SUBSTRING(e FROM start FOR length), 1-based as in SQL.
+type SubstrExpr struct {
+	In            Expr
+	Start, Length int
+}
+
+// Substr returns the 1-based substring expression.
+func Substr(e Expr, start, length int) Expr {
+	return &SubstrExpr{In: e, Start: start, Length: length}
+}
+
+// Type implements Expr.
+func (sx *SubstrExpr) Type() vector.Type { return vector.TypeString }
+
+// String implements Expr.
+func (sx *SubstrExpr) String() string {
+	return fmt.Sprintf("SUBSTRING(%s FROM %d FOR %d)", sx.In, sx.Start, sx.Length)
+}
+
+// Eval implements Expr.
+func (sx *SubstrExpr) Eval(c *vector.Chunk) (*vector.Vector, error) {
+	av, err := sx.In.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if av.Type() != vector.TypeString {
+		return nil, fmt.Errorf("SUBSTRING over %v", av.Type())
+	}
+	n := av.Len()
+	out := vector.New(vector.TypeString, n)
+	ss := av.Strings()
+	for i := 0; i < n; i++ {
+		if av.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		s := ss[i]
+		lo := sx.Start - 1
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > len(s) {
+			lo = len(s)
+		}
+		hi := lo + sx.Length
+		if hi > len(s) {
+			hi = len(s)
+		}
+		out.AppendString(s[lo:hi])
+	}
+	return out, nil
+}
+
+// EvalScalar evaluates an expression over a single row of boxed values; used
+// by tests as an oracle and by scalar contexts (e.g. HAVING over one group).
+func EvalScalar(e Expr, types []vector.Type, row []vector.Value) (vector.Value, error) {
+	c := vector.NewChunk(types)
+	c.AppendRowValues(row...)
+	v, err := e.Eval(c)
+	if err != nil {
+		return vector.Value{}, err
+	}
+	if v.Len() != 1 {
+		return vector.Value{}, fmt.Errorf("scalar eval produced %d rows", v.Len())
+	}
+	return v.Value(0), nil
+}

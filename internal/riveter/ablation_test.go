@@ -1,0 +1,99 @@
+package riveter
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/strategy"
+)
+
+// TestRetentionAblation validates the CRIU-image model knob: a higher
+// retention fraction yields larger process-level checkpoints at the same
+// suspension point (DESIGN.md §8 calls this substitution out; the ablation
+// shows the experiment shapes depend on it in the expected direction).
+func TestRetentionAblation(t *testing.T) {
+	cat := slowCatalog(t)
+	var sizes []int64
+	for _, retention := range []float64{0.1, 0.7} {
+		c := testController(t, cat)
+		c.Retention = retention
+		spec := calibrated(t, c, 1)
+		var got int64
+		for attempt := 0; attempt < 3; attempt++ {
+			rep, err := c.SuspendAtFraction(spec, strategy.Process, 0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Suspended {
+				got = rep.PersistedBytes
+				break
+			}
+		}
+		if got == 0 {
+			t.Skip("timing: suspension did not land")
+		}
+		sizes = append(sizes, got)
+	}
+	if !(sizes[0] < sizes[1]) {
+		t.Errorf("process image must grow with retention: %v", sizes)
+	}
+}
+
+// BenchmarkRetentionAblation reports process-checkpoint sizes and suspend
+// latencies across retention settings (ablation of the process-image model).
+func BenchmarkRetentionAblation(b *testing.B) {
+	cat := slowCatalog(b)
+	for _, retention := range []float64{0, 0.35, 0.7} {
+		b.Run(fmt.Sprintf("retention-%.2f", retention), func(b *testing.B) {
+			c := testController(b, cat)
+			c.Retention = retention
+			spec := calibrated(b, c, 1)
+			b.ResetTimer()
+			var bytesTotal int64
+			n := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := c.SuspendAtFraction(spec, strategy.Process, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Suspended {
+					bytesTotal += rep.PersistedBytes
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(float64(bytesTotal)/float64(n), "ckpt-bytes/op")
+			}
+		})
+	}
+}
+
+// BenchmarkStrategyLatency compares suspend+persist latency across the two
+// persisting strategies at the same suspension point (an ablation of the
+// strategy choice itself).
+func BenchmarkStrategyLatency(b *testing.B) {
+	cat := slowCatalog(b)
+	c := testController(b, cat)
+	spec := calibrated(b, c, 3)
+	for _, k := range []strategy.Kind{strategy.Pipeline, strategy.Process} {
+		b.Run(k.String(), func(b *testing.B) {
+			var suspendTotal, resumeTotal int64
+			n := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := c.SuspendAtFraction(spec, k, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Suspended {
+					suspendTotal += rep.SuspendLatency.Nanoseconds()
+					resumeTotal += rep.ResumeLatency.Nanoseconds()
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(float64(suspendTotal)/float64(n), "Ls-ns/op")
+				b.ReportMetric(float64(resumeTotal)/float64(n), "Lr-ns/op")
+			}
+		})
+	}
+}

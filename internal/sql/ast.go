@@ -1,0 +1,152 @@
+package sql
+
+// The AST mirrors the supported SQL subset. Expression nodes are untyped
+// until binding resolves columns against the catalog.
+
+// SelectStmt is the root statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Node
+	GroupBy []Node
+	Having  Node
+	OrderBy []OrderItem
+	Limit   int64 // -1 = none
+	Offset  int64
+}
+
+// SelectItem is one output expression (Star means SELECT *).
+type SelectItem struct {
+	Expr  Node
+	Alias string
+	Star  bool
+}
+
+// FromItem is a table with an optional alias and, for all but the first,
+// the join type and ON condition.
+type FromItem struct {
+	Table string
+	Alias string
+	Join  string // "", "INNER", "LEFT", "SEMI", "ANTI", "CROSS"
+	On    Node
+}
+
+// OrderItem is one ORDER BY key; Pos > 0 means an ordinal reference.
+type OrderItem struct {
+	Expr Node
+	Pos  int
+	Desc bool
+}
+
+// Node is an expression AST node.
+type Node interface{ astNode() }
+
+// ColRef references a column, optionally qualified.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// NumLit is a numeric literal (integer or decimal).
+type NumLit struct {
+	Text string
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+}
+
+// DateLit is a DATE 'yyyy-mm-dd' literal.
+type DateLit struct {
+	Val string
+}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct {
+	Val bool
+}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// BinOp is a binary operation (arith, comparison, AND, OR).
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+// UnaryOp is NOT or unary minus.
+type UnaryOp struct {
+	Op string
+	In Node
+}
+
+// LikeOp is [NOT] LIKE.
+type LikeOp struct {
+	In      Node
+	Pattern string
+	Negate  bool
+}
+
+// InOp is [NOT] IN over literal lists.
+type InOp struct {
+	In     Node
+	List   []Node
+	Negate bool
+}
+
+// BetweenOp is BETWEEN lo AND hi.
+type BetweenOp struct {
+	In, Lo, Hi Node
+}
+
+// IsNullOp is IS [NOT] NULL.
+type IsNullOp struct {
+	In     Node
+	Negate bool
+}
+
+// FuncCall covers aggregate functions and scalar builtins.
+type FuncCall struct {
+	Name     string // lower-case
+	Args     []Node
+	Star     bool // count(*)
+	Distinct bool
+}
+
+// CaseOp is CASE WHEN ... THEN ... [ELSE ...] END.
+type CaseOp struct {
+	Whens []Node
+	Thens []Node
+	Else  Node
+}
+
+// ExtractOp is EXTRACT(YEAR|MONTH FROM e).
+type ExtractOp struct {
+	Field string
+	In    Node
+}
+
+// SubstringOp is SUBSTRING(e FROM a FOR b).
+type SubstringOp struct {
+	In            Node
+	Start, Length int
+}
+
+func (*ColRef) astNode()      {}
+func (*NumLit) astNode()      {}
+func (*StrLit) astNode()      {}
+func (*DateLit) astNode()     {}
+func (*BoolLit) astNode()     {}
+func (*NullLit) astNode()     {}
+func (*BinOp) astNode()       {}
+func (*UnaryOp) astNode()     {}
+func (*LikeOp) astNode()      {}
+func (*InOp) astNode()        {}
+func (*BetweenOp) astNode()   {}
+func (*IsNullOp) astNode()    {}
+func (*FuncCall) astNode()    {}
+func (*CaseOp) astNode()      {}
+func (*ExtractOp) astNode()   {}
+func (*SubstringOp) astNode() {}

@@ -1,0 +1,782 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Compile parses and lowers a SELECT statement onto the plan builder.
+func Compile(query string, cat *catalog.Catalog) (node plan.Node, err error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// The expression constructors panic on type mismatches; surface
+		// those as errors with the query attached.
+		if r := recover(); r != nil {
+			node, err = nil, fmt.Errorf("sql: %v", r)
+		}
+	}()
+	return lower(stmt, cat)
+}
+
+func lower(stmt *SelectStmt, cat *catalog.Catalog) (plan.Node, error) {
+	b := plan.NewBuilder(cat)
+
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sql: FROM clause required")
+	}
+	// FROM clause: scans, aliases, joins.
+	rel, err := fromRel(b, cat, stmt.From[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range stmt.From[1:] {
+		right, err := fromRel(b, cat, item)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = joinRels(rel, right, item)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Where != nil {
+		cond, err := (&binder{schema: rel.Schema()}).bind(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		rel = rel.Filter(cond)
+	}
+
+	// Aggregation.
+	hasAgg := stmt.GroupBy != nil || stmtHasAggregate(stmt)
+	var outNames []string
+	var outExprs []expr.Expr
+	if hasAgg {
+		rel, outNames, outExprs, err = lowerAggregate(stmt, rel)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bd := &binder{schema: rel.Schema()}
+		for i, item := range stmt.Items {
+			if item.Star {
+				for _, c := range rel.Schema().Columns {
+					outNames = append(outNames, c.Name)
+					outExprs = append(outExprs, bd.colByName(c.Name))
+				}
+				continue
+			}
+			e, err := bd.bind(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			outNames = append(outNames, itemName(item, i))
+			outExprs = append(outExprs, e)
+		}
+		rel = rel.Project(outNames, outExprs...)
+	}
+
+	// ORDER BY over the output schema (names, aliases, or ordinals).
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]plan.SortSpec, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			var name string
+			switch {
+			case o.Pos > 0:
+				if o.Pos > len(outNames) {
+					return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", o.Pos)
+				}
+				name = outNames[o.Pos-1]
+			default:
+				cr, ok := o.Expr.(*ColRef)
+				if !ok {
+					return nil, fmt.Errorf("sql: ORDER BY supports output columns and ordinals")
+				}
+				name = cr.Name
+				if rel.Schema().IndexOf(name) < 0 {
+					return nil, fmt.Errorf("sql: ORDER BY column %q is not in the output", name)
+				}
+			}
+			if o.Desc {
+				keys[i] = plan.Desc(name)
+			} else {
+				keys[i] = plan.Asc(name)
+			}
+		}
+		rel = rel.Sort(keys...)
+	}
+	if stmt.Limit >= 0 {
+		limited := rel.Limit(stmt.Limit)
+		if l, ok := limited.Node().(*plan.Limit); ok {
+			l.Offset = stmt.Offset
+		}
+		return limited.Node(), nil
+	}
+	return rel.Node(), nil
+}
+
+func itemName(item SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*ColRef); ok {
+		return cr.Name
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+func fromRel(b *plan.Builder, cat *catalog.Catalog, item FromItem) (*plan.Rel, error) {
+	if _, err := cat.Table(item.Table); err != nil {
+		return nil, err
+	}
+	rel := b.Scan(item.Table)
+	if item.Alias != "" {
+		rel = rel.Rename(item.Alias + ".")
+	}
+	return rel, nil
+}
+
+func joinRels(left, right *plan.Rel, item FromItem) (*plan.Rel, error) {
+	jt := map[string]plan.JoinType{
+		"INNER": plan.InnerJoin,
+		"LEFT":  plan.LeftOuterJoin,
+		"SEMI":  plan.SemiJoin,
+		"ANTI":  plan.AntiJoin,
+		"CROSS": plan.CrossJoin,
+	}[item.Join]
+	if item.Join == "CROSS" {
+		return left.Cross(right), nil
+	}
+
+	// Split the ON condition into equi-key pairs and a residual condition.
+	var leftKeys, rightKeys []string
+	var residual []Node
+	for _, conj := range conjuncts(item.On) {
+		bo, ok := conj.(*BinOp)
+		if ok && bo.Op == "=" {
+			lc, lok := bo.L.(*ColRef)
+			rc, rok := bo.R.(*ColRef)
+			if lok && rok {
+				ln, lerr := resolveName(left.Schema(), lc)
+				rn, rerr := resolveName(right.Schema(), rc)
+				if lerr == nil && rerr == nil {
+					leftKeys = append(leftKeys, ln)
+					rightKeys = append(rightKeys, rn)
+					continue
+				}
+				// try swapped sides
+				ln2, lerr2 := resolveName(left.Schema(), rc)
+				rn2, rerr2 := resolveName(right.Schema(), lc)
+				if lerr2 == nil && rerr2 == nil {
+					leftKeys = append(leftKeys, ln2)
+					rightKeys = append(rightKeys, rn2)
+					continue
+				}
+			}
+		}
+		residual = append(residual, conj)
+	}
+	if len(leftKeys) == 0 {
+		return nil, fmt.Errorf("sql: join ON requires at least one equality between the two tables")
+	}
+	var extra func(plan.ColResolver) expr.Expr
+	if len(residual) > 0 {
+		extra = func(cr plan.ColResolver) expr.Expr {
+			bd := &binder{resolver: &cr}
+			var e expr.Expr
+			for _, r := range residual {
+				be, err := bd.bind(r)
+				if err != nil {
+					panic(err)
+				}
+				if e == nil {
+					e = be
+				} else {
+					e = expr.And(e, be)
+				}
+			}
+			return e
+		}
+	}
+	return left.JoinExtra(right, jt, leftKeys, rightKeys, extra), nil
+}
+
+func conjuncts(n Node) []Node {
+	if bo, ok := n.(*BinOp); ok && bo.Op == "AND" {
+		return append(conjuncts(bo.L), conjuncts(bo.R)...)
+	}
+	return []Node{n}
+}
+
+// resolveName finds the schema column a ColRef denotes: exact match on the
+// (possibly alias-qualified) name, or a unique suffix match.
+func resolveName(s *catalog.Schema, cr *ColRef) (string, error) {
+	want := cr.Name
+	if cr.Table != "" {
+		want = cr.Table + "." + cr.Name
+	}
+	if s.IndexOf(want) >= 0 {
+		return want, nil
+	}
+	// Unique suffix match handles unqualified references to aliased columns.
+	var found string
+	for _, c := range s.Columns {
+		if c.Name == want || strings.HasSuffix(c.Name, "."+want) {
+			if found != "" {
+				return "", fmt.Errorf("sql: ambiguous column %q", want)
+			}
+			found = c.Name
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("sql: unknown column %q", want)
+	}
+	return found, nil
+}
+
+var aggFuncs = map[string]plan.AggFunc{
+	"sum":   plan.AggSum,
+	"count": plan.AggCount,
+	"avg":   plan.AggAvg,
+	"min":   plan.AggMin,
+	"max":   plan.AggMax,
+}
+
+func stmtHasAggregate(stmt *SelectStmt) bool {
+	found := false
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == nil || found {
+			return
+		}
+		switch t := n.(type) {
+		case *FuncCall:
+			if _, ok := aggFuncs[t.Name]; ok {
+				found = true
+				return
+			}
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *BinOp:
+			walk(t.L)
+			walk(t.R)
+		case *UnaryOp:
+			walk(t.In)
+		case *CaseOp:
+			for i := range t.Whens {
+				walk(t.Whens[i])
+				walk(t.Thens[i])
+			}
+			walk(t.Else)
+		case *LikeOp:
+			walk(t.In)
+		case *InOp:
+			walk(t.In)
+		case *BetweenOp:
+			walk(t.In)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *IsNullOp:
+			walk(t.In)
+		case *ExtractOp:
+			walk(t.In)
+		case *SubstringOp:
+			walk(t.In)
+		}
+	}
+	for _, it := range stmt.Items {
+		walk(it.Expr)
+	}
+	walk(stmt.Having)
+	return found
+}
+
+// lowerAggregate builds the Aggregate node plus the post-aggregation
+// projection and HAVING filter. It returns the relation and output names.
+func lowerAggregate(stmt *SelectStmt, rel *plan.Rel) (*plan.Rel, []string, []expr.Expr, error) {
+	pre := &binder{schema: rel.Schema()}
+
+	// Group keys.
+	groupNames := make([]string, len(stmt.GroupBy))
+	groupExprs := make([]expr.Expr, len(stmt.GroupBy))
+	groupKeyOf := map[string]int{} // AST render -> group index
+	for i, g := range stmt.GroupBy {
+		// A bare name matching a SELECT alias refers to that expression
+		// (GROUP BY band for SELECT CASE ... AS band).
+		if cr, ok := g.(*ColRef); ok && cr.Table == "" {
+			for _, it := range stmt.Items {
+				if it.Alias == cr.Name && it.Expr != nil {
+					g = it.Expr
+					break
+				}
+			}
+			stmt.GroupBy[i] = g
+		}
+		e, err := pre.bind(g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupExprs[i] = e
+		if cr, ok := g.(*ColRef); ok {
+			name, err := resolveName(rel.Schema(), cr)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			groupNames[i] = name
+		} else {
+			groupNames[i] = fmt.Sprintf("group%d", i+1)
+		}
+		groupKeyOf[astKey(g)] = i
+	}
+
+	// Collect aggregate specs from SELECT and HAVING.
+	var specs []plan.AggSpec
+	specOf := map[string]int{} // AST render -> spec index
+	collect := func(n Node) error {
+		var walk func(Node) error
+		walk = func(n Node) error {
+			if n == nil {
+				return nil
+			}
+			if fc, ok := n.(*FuncCall); ok {
+				if f, isAgg := aggFuncs[fc.Name]; isAgg {
+					key := astKey(fc)
+					if _, seen := specOf[key]; seen {
+						return nil
+					}
+					spec := plan.AggSpec{Func: f, Distinct: fc.Distinct, Name: fmt.Sprintf("agg%d", len(specs)+1)}
+					if fc.Star {
+						if fc.Name != "count" {
+							return fmt.Errorf("sql: %s(*) is not valid", fc.Name)
+						}
+						spec.Func = plan.AggCountStar
+					} else {
+						if len(fc.Args) != 1 {
+							return fmt.Errorf("sql: %s takes one argument", fc.Name)
+						}
+						arg, err := pre.bind(fc.Args[0])
+						if err != nil {
+							return err
+						}
+						spec.Arg = arg
+					}
+					specOf[key] = len(specs)
+					specs = append(specs, spec)
+					return nil
+				}
+			}
+			for _, c := range childNodes(n) {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return walk(n)
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, nil, nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+		if err := collect(it.Expr); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := collect(stmt.Having); err != nil {
+		return nil, nil, nil, err
+	}
+
+	agg := rel.AggExprs(groupNames, groupExprs, specs...)
+
+	// Post-aggregation binder: group keys and agg results by position.
+	post := &binder{
+		schema: agg.Schema(),
+		rewrite: func(n Node) (expr.Expr, bool, error) {
+			if i, ok := groupKeyOf[astKey(n)]; ok {
+				c := agg.Schema().Columns[i]
+				return expr.NamedCol(i, c.Type, c.Name), true, nil
+			}
+			if fc, ok := n.(*FuncCall); ok {
+				if _, isAgg := aggFuncs[fc.Name]; isAgg {
+					i, seen := specOf[astKey(fc)]
+					if !seen {
+						return nil, false, fmt.Errorf("sql: aggregate %q not collected", fc.Name)
+					}
+					idx := len(groupExprs) + i
+					c := agg.Schema().Columns[idx]
+					return expr.NamedCol(idx, c.Type, c.Name), true, nil
+				}
+			}
+			return nil, false, nil
+		},
+	}
+
+	out := agg
+	if stmt.Having != nil {
+		cond, err := post.bind(stmt.Having)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		out = out.Filter(cond)
+	}
+
+	names := make([]string, len(stmt.Items))
+	exprs := make([]expr.Expr, len(stmt.Items))
+	for i, it := range stmt.Items {
+		e, err := post.bind(it.Expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		names[i] = itemName(it, i)
+		exprs[i] = e
+	}
+	return out.Project(names, exprs...), names, exprs, nil
+}
+
+func childNodes(n Node) []Node {
+	switch t := n.(type) {
+	case *BinOp:
+		return []Node{t.L, t.R}
+	case *UnaryOp:
+		return []Node{t.In}
+	case *LikeOp:
+		return []Node{t.In}
+	case *InOp:
+		return append([]Node{t.In}, t.List...)
+	case *BetweenOp:
+		return []Node{t.In, t.Lo, t.Hi}
+	case *IsNullOp:
+		return []Node{t.In}
+	case *FuncCall:
+		return t.Args
+	case *CaseOp:
+		out := append([]Node{}, t.Whens...)
+		out = append(out, t.Thens...)
+		if t.Else != nil {
+			out = append(out, t.Else)
+		}
+		return out
+	case *ExtractOp:
+		return []Node{t.In}
+	case *SubstringOp:
+		return []Node{t.In}
+	default:
+		return nil
+	}
+}
+
+// astKey renders an AST node deterministically for structural matching.
+func astKey(n Node) string {
+	switch t := n.(type) {
+	case *ColRef:
+		return "col:" + t.Table + "." + t.Name
+	case *NumLit:
+		return "num:" + t.Text
+	case *StrLit:
+		return "str:" + t.Val
+	case *DateLit:
+		return "date:" + t.Val
+	case *BoolLit:
+		return fmt.Sprintf("bool:%v", t.Val)
+	case *NullLit:
+		return "null"
+	case *BinOp:
+		return "(" + astKey(t.L) + t.Op + astKey(t.R) + ")"
+	case *UnaryOp:
+		return t.Op + "(" + astKey(t.In) + ")"
+	case *LikeOp:
+		return fmt.Sprintf("like(%s,%q,%v)", astKey(t.In), t.Pattern, t.Negate)
+	case *InOp:
+		parts := make([]string, len(t.List))
+		for i, e := range t.List {
+			parts[i] = astKey(e)
+		}
+		return fmt.Sprintf("in(%s,[%s],%v)", astKey(t.In), strings.Join(parts, ","), t.Negate)
+	case *BetweenOp:
+		return fmt.Sprintf("between(%s,%s,%s)", astKey(t.In), astKey(t.Lo), astKey(t.Hi))
+	case *IsNullOp:
+		return fmt.Sprintf("isnull(%s,%v)", astKey(t.In), t.Negate)
+	case *FuncCall:
+		parts := make([]string, len(t.Args))
+		for i, e := range t.Args {
+			parts[i] = astKey(e)
+		}
+		return fmt.Sprintf("fn:%s(%v,%v,[%s])", t.Name, t.Star, t.Distinct, strings.Join(parts, ","))
+	case *CaseOp:
+		var sb strings.Builder
+		sb.WriteString("case")
+		for i := range t.Whens {
+			sb.WriteString("|" + astKey(t.Whens[i]) + "->" + astKey(t.Thens[i]))
+		}
+		if t.Else != nil {
+			sb.WriteString("|else->" + astKey(t.Else))
+		}
+		return sb.String()
+	case *ExtractOp:
+		return "extract:" + t.Field + "(" + astKey(t.In) + ")"
+	case *SubstringOp:
+		return fmt.Sprintf("substr(%s,%d,%d)", astKey(t.In), t.Start, t.Length)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// binder lowers AST expressions to typed engine expressions.
+type binder struct {
+	schema   *catalog.Schema
+	resolver *plan.ColResolver
+	// rewrite intercepts nodes (post-aggregation references); returning
+	// handled=true short-circuits normal binding.
+	rewrite func(Node) (expr.Expr, bool, error)
+}
+
+func (bd *binder) colByName(name string) *expr.Column {
+	idx := bd.schema.IndexOf(name)
+	return expr.NamedCol(idx, bd.schema.Columns[idx].Type, name)
+}
+
+func (bd *binder) bind(n Node) (expr.Expr, error) {
+	if bd.rewrite != nil {
+		if e, handled, err := bd.rewrite(n); err != nil {
+			return nil, err
+		} else if handled {
+			return e, nil
+		}
+	}
+	switch t := n.(type) {
+	case *ColRef:
+		if bd.resolver != nil {
+			return bd.resolver.Col(colRefName(t)), nil
+		}
+		name, err := resolveName(bd.schema, t)
+		if err != nil {
+			return nil, err
+		}
+		return bd.colByName(name), nil
+	case *NumLit:
+		if strings.Contains(t.Text, ".") {
+			var f float64
+			if _, err := fmt.Sscanf(t.Text, "%g", &f); err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return expr.Float(f), nil
+		}
+		var i int64
+		if _, err := fmt.Sscanf(t.Text, "%d", &i); err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.Text)
+		}
+		return expr.Int(i), nil
+	case *StrLit:
+		return expr.Str(t.Val), nil
+	case *DateLit:
+		d, err := vector.ParseDate(t.Val)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Lit(vector.NewDate(d)), nil
+	case *BoolLit:
+		return expr.Lit(vector.NewBool(t.Val)), nil
+	case *NullLit:
+		return expr.Lit(vector.NewNull(vector.TypeInt64)), nil
+	case *BinOp:
+		l, err := bd.bind(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bd.bind(t.R)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "AND":
+			return expr.And(l, r), nil
+		case "OR":
+			return expr.Or(l, r), nil
+		case "=":
+			return expr.Eq(l, r), nil
+		case "<>", "!=":
+			return expr.Ne(l, r), nil
+		case "<":
+			return expr.Lt(l, r), nil
+		case "<=":
+			return expr.Le(l, r), nil
+		case ">":
+			return expr.Gt(l, r), nil
+		case ">=":
+			return expr.Ge(l, r), nil
+		case "+":
+			return expr.Add(l, r), nil
+		case "-":
+			return expr.Sub(l, r), nil
+		case "*":
+			return expr.Mul(l, r), nil
+		case "/":
+			return expr.Div(l, r), nil
+		default:
+			return nil, fmt.Errorf("sql: unsupported operator %q", t.Op)
+		}
+	case *UnaryOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			return expr.Not(in), nil
+		}
+		if in.Type() == vector.TypeFloat64 {
+			return expr.Mul(in, expr.Float(-1)), nil
+		}
+		return expr.Mul(in, expr.Int(-1)), nil
+	case *LikeOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if t.Negate {
+			return expr.NotLike(in, t.Pattern), nil
+		}
+		return expr.Like(in, t.Pattern), nil
+	case *InOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]vector.Value, len(t.List))
+		for i, e := range t.List {
+			v, err := literalValue(e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if t.Negate {
+			return expr.NotIn(in, vals...), nil
+		}
+		return expr.In(in, vals...), nil
+	case *BetweenOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bd.bind(t.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bd.bind(t.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Between(in, lo, hi), nil
+	case *IsNullOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if t.Negate {
+			return expr.IsNotNull(in), nil
+		}
+		return expr.IsNull(in), nil
+	case *CaseOp:
+		whens := make([]expr.Expr, len(t.Whens))
+		thens := make([]expr.Expr, len(t.Thens))
+		anyFloat := false
+		for i := range t.Whens {
+			w, err := bd.bind(t.Whens[i])
+			if err != nil {
+				return nil, err
+			}
+			th, err := bd.bind(t.Thens[i])
+			if err != nil {
+				return nil, err
+			}
+			whens[i], thens[i] = w, th
+			if th.Type() == vector.TypeFloat64 {
+				anyFloat = true
+			}
+		}
+		var els expr.Expr
+		if t.Else != nil {
+			e, err := bd.bind(t.Else)
+			if err != nil {
+				return nil, err
+			}
+			els = e
+			if e.Type() == vector.TypeFloat64 {
+				anyFloat = true
+			}
+		}
+		if anyFloat {
+			for i := range thens {
+				if thens[i].Type().Numeric() {
+					thens[i] = expr.ToFloat(thens[i])
+				}
+			}
+			if els != nil && els.Type().Numeric() {
+				els = expr.ToFloat(els)
+			}
+		}
+		return expr.Case(whens, thens, els), nil
+	case *ExtractOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if t.Field == "YEAR" {
+			return expr.ExtractYear(in), nil
+		}
+		return expr.ExtractMonth(in), nil
+	case *SubstringOp:
+		in, err := bd.bind(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Substr(in, t.Start, t.Length), nil
+	case *FuncCall:
+		return nil, fmt.Errorf("sql: function %q is not available here (aggregates need GROUP BY context)", t.Name)
+	default:
+		return nil, fmt.Errorf("sql: cannot bind %T", n)
+	}
+}
+
+func colRefName(cr *ColRef) string {
+	if cr.Table != "" {
+		return cr.Table + "." + cr.Name
+	}
+	return cr.Name
+}
+
+func literalValue(n Node) (vector.Value, error) {
+	switch t := n.(type) {
+	case *NumLit:
+		if strings.Contains(t.Text, ".") {
+			var f float64
+			fmt.Sscanf(t.Text, "%g", &f)
+			return vector.NewFloat64(f), nil
+		}
+		var i int64
+		fmt.Sscanf(t.Text, "%d", &i)
+		return vector.NewInt64(i), nil
+	case *StrLit:
+		return vector.NewString(t.Val), nil
+	case *DateLit:
+		d, err := vector.ParseDate(t.Val)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		return vector.NewDate(d), nil
+	case *BoolLit:
+		return vector.NewBool(t.Val), nil
+	default:
+		return vector.Value{}, fmt.Errorf("sql: IN lists support literals only")
+	}
+}

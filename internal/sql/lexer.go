@@ -1,0 +1,125 @@
+// Package sql implements a SQL subset for Riveter's public API: SELECT
+// queries with joins, WHERE, GROUP BY/HAVING, ORDER BY, and LIMIT, lowered
+// onto the logical plan builder. It is the surface the examples and the
+// riveter-run tool use; the TPC-H benchmark queries are built directly
+// against the plan builder.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IN": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "ASC": true, "DESC": true,
+	"DATE": true, "TRUE": true, "FALSE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "DISTINCT": true, "INTERVAL": true,
+	"EXTRACT": true, "YEAR": true, "MONTH": true, "SUBSTRING": true, "FOR": true,
+	"SEMI": true, "ANTI": true, "CROSS": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			i++
+			start := i
+			var sb strings.Builder
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteString(input[start:i])
+						sb.WriteByte('\'')
+						i += 2
+						start = i
+						continue
+					}
+					break
+				}
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start-1)
+			}
+			sb.WriteString(input[start:i])
+			i++ // closing quote
+			toks = append(toks, token{tokString, sb.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, strings.ToLower(word), start})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokSymbol, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,618 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, got %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(stmt); err != nil {
+		return nil, err
+	}
+	if p.eat(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.eat(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.eat(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var item OrderItem
+			if p.at(tokNumber, "") {
+				n, err := strconv.Atoi(p.next().text)
+				if err != nil || n < 1 {
+					return nil, p.errf("bad ORDER BY ordinal")
+				}
+				item.Pos = n
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Expr = e
+			}
+			if p.eat(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.eat(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+		if p.eat(tokKeyword, "OFFSET") {
+			t, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			off, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad OFFSET %q", t.text)
+			}
+			stmt.Offset = off
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.eat(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eat(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom(stmt *SelectStmt) error {
+	first, err := p.parseFromTable("")
+	if err != nil {
+		return err
+	}
+	stmt.From = append(stmt.From, first)
+	for {
+		join := ""
+		switch {
+		case p.eat(tokSymbol, ","):
+			join = "CROSS"
+		case p.at(tokKeyword, "JOIN"):
+			p.next()
+			join = "INNER"
+		case p.at(tokKeyword, "INNER"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return err
+			}
+			join = "INNER"
+		case p.at(tokKeyword, "LEFT"):
+			p.next()
+			p.eat(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return err
+			}
+			join = "LEFT"
+		case p.at(tokKeyword, "SEMI"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return err
+			}
+			join = "SEMI"
+		case p.at(tokKeyword, "ANTI"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return err
+			}
+			join = "ANTI"
+		case p.at(tokKeyword, "CROSS"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return err
+			}
+			join = "CROSS"
+		default:
+			return nil
+		}
+		item, err := p.parseFromTable(join)
+		if err != nil {
+			return err
+		}
+		if join != "CROSS" {
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item.On = on
+		}
+		stmt.From = append(stmt.From, item)
+	}
+}
+
+func (p *parser) parseFromTable(join string) (FromItem, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return FromItem{}, err
+	}
+	item := FromItem{Table: t.text, Join: join}
+	if p.eat(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := addExpr (cmpOp addExpr | [NOT] LIKE str | [NOT] IN (...) |
+//	             BETWEEN addExpr AND addExpr | IS [NOT] NULL)?
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.eat(tokKeyword, "NOT") {
+		in, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "NOT", In: in}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.at(tokKeyword, "NOT") {
+		// Lookahead for NOT LIKE / NOT IN / NOT BETWEEN.
+		save := p.pos
+		p.next()
+		if !p.at(tokKeyword, "LIKE") && !p.at(tokKeyword, "IN") && !p.at(tokKeyword, "BETWEEN") {
+			p.pos = save
+			return l, nil
+		}
+		negate = true
+	}
+	switch {
+	case p.at(tokSymbol, "=") || p.at(tokSymbol, "<") || p.at(tokSymbol, ">") ||
+		p.at(tokSymbol, "<=") || p.at(tokSymbol, ">=") || p.at(tokSymbol, "<>") || p.at(tokSymbol, "!="):
+		op := p.next().text
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: op, L: l, R: r}, nil
+	case p.eat(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeOp{In: l, Pattern: t.text, Negate: negate}, nil
+	case p.eat(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Node
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InOp{In: l, List: list, Negate: negate}, nil
+	case p.eat(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var out Node = &BetweenOp{In: l, Lo: lo, Hi: hi}
+		if negate {
+			out = &UnaryOp{Op: "NOT", In: out}
+		}
+		return out, nil
+	case p.at(tokKeyword, "IS"):
+		p.next()
+		neg := p.eat(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullOp{In: l, Negate: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.eat(tokSymbol, "-") {
+		in, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "-", In: in}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &NumLit{Text: t.text}, nil
+	case t.kind == tokString:
+		p.next()
+		return &StrLit{Val: t.text}, nil
+	case p.eat(tokKeyword, "NULL"):
+		return &NullLit{}, nil
+	case p.eat(tokKeyword, "TRUE"):
+		return &BoolLit{Val: true}, nil
+	case p.eat(tokKeyword, "FALSE"):
+		return &BoolLit{Val: false}, nil
+	case p.at(tokKeyword, "DATE"):
+		p.next()
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DateLit{Val: s.text}, nil
+	case p.at(tokKeyword, "CASE"):
+		return p.parseCase()
+	case p.at(tokKeyword, "EXTRACT"):
+		return p.parseExtract()
+	case p.at(tokKeyword, "SUBSTRING"):
+		return p.parseSubstring()
+	case p.eat(tokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		// function call?
+		if p.eat(tokSymbol, "(") {
+			fc := &FuncCall{Name: t.text}
+			if p.eat(tokSymbol, "*") {
+				fc.Star = true
+			} else {
+				fc.Distinct = p.eat(tokKeyword, "DISTINCT")
+				if !p.at(tokSymbol, ")") {
+					for {
+						arg, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						fc.Args = append(fc.Args, arg)
+						if !p.eat(tokSymbol, ",") {
+							break
+						}
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// qualified column?
+		if p.eat(tokSymbol, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.text, Name: c.text}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseCase() (Node, error) {
+	if _, err := p.expect(tokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseOp{}
+	for p.eat(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, cond)
+		c.Thens = append(c.Thens, then)
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE without WHEN")
+	}
+	if p.eat(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseExtract() (Node, error) {
+	p.next() // EXTRACT
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var field string
+	switch {
+	case p.eat(tokKeyword, "YEAR"):
+		field = "YEAR"
+	case p.eat(tokKeyword, "MONTH"):
+		field = "MONTH"
+	default:
+		return nil, p.errf("EXTRACT supports YEAR and MONTH")
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &ExtractOp{Field: field, In: in}, nil
+}
+
+func (p *parser) parseSubstring() (Node, error) {
+	p.next() // SUBSTRING
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	st, err := p.expect(tokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	start, err := strconv.Atoi(st.text)
+	if err != nil {
+		return nil, p.errf("bad SUBSTRING start")
+	}
+	if _, err := p.expect(tokKeyword, "FOR"); err != nil {
+		return nil, err
+	}
+	ln, err := p.expect(tokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	length, err := strconv.Atoi(ln.text)
+	if err != nil {
+		return nil, p.errf("bad SUBSTRING length")
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &SubstringOp{In: in, Start: start, Length: length}, nil
+}

@@ -1,0 +1,102 @@
+// Package strategy implements the mechanics of the three suspension and
+// resumption strategies (§III-A, §III-B): triggering a suspension on a
+// running executor, persisting the captured state as a checkpoint file
+// (with the CRIU-style image padding for the process-level strategy), and
+// restoring a checkpoint into a fresh executor.
+//
+// Policy — deciding if/when/how to suspend — lives in internal/riveter,
+// which drives this package with the cost model's decisions.
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/costmodel"
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/plan"
+)
+
+// Kind aliases the cost model's strategy enum so decisions flow through
+// without translation.
+type Kind = costmodel.Strategy
+
+// The three strategies.
+const (
+	Redo     = costmodel.StrategyRedo
+	Pipeline = costmodel.StrategyPipeline
+	Process  = costmodel.StrategyProcess
+)
+
+// KindName renders a checkpoint manifest kind for a strategy.
+func KindName(k Kind) string {
+	switch k {
+	case Pipeline:
+		return "pipeline"
+	case Process:
+		return "process"
+	default:
+		return "redo"
+	}
+}
+
+// Request triggers a suspension of the given kind on a running execution
+// and returns the request instant. Redo terminates via cancel; the other
+// kinds set the executor's suspension flag and take effect at the next
+// breaker (pipeline) or morsel boundary (process).
+func Request(ex *engine.Executor, k Kind, cancel context.CancelFunc) time.Time {
+	now := time.Now()
+	switch k {
+	case Redo:
+		if cancel != nil {
+			cancel()
+		}
+	case Pipeline:
+		ex.RequestSuspend(engine.KindPipeline)
+	case Process:
+		ex.RequestSuspend(engine.KindProcess)
+	}
+	return now
+}
+
+// Persist writes the suspended executor's state to path. For process-level
+// suspensions the file is padded up to the modeled process-image size. The
+// checkpoint write is fsynced; its Duration is the measured L_s.
+func Persist(ex *engine.Executor, path, query string) (*checkpoint.WriteResult, error) {
+	info := ex.Suspended()
+	if info == nil {
+		return nil, fmt.Errorf("strategy: executor is not suspended")
+	}
+	kind := "pipeline"
+	var padding int64
+	if info.Kind == engine.KindProcess {
+		kind = "process"
+		padding = ex.ProcessImagePadding(ex.MeasureSuspendedStateBytes())
+	}
+	m := checkpoint.Manifest{
+		Kind:            kind,
+		Query:           query,
+		PlanFingerprint: fmt.Sprintf("%016x", ex.Plan().Fingerprint),
+		Workers:         ex.Workers(),
+	}
+	return checkpoint.Write(path, m, ex.SaveState, padding)
+}
+
+// Restore compiles the plan, loads the checkpoint into a fresh executor,
+// and returns it ready to Run. The read result's Duration is the measured
+// L_r (it includes consuming the padded image, as a CRIU restore would).
+func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Options) (*engine.Executor, *checkpoint.ReadResult, error) {
+	pp, err := engine.Compile(node, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := engine.NewExecutor(pp, opts)
+	res, err := checkpoint.Read(path, ex.LoadState)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, res, nil
+}

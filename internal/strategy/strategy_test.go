@@ -1,0 +1,140 @@
+package strategy
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/tpch"
+)
+
+func setup(t *testing.T) *engine.PhysicalPlan {
+	t.Helper()
+	cat, err := tpch.Generate(tpch.Config{SF: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tpch.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := q.Build(plan.NewBuilder(cat), 0.01)
+	pp, err := engine.Compile(node, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func TestKindNames(t *testing.T) {
+	if KindName(Redo) != "redo" || KindName(Pipeline) != "pipeline" || KindName(Process) != "process" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestRequestRedoCancels(t *testing.T) {
+	pp := setup(t)
+	ex := engine.NewExecutor(pp, engine.Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	Request(ex, Redo, cancel)
+	if _, err := ex.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+func TestPersistRequiresSuspension(t *testing.T) {
+	pp := setup(t)
+	ex := engine.NewExecutor(pp, engine.Options{Workers: 2})
+	if _, err := ex.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Persist(ex, filepath.Join(t.TempDir(), "x.rvck"), "Q3"); err == nil {
+		t.Fatal("Persist on a completed executor must fail")
+	}
+}
+
+func TestPersistAndRestoreRoundTrip(t *testing.T) {
+	cat, err := tpch.Generate(tpch.Config{SF: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := tpch.Get(3)
+	node := q.Build(plan.NewBuilder(cat), 0.01)
+	ppRef, _ := engine.Compile(node, cat)
+	exRef := engine.NewExecutor(ppRef, engine.Options{Workers: 2})
+	want, err := exRef.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []Kind{Pipeline, Process} {
+		pp, _ := engine.Compile(node, cat)
+		ex := engine.NewExecutor(pp, engine.Options{Workers: 2})
+		Request(ex, kind, nil)
+		_, err := ex.Run(context.Background())
+		if !errors.Is(err, engine.ErrSuspended) {
+			t.Fatalf("%v: err = %v", kind, err)
+		}
+		path := filepath.Join(t.TempDir(), "ck.rvck")
+		wres, err := Persist(ex, path, "Q3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wres.Manifest.Kind != KindName(kind) {
+			t.Errorf("manifest kind = %s, want %s", wres.Manifest.Kind, KindName(kind))
+		}
+		if kind == Process && wres.Manifest.PaddingBytes == 0 {
+			t.Error("process checkpoint must carry image padding")
+		}
+		if kind == Pipeline && wres.Manifest.PaddingBytes != 0 {
+			t.Error("pipeline checkpoint must not carry padding")
+		}
+
+		ex2, rres, err := Restore(cat, node, path, engine.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("%v restore: %v", kind, err)
+		}
+		if rres.Duration <= 0 {
+			t.Error("restore duration missing")
+		}
+		got, err := ex2.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SortedKey() != want.SortedKey() {
+			t.Errorf("%v: restored result differs", kind)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongPlan(t *testing.T) {
+	cat, err := tpch.Generate(tpch.Config{SF: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, _ := tpch.Get(3)
+	node3 := q3.Build(plan.NewBuilder(cat), 0.01)
+	pp, _ := engine.Compile(node3, cat)
+	ex := engine.NewExecutor(pp, engine.Options{Workers: 2})
+	Request(ex, Process, nil)
+	if _, err := ex.Run(context.Background()); !errors.Is(err, engine.ErrSuspended) {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.rvck")
+	if _, err := Persist(ex, path, "Q3"); err != nil {
+		t.Fatal(err)
+	}
+	q6, _ := tpch.Get(6)
+	node6 := q6.Build(plan.NewBuilder(cat), 0.01)
+	if _, _, err := Restore(cat, node6, path, engine.Options{Workers: 2}); err == nil {
+		t.Fatal("restoring into a different plan must fail")
+	}
+	m, err := checkpoint.ReadManifest(path)
+	if err != nil || m.Query != "Q3" {
+		t.Errorf("manifest = %+v, %v", m, err)
+	}
+}

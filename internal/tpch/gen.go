@@ -1,0 +1,442 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// SF is the scale factor. SF 1 is the full TPC-H scale (6M lineitems);
+	// the experiments default to 0.01/0.05/0.1, preserving the paper's
+	// 10:50:100 ratio at laptop scale.
+	SF float64
+	// Seed perturbs the deterministic generator; same (SF, Seed) gives a
+	// bit-identical database.
+	Seed int64
+}
+
+// rng is a splitmix64 PRNG: tiny, fast, deterministic across platforms.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, stream string) *rng {
+	s := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(stream); i++ {
+		s = (s ^ uint64(stream[i])) * 0x100000001b3
+	}
+	return &rng{state: s}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeI returns a uniform int64 in [lo, hi].
+func (r *rng) rangeI(lo, hi int64) int64 { return lo + int64(r.next()%uint64(hi-lo+1)) }
+
+// rangeF returns a uniform float64 in [lo, hi).
+func (r *rng) rangeF(lo, hi float64) float64 {
+	return lo + (hi-lo)*(float64(r.next()>>11)/(1<<53))
+}
+
+func (r *rng) pick(words []string) string { return words[r.intn(len(words))] }
+
+func (r *rng) comment(minWords, maxWords int) string {
+	n := minWords + r.intn(maxWords-minWords+1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = r.pick(commentWords)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (r *rng) phone(nationKey int64) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", nationKey+10,
+		r.rangeI(100, 999), r.rangeI(100, 999), r.rangeI(1000, 9999))
+}
+
+// Row counts at scale factor 1.
+const (
+	baseSupplier = 10000
+	baseCustomer = 150000
+	basePart     = 200000
+	baseOrders   = 1500000
+	suppsPerPart = 4
+	maxLines     = 7
+)
+
+func scaled(base int, sf float64) int64 {
+	n := int64(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Dates.
+var (
+	startDate   = vector.MustParseDate("1992-01-01")
+	endDate     = vector.MustParseDate("1998-08-02")
+	currentDate = vector.MustParseDate("1995-06-17")
+)
+
+// partRetailPrice is the spec's deterministic retail price function.
+func partRetailPrice(partKey int64) float64 {
+	return float64(90000+(partKey/10)%20001+100*(partKey%1000)) / 100.0
+}
+
+// Generate builds the full TPC-H database into a fresh catalog.
+func Generate(cfg Config) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	if err := genRegion(cat); err != nil {
+		return nil, err
+	}
+	if err := genNation(cat); err != nil {
+		return nil, err
+	}
+	if err := genSupplier(cat, cfg); err != nil {
+		return nil, err
+	}
+	if err := genCustomer(cat, cfg); err != nil {
+		return nil, err
+	}
+	if err := genPart(cat, cfg); err != nil {
+		return nil, err
+	}
+	if err := genPartSupp(cat, cfg); err != nil {
+		return nil, err
+	}
+	if err := genOrdersAndLineitem(cat, cfg); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+func genRegion(cat *catalog.Catalog) error {
+	t, err := cat.Create("region", catalog.NewSchema(
+		catalog.Col("r_regionkey", vector.TypeInt64),
+		catalog.Col("r_name", vector.TypeString),
+		catalog.Col("r_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(0, "region")
+	for _, reg := range regions {
+		if err := t.AppendRow(
+			vector.NewInt64(reg.Key),
+			vector.NewString(reg.Name),
+			vector.NewString(r.comment(3, 8)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genNation(cat *catalog.Catalog) error {
+	t, err := cat.Create("nation", catalog.NewSchema(
+		catalog.Col("n_nationkey", vector.TypeInt64),
+		catalog.Col("n_name", vector.TypeString),
+		catalog.Col("n_regionkey", vector.TypeInt64),
+		catalog.Col("n_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(0, "nation")
+	for _, n := range nations {
+		if err := t.AppendRow(
+			vector.NewInt64(n.Key),
+			vector.NewString(n.Name),
+			vector.NewInt64(n.Region),
+			vector.NewString(r.comment(3, 8)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genSupplier(cat *catalog.Catalog, cfg Config) error {
+	t, err := cat.Create("supplier", catalog.NewSchema(
+		catalog.Col("s_suppkey", vector.TypeInt64),
+		catalog.Col("s_name", vector.TypeString),
+		catalog.Col("s_address", vector.TypeString),
+		catalog.Col("s_nationkey", vector.TypeInt64),
+		catalog.Col("s_phone", vector.TypeString),
+		catalog.Col("s_acctbal", vector.TypeFloat64),
+		catalog.Col("s_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed, "supplier")
+	n := scaled(baseSupplier, cfg.SF)
+	for k := int64(1); k <= n; k++ {
+		nk := int64(r.intn(len(nations)))
+		comment := r.comment(5, 12)
+		// The spec plants "Customer ... Complaints" into ~0.05% of supplier
+		// comments; Q16 anti-joins them away.
+		if r.intn(2000) == 0 {
+			comment = "Customer " + r.pick(commentWords) + " Complaints " + comment
+		}
+		if err := t.AppendRow(
+			vector.NewInt64(k),
+			vector.NewString(fmt.Sprintf("Supplier#%09d", k)),
+			vector.NewString(r.comment(2, 4)),
+			vector.NewInt64(nk),
+			vector.NewString(r.phone(nk)),
+			vector.NewFloat64(r.rangeF(-999.99, 9999.99)),
+			vector.NewString(comment),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genCustomer(cat *catalog.Catalog, cfg Config) error {
+	t, err := cat.Create("customer", catalog.NewSchema(
+		catalog.Col("c_custkey", vector.TypeInt64),
+		catalog.Col("c_name", vector.TypeString),
+		catalog.Col("c_address", vector.TypeString),
+		catalog.Col("c_nationkey", vector.TypeInt64),
+		catalog.Col("c_phone", vector.TypeString),
+		catalog.Col("c_acctbal", vector.TypeFloat64),
+		catalog.Col("c_mktsegment", vector.TypeString),
+		catalog.Col("c_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed, "customer")
+	n := scaled(baseCustomer, cfg.SF)
+	for k := int64(1); k <= n; k++ {
+		nk := int64(r.intn(len(nations)))
+		if err := t.AppendRow(
+			vector.NewInt64(k),
+			vector.NewString(fmt.Sprintf("Customer#%09d", k)),
+			vector.NewString(r.comment(2, 4)),
+			vector.NewInt64(nk),
+			vector.NewString(r.phone(nk)),
+			vector.NewFloat64(r.rangeF(-999.99, 9999.99)),
+			vector.NewString(r.pick(segments)),
+			vector.NewString(r.comment(6, 16)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genPart(cat *catalog.Catalog, cfg Config) error {
+	t, err := cat.Create("part", catalog.NewSchema(
+		catalog.Col("p_partkey", vector.TypeInt64),
+		catalog.Col("p_name", vector.TypeString),
+		catalog.Col("p_mfgr", vector.TypeString),
+		catalog.Col("p_brand", vector.TypeString),
+		catalog.Col("p_type", vector.TypeString),
+		catalog.Col("p_size", vector.TypeInt64),
+		catalog.Col("p_container", vector.TypeString),
+		catalog.Col("p_retailprice", vector.TypeFloat64),
+		catalog.Col("p_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed, "part")
+	n := scaled(basePart, cfg.SF)
+	for k := int64(1); k <= n; k++ {
+		words := make([]string, 5)
+		for i := range words {
+			words[i] = r.pick(colors)
+		}
+		m := r.intn(5) + 1
+		if err := t.AppendRow(
+			vector.NewInt64(k),
+			vector.NewString(strings.Join(words, " ")),
+			vector.NewString(fmt.Sprintf("Manufacturer#%d", m)),
+			vector.NewString(fmt.Sprintf("Brand#%d%d", m, r.intn(5)+1)),
+			vector.NewString(r.pick(typeSyllable1)+" "+r.pick(typeSyllable2)+" "+r.pick(typeSyllable3)),
+			vector.NewInt64(r.rangeI(1, 50)),
+			vector.NewString(r.pick(containerSyllable1)+" "+r.pick(containerSyllable2)),
+			vector.NewFloat64(partRetailPrice(k)),
+			vector.NewString(r.comment(2, 6)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genPartSupp(cat *catalog.Catalog, cfg Config) error {
+	t, err := cat.Create("partsupp", catalog.NewSchema(
+		catalog.Col("ps_partkey", vector.TypeInt64),
+		catalog.Col("ps_suppkey", vector.TypeInt64),
+		catalog.Col("ps_availqty", vector.TypeInt64),
+		catalog.Col("ps_supplycost", vector.TypeFloat64),
+		catalog.Col("ps_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed, "partsupp")
+	nParts := scaled(basePart, cfg.SF)
+	nSupp := scaled(baseSupplier, cfg.SF)
+	for pk := int64(1); pk <= nParts; pk++ {
+		for s := int64(0); s < suppsPerPart; s++ {
+			// The spec's supplier spreading function: distinct suppliers per part.
+			sk := (pk+s*(nSupp/suppsPerPart+(pk-1)/nSupp))%nSupp + 1
+			if err := t.AppendRow(
+				vector.NewInt64(pk),
+				vector.NewInt64(sk),
+				vector.NewInt64(r.rangeI(1, 9999)),
+				vector.NewFloat64(r.rangeF(1, 1000)),
+				vector.NewString(r.comment(4, 10)),
+			); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func genOrdersAndLineitem(cat *catalog.Catalog, cfg Config) error {
+	orders, err := cat.Create("orders", catalog.NewSchema(
+		catalog.Col("o_orderkey", vector.TypeInt64),
+		catalog.Col("o_custkey", vector.TypeInt64),
+		catalog.Col("o_orderstatus", vector.TypeString),
+		catalog.Col("o_totalprice", vector.TypeFloat64),
+		catalog.Col("o_orderdate", vector.TypeDate),
+		catalog.Col("o_orderpriority", vector.TypeString),
+		catalog.Col("o_clerk", vector.TypeString),
+		catalog.Col("o_shippriority", vector.TypeInt64),
+		catalog.Col("o_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+	lineitem, err := cat.Create("lineitem", catalog.NewSchema(
+		catalog.Col("l_orderkey", vector.TypeInt64),
+		catalog.Col("l_partkey", vector.TypeInt64),
+		catalog.Col("l_suppkey", vector.TypeInt64),
+		catalog.Col("l_linenumber", vector.TypeInt64),
+		catalog.Col("l_quantity", vector.TypeFloat64),
+		catalog.Col("l_extendedprice", vector.TypeFloat64),
+		catalog.Col("l_discount", vector.TypeFloat64),
+		catalog.Col("l_tax", vector.TypeFloat64),
+		catalog.Col("l_returnflag", vector.TypeString),
+		catalog.Col("l_linestatus", vector.TypeString),
+		catalog.Col("l_shipdate", vector.TypeDate),
+		catalog.Col("l_commitdate", vector.TypeDate),
+		catalog.Col("l_receiptdate", vector.TypeDate),
+		catalog.Col("l_shipinstruct", vector.TypeString),
+		catalog.Col("l_shipmode", vector.TypeString),
+		catalog.Col("l_comment", vector.TypeString),
+	))
+	if err != nil {
+		return err
+	}
+
+	r := newRNG(cfg.Seed, "orders")
+	nOrders := scaled(baseOrders, cfg.SF)
+	nCust := scaled(baseCustomer, cfg.SF)
+	nParts := scaled(basePart, cfg.SF)
+	nSupp := scaled(baseSupplier, cfg.SF)
+
+	for ok := int64(1); ok <= nOrders; ok++ {
+		// Spec: only customers with custkey%3 != 0 place orders (Q22 depends
+		// on the existence of order-less customers).
+		ck := r.rangeI(1, nCust)
+		for ck%3 == 0 {
+			ck = r.rangeI(1, nCust)
+		}
+		odate := startDate + r.rangeI(0, endDate-startDate-121)
+		nLines := 1 + r.intn(maxLines)
+		var totalPrice float64
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			pk := r.rangeI(1, nParts)
+			sk := r.rangeI(1, nSupp)
+			qty := float64(r.rangeI(1, 50))
+			extPrice := qty * partRetailPrice(pk)
+			disc := float64(r.intn(11)) / 100.0
+			tax := float64(r.intn(9)) / 100.0
+			shipDate := odate + r.rangeI(1, 121)
+			commitDate := odate + r.rangeI(30, 90)
+			receiptDate := shipDate + r.rangeI(1, 30)
+
+			var returnFlag string
+			if receiptDate <= currentDate {
+				if r.intn(2) == 0 {
+					returnFlag = "R"
+				} else {
+					returnFlag = "A"
+				}
+			} else {
+				returnFlag = "N"
+			}
+			var lineStatus string
+			if shipDate > currentDate {
+				lineStatus = "O"
+				allF = false
+			} else {
+				lineStatus = "F"
+				allO = false
+			}
+			totalPrice += extPrice * (1 + tax) * (1 - disc)
+
+			if err := lineitem.AppendRow(
+				vector.NewInt64(ok),
+				vector.NewInt64(pk),
+				vector.NewInt64(sk),
+				vector.NewInt64(int64(ln)),
+				vector.NewFloat64(qty),
+				vector.NewFloat64(extPrice),
+				vector.NewFloat64(disc),
+				vector.NewFloat64(tax),
+				vector.NewString(returnFlag),
+				vector.NewString(lineStatus),
+				vector.NewDate(shipDate),
+				vector.NewDate(commitDate),
+				vector.NewDate(receiptDate),
+				vector.NewString(r.pick(instructions)),
+				vector.NewString(r.pick(shipModes)),
+				vector.NewString(r.comment(2, 6)),
+			); err != nil {
+				return err
+			}
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		if err := orders.AppendRow(
+			vector.NewInt64(ok),
+			vector.NewInt64(ck),
+			vector.NewString(status),
+			vector.NewFloat64(totalPrice),
+			vector.NewDate(odate),
+			vector.NewString(r.pick(priorities)),
+			vector.NewString(fmt.Sprintf("Clerk#%09d", r.rangeI(1, scaled(1000, cfg.SF)))),
+			vector.NewInt64(0),
+			vector.NewString(r.comment(5, 12)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}

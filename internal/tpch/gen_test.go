@@ -1,0 +1,252 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+func genSmall(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat, err := Generate(Config{SF: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGenerateTableShapes(t *testing.T) {
+	cat := genSmall(t)
+	expect := map[string]int64{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100,
+		"customer": 1500,
+		"part":     2000,
+		"partsupp": 8000,
+		"orders":   15000,
+	}
+	for name, want := range expect {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			t.Fatalf("table %s: %v", name, err)
+		}
+		if tbl.NumRows() != want {
+			t.Errorf("%s rows = %d, want %d", name, tbl.NumRows(), want)
+		}
+	}
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1..7 lines per order, expectation 4: allow a generous band.
+	if li.NumRows() < 45000 || li.NumRows() > 75000 {
+		t.Errorf("lineitem rows = %d, want about 60000", li.NumRows())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{SF: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{SF: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s row counts differ", name)
+		}
+		step := ta.NumRows()/50 + 1
+		for r := int64(0); r < ta.NumRows(); r += step {
+			for c := 0; c < ta.Schema().Arity(); c++ {
+				va, vb := ta.Value(r, c), tb.Value(r, c)
+				if !va.Equal(vb) {
+					t.Fatalf("%s[%d][%d]: %v vs %v", name, r, c, va, vb)
+				}
+			}
+		}
+	}
+	// A different seed changes the data.
+	c, err := Generate(Config{SF: 0.002, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Table("orders")
+	tc, _ := c.Table("orders")
+	same := true
+	for r := int64(0); r < 20 && r < ta.NumRows(); r++ {
+		if !ta.Value(r, 3).Equal(tc.Value(r, 3)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different data")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cat := genSmall(t)
+	li, _ := cat.Table("lineitem")
+	orders, _ := cat.Table("orders")
+	part, _ := cat.Table("part")
+	supp, _ := cat.Table("supplier")
+	cust, _ := cat.Table("customer")
+
+	nOrders, nPart, nSupp, nCust := orders.NumRows(), part.NumRows(), supp.NumRows(), cust.NumRows()
+	for r := int64(0); r < li.NumRows(); r += 97 {
+		ok := li.Value(r, 0).I
+		pk := li.Value(r, 1).I
+		sk := li.Value(r, 2).I
+		if ok < 1 || ok > nOrders {
+			t.Fatalf("lineitem orderkey %d out of range", ok)
+		}
+		if pk < 1 || pk > nPart {
+			t.Fatalf("lineitem partkey %d out of range", pk)
+		}
+		if sk < 1 || sk > nSupp {
+			t.Fatalf("lineitem suppkey %d out of range", sk)
+		}
+	}
+	for r := int64(0); r < nOrders; r += 53 {
+		ck := orders.Value(r, 1).I
+		if ck < 1 || ck > nCust {
+			t.Fatalf("order custkey %d out of range", ck)
+		}
+		if ck%3 == 0 {
+			t.Fatalf("order custkey %d should not be divisible by 3", ck)
+		}
+	}
+}
+
+func TestDateAndValueRanges(t *testing.T) {
+	cat := genSmall(t)
+	li, _ := cat.Table("lineitem")
+	sd := li.Schema().IndexOf("l_shipdate")
+	cd := li.Schema().IndexOf("l_commitdate")
+	rd := li.Schema().IndexOf("l_receiptdate")
+	qy := li.Schema().IndexOf("l_quantity")
+	dc := li.Schema().IndexOf("l_discount")
+	for r := int64(0); r < li.NumRows(); r += 71 {
+		ship := li.Value(r, sd).I
+		receipt := li.Value(r, rd).I
+		commit := li.Value(r, cd).I
+		if ship < startDate || receipt <= ship || commit < startDate {
+			t.Fatalf("row %d: bad dates ship=%d commit=%d receipt=%d", r, ship, commit, receipt)
+		}
+		q := li.Value(r, qy).F
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %v out of range", q)
+		}
+		d := li.Value(r, dc).F
+		if d < 0 || d > 0.1 {
+			t.Fatalf("discount %v out of range", d)
+		}
+	}
+}
+
+func TestVocabularySupportsQueryPredicates(t *testing.T) {
+	cat := genSmall(t)
+	// Q9/Q20 need parts whose names contain "green" / start with "forest".
+	part, _ := cat.Table("part")
+	nameIdx := part.Schema().IndexOf("p_name")
+	var green, forest int
+	for r := int64(0); r < part.NumRows(); r++ {
+		n := part.Value(r, nameIdx).S
+		if strings.Contains(n, "green") {
+			green++
+		}
+		if strings.HasPrefix(n, "forest") {
+			forest++
+		}
+	}
+	if green == 0 || forest == 0 {
+		t.Errorf("p_name vocabulary missing green (%d) / forest (%d) parts", green, forest)
+	}
+	// Q13 needs some orders with "special ... requests" comments but not all.
+	orders, _ := cat.Table("orders")
+	ci := orders.Schema().IndexOf("o_comment")
+	var special int
+	for r := int64(0); r < orders.NumRows(); r++ {
+		c := orders.Value(r, ci).S
+		if i := strings.Index(c, "special"); i >= 0 && strings.Contains(c[i:], "requests") {
+			special++
+		}
+	}
+	if special == 0 || int64(special) == orders.NumRows() {
+		t.Errorf("o_comment special-requests count = %d of %d", special, orders.NumRows())
+	}
+	// Q19 ship modes must include both AIR and AIR REG.
+	li, _ := cat.Table("lineitem")
+	mi := li.Schema().IndexOf("l_shipmode")
+	modes := map[string]bool{}
+	for r := int64(0); r < li.NumRows(); r += 13 {
+		modes[li.Value(r, mi).S] = true
+	}
+	if !modes["AIR"] || !modes["AIR REG"] {
+		t.Errorf("ship modes seen: %v", modes)
+	}
+}
+
+func TestRetailPriceFormula(t *testing.T) {
+	if p := partRetailPrice(1); p <= 900 || p >= 2001 {
+		t.Errorf("retail price of part 1 = %v", p)
+	}
+	if partRetailPrice(1) == partRetailPrice(2) {
+		t.Error("prices should vary by part key")
+	}
+	cat := genSmall(t)
+	part, _ := cat.Table("part")
+	pi := part.Schema().IndexOf("p_retailprice")
+	for r := int64(0); r < 10; r++ {
+		want := partRetailPrice(part.Value(r, 0).I)
+		if got := part.Value(r, pi).F; got != want {
+			t.Fatalf("stored retail price %v != formula %v", got, want)
+		}
+	}
+}
+
+func TestScaledRowCounts(t *testing.T) {
+	if scaled(10000, 0.01) != 100 {
+		t.Error("scaled(10000, 0.01)")
+	}
+	if scaled(10, 0.0001) != 1 {
+		t.Error("scaled must floor at 1")
+	}
+}
+
+func TestRNGBasics(t *testing.T) {
+	r := newRNG(1, "x")
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("intn(10) visited %d values", len(seen))
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.rangeI(5, 7)
+		if v < 5 || v > 7 {
+			t.Fatalf("rangeI out of range: %d", v)
+		}
+		f := r.rangeF(-1, 1)
+		if f < -1 || f >= 1 {
+			t.Fatalf("rangeF out of range: %v", f)
+		}
+	}
+	p := r.phone(3)
+	if len(p) != 15 || p[:2] != "13" {
+		t.Errorf("phone = %q", p)
+	}
+	_ = vector.Value{}
+}

@@ -1,0 +1,62 @@
+package tpch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/plan"
+)
+
+const benchSF = 0.02
+
+var (
+	benchCatOnce sync.Once
+	benchCat     *catalog.Catalog
+)
+
+func benchCatalog(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	benchCatOnce.Do(func() {
+		cat, err := Generate(Config{SF: benchSF})
+		if err != nil {
+			panic(err)
+		}
+		benchCat = cat
+	})
+	return benchCat
+}
+
+// BenchmarkGenerate measures the data generator's throughput.
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{SF: 0.005}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTPCH runs every benchmark query end to end at SF 0.02.
+func BenchmarkTPCH(b *testing.B) {
+	cat := benchCatalog(b)
+	for _, q := range All() {
+		node := q.Build(plan.NewBuilder(cat), benchSF)
+		b.Run(fmt.Sprintf("%s", q.Name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp, err := engine.Compile(node, cat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ex := engine.NewExecutor(pp, engine.Options{Workers: 4})
+				if _, err := ex.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

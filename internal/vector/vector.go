@@ -1,0 +1,263 @@
+package vector
+
+import "fmt"
+
+// Vector is a typed column of values with an optional null bitmap. Storage is
+// a tagged union: exactly one of the data slices is in use, selected by the
+// vector's type (ints doubles as the DATE representation).
+type Vector struct {
+	typ    Type
+	length int
+
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+
+	// nulls is a bitmap with one bit per row; nil means "no nulls".
+	nulls []uint64
+}
+
+// New returns an empty vector of the given type with capacity for cap rows.
+func New(t Type, capacity int) *Vector {
+	v := &Vector{typ: t}
+	v.reserve(capacity)
+	return v
+}
+
+func (v *Vector) reserve(capacity int) {
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		if cap(v.ints) < capacity {
+			v.ints = append(make([]int64, 0, capacity), v.ints...)
+		}
+	case TypeFloat64:
+		if cap(v.floats) < capacity {
+			v.floats = append(make([]float64, 0, capacity), v.floats...)
+		}
+	case TypeString:
+		if cap(v.strs) < capacity {
+			v.strs = append(make([]string, 0, capacity), v.strs...)
+		}
+	case TypeBool:
+		if cap(v.bools) < capacity {
+			v.bools = append(make([]bool, 0, capacity), v.bools...)
+		}
+	default:
+		panic(fmt.Sprintf("vector.New: invalid type %v", v.typ))
+	}
+}
+
+// Type returns the vector's logical type.
+func (v *Vector) Type() Type { return v.typ }
+
+// Len returns the number of rows in the vector.
+func (v *Vector) Len() int { return v.length }
+
+// Reset truncates the vector to zero rows, keeping capacity.
+func (v *Vector) Reset() {
+	v.length = 0
+	v.ints = v.ints[:0]
+	v.floats = v.floats[:0]
+	v.strs = v.strs[:0]
+	v.bools = v.bools[:0]
+	v.nulls = v.nulls[:0]
+}
+
+// HasNulls reports whether any row is NULL.
+func (v *Vector) HasNulls() bool {
+	for _, w := range v.nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	w := i >> 6
+	if w >= len(v.nulls) {
+		return false
+	}
+	return v.nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// SetNull marks row i as NULL. The row must already exist.
+func (v *Vector) SetNull(i int) {
+	w := i >> 6
+	for len(v.nulls) <= w {
+		v.nulls = append(v.nulls, 0)
+	}
+	v.nulls[w] |= 1 << (uint(i) & 63)
+}
+
+func (v *Vector) clearNull(i int) {
+	w := i >> 6
+	if w < len(v.nulls) {
+		v.nulls[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Int64s exposes the backing int64 slice (BIGINT and DATE vectors).
+func (v *Vector) Int64s() []int64 { return v.ints }
+
+// Float64s exposes the backing float64 slice (DOUBLE vectors).
+func (v *Vector) Float64s() []float64 { return v.floats }
+
+// Strings exposes the backing string slice (VARCHAR vectors).
+func (v *Vector) Strings() []string { return v.strs }
+
+// Bools exposes the backing bool slice (BOOLEAN vectors).
+func (v *Vector) Bools() []bool { return v.bools }
+
+// AppendInt64 appends an int64/date row.
+func (v *Vector) AppendInt64(x int64) {
+	v.ints = append(v.ints, x)
+	v.length++
+}
+
+// AppendFloat64 appends a float64 row.
+func (v *Vector) AppendFloat64(x float64) {
+	v.floats = append(v.floats, x)
+	v.length++
+}
+
+// AppendString appends a string row.
+func (v *Vector) AppendString(x string) {
+	v.strs = append(v.strs, x)
+	v.length++
+}
+
+// AppendBool appends a bool row.
+func (v *Vector) AppendBool(x bool) {
+	v.bools = append(v.bools, x)
+	v.length++
+}
+
+// AppendNull appends a NULL row (backing storage gets the zero value).
+func (v *Vector) AppendNull() {
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		v.ints = append(v.ints, 0)
+	case TypeFloat64:
+		v.floats = append(v.floats, 0)
+	case TypeString:
+		v.strs = append(v.strs, "")
+	case TypeBool:
+		v.bools = append(v.bools, false)
+	}
+	v.length++
+	v.SetNull(v.length - 1)
+}
+
+// AppendValue appends a boxed value, which must match the vector's type
+// family (BIGINT accepts DATE and vice versa).
+func (v *Vector) AppendValue(val Value) {
+	if val.Null {
+		v.AppendNull()
+		return
+	}
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		v.AppendInt64(val.I)
+	case TypeFloat64:
+		v.AppendFloat64(val.F)
+	case TypeString:
+		v.AppendString(val.S)
+	case TypeBool:
+		v.AppendBool(val.B)
+	default:
+		panic(fmt.Sprintf("AppendValue: invalid vector type %v", v.typ))
+	}
+}
+
+// Value returns the boxed value at row i.
+func (v *Vector) Value(i int) Value {
+	if v.IsNull(i) {
+		return NewNull(v.typ)
+	}
+	switch v.typ {
+	case TypeInt64:
+		return NewInt64(v.ints[i])
+	case TypeDate:
+		return NewDate(v.ints[i])
+	case TypeFloat64:
+		return NewFloat64(v.floats[i])
+	case TypeString:
+		return NewString(v.strs[i])
+	case TypeBool:
+		return NewBool(v.bools[i])
+	default:
+		return Value{}
+	}
+}
+
+// AppendFrom appends row i of src (which must have the same type).
+func (v *Vector) AppendFrom(src *Vector, i int) {
+	if src.IsNull(i) {
+		v.AppendNull()
+		return
+	}
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		v.AppendInt64(src.ints[i])
+	case TypeFloat64:
+		v.AppendFloat64(src.floats[i])
+	case TypeString:
+		v.AppendString(src.strs[i])
+	case TypeBool:
+		v.AppendBool(src.bools[i])
+	}
+}
+
+// HashInto combines the hash of each row into the accumulator slice, which
+// must have at least Len entries.
+func (v *Vector) HashInto(acc []uint64) {
+	n := v.length
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		for i := 0; i < n; i++ {
+			acc[i] = CombineHash(acc[i], mix64(uint64(v.ints[i])))
+		}
+	case TypeFloat64:
+		for i := 0; i < n; i++ {
+			acc[i] = CombineHash(acc[i], mix64(floatBits(v.floats[i])))
+		}
+	case TypeString:
+		for i := 0; i < n; i++ {
+			acc[i] = CombineHash(acc[i], hashString(v.strs[i]))
+		}
+	case TypeBool:
+		for i := 0; i < n; i++ {
+			h := uint64(2)
+			if v.bools[i] {
+				h = 1
+			}
+			acc[i] = CombineHash(acc[i], mix64(h))
+		}
+	}
+	if len(v.nulls) > 0 {
+		for i := 0; i < n; i++ {
+			if v.IsNull(i) {
+				acc[i] = CombineHash(acc[i], 0x9e3779b97f4a7c15)
+			}
+		}
+	}
+}
+
+// MemBytes estimates the resident size of the vector in bytes, including
+// string payloads. Used by the memory accountant that models the
+// process-level (CRIU-style) image size.
+func (v *Vector) MemBytes() int64 {
+	var b int64
+	b += int64(cap(v.ints)) * 8
+	b += int64(cap(v.floats)) * 8
+	b += int64(cap(v.bools))
+	b += int64(cap(v.nulls)) * 8
+	b += int64(cap(v.strs)) * 16
+	for _, s := range v.strs {
+		b += int64(len(s))
+	}
+	return b
+}

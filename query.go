@@ -1,0 +1,191 @@
+package riveter
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/sql"
+	"github.com/riveterdb/riveter/internal/strategy"
+	"github.com/riveterdb/riveter/internal/tpch"
+)
+
+// Result is a fully materialized query result.
+type Result = engine.ResultSet
+
+// Query is a compiled query ready for (repeated) execution.
+type Query struct {
+	db   *DB
+	name string
+	node plan.Node
+}
+
+// Prepare compiles a SQL statement (the supported subset covers
+// select-project-join-aggregate-sort-limit; see internal/sql).
+func (db *DB) Prepare(query string) (*Query, error) {
+	node, err := sql.Compile(query, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, name: "sql", node: node}, nil
+}
+
+// PrepareTPCH compiles TPC-H query 1..22 against the generated dataset.
+// Works after GenerateTPCH or after LoadDir of a tpchgen-produced snapshot
+// (the scale factor is then derived from the orders row count).
+func (db *DB) PrepareTPCH(id int) (*Query, error) {
+	if db.tpchSF == 0 {
+		// Data may have been loaded from disk; derive the scale factor.
+		orders, err := db.cat.Table("orders")
+		if err != nil {
+			return nil, fmt.Errorf("riveter: no TPC-H data loaded (GenerateTPCH or LoadDir first)")
+		}
+		db.tpchSF = float64(orders.NumRows()) / 1500000.0
+	}
+	q, err := tpch.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	node := q.Build(plan.NewBuilder(db.cat), db.tpchSF)
+	return &Query{db: db, name: q.Name, node: node}, nil
+}
+
+// Name returns the query's display name.
+func (q *Query) Name() string { return q.name }
+
+// Plan renders the logical plan tree.
+func (q *Query) Plan() string { return plan.Tree(q.node) }
+
+// Query parses and runs a SQL statement to completion.
+func (db *DB) Query(ctx context.Context, query string) (*Result, error) {
+	q, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(ctx)
+}
+
+// Run executes the query to completion.
+func (q *Query) Run(ctx context.Context) (*Result, error) {
+	pp, err := engine.Compile(q.node, q.db.cat)
+	if err != nil {
+		return nil, err
+	}
+	ex := engine.NewExecutor(pp, engine.Options{Workers: q.db.workers})
+	return ex.Run(ctx)
+}
+
+// Execution is an in-flight query that can be suspended.
+type Execution struct {
+	q  *Query
+	ex *engine.Executor
+
+	once sync.Once
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Start launches the query asynchronously.
+func (q *Query) Start(ctx context.Context) (*Execution, error) {
+	pp, err := engine.Compile(q.node, q.db.cat)
+	if err != nil {
+		return nil, err
+	}
+	e := &Execution{
+		q:    q,
+		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(e.done)
+		e.res, e.err = e.ex.Run(ctx)
+	}()
+	return e, nil
+}
+
+// Suspend requests a suspension: PipelineLevel takes effect at the next
+// pipeline breaker, ProcessLevel at the next morsel boundary. Redo is not a
+// suspension — cancel the Start context instead.
+func (e *Execution) Suspend(k Strategy) error {
+	switch k {
+	case PipelineLevel:
+		e.ex.RequestSuspend(engine.KindPipeline)
+	case ProcessLevel:
+		e.ex.RequestSuspend(engine.KindProcess)
+	default:
+		return fmt.Errorf("riveter: Suspend supports PipelineLevel and ProcessLevel; cancel the context for Redo")
+	}
+	return nil
+}
+
+// Wait blocks until the query completes, suspends, or is cancelled. It
+// returns ErrSuspended when a requested suspension took effect.
+func (e *Execution) Wait() error {
+	<-e.done
+	return e.err
+}
+
+// Result returns the completed result (after Wait returned nil).
+func (e *Execution) Result() (*Result, error) {
+	<-e.done
+	return e.res, e.err
+}
+
+// CheckpointInfo describes a persisted checkpoint.
+type CheckpointInfo struct {
+	Path string
+	// Kind is "pipeline" or "process".
+	Kind string
+	// StateBytes is the serialized operator state; TotalBytes additionally
+	// counts the process-image padding.
+	StateBytes, TotalBytes int64
+}
+
+// Checkpoint persists the suspended execution's state to path. Valid only
+// after Wait returned ErrSuspended.
+func (e *Execution) Checkpoint(path string) (*CheckpointInfo, error) {
+	<-e.done
+	if !errors.Is(e.err, ErrSuspended) {
+		return nil, fmt.Errorf("riveter: execution is not suspended (err=%v)", e.err)
+	}
+	wres, err := strategy.Persist(e.ex, path, e.q.name)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointInfo{
+		Path:       path,
+		Kind:       wres.Manifest.Kind,
+		StateBytes: wres.Manifest.StateBytes,
+		TotalBytes: wres.Manifest.TotalBytes(),
+	}, nil
+}
+
+// Resume loads a checkpoint of this query and runs it to completion. The
+// checkpoint's plan fingerprint must match; process-level checkpoints also
+// require the same worker count.
+func (q *Query) Resume(ctx context.Context, path string) (*Result, error) {
+	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers})
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(ctx)
+}
+
+// ReadCheckpointInfo inspects a checkpoint file without loading its state.
+func ReadCheckpointInfo(path string) (*CheckpointInfo, error) {
+	m, err := checkpoint.ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointInfo{
+		Path:       path,
+		Kind:       m.Kind,
+		StateBytes: m.StateBytes,
+		TotalBytes: m.TotalBytes(),
+	}, nil
+}
