@@ -1,0 +1,41 @@
+# Development targets. CI (.github/workflows/ci.yml) runs exactly these,
+# so local `make ci` reproduces the full pipeline.
+
+GO ?= go
+
+# Packages with real concurrency (executor workers, suspension strategies,
+# adaptive controller) — the -race job covers these.
+RACE_PKGS := ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/...
+
+.PHONY: all build test race vet fmt bench-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One iteration of every engine benchmark: keeps benchmark code compiling
+# and running without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/engine/...
+
+# Real engine microbenchmarks (compare against bench_results.txt).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/engine/...
+
+ci: build vet fmt test race bench-smoke

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter/internal/costmodel"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/riveter"
 	"github.com/riveterdb/riveter/internal/strategy"
 )
@@ -33,6 +34,10 @@ type AdaptiveReport struct {
 	PersistedBytes int64
 	// SelectionTime is the cost model's running time.
 	SelectionTime time.Duration
+	// Trace is the run's structured event stream — strategy decision with
+	// cost-model inputs, suspension, checkpoint, restore, and outcome
+	// events (nil unless the DB was opened WithTracing).
+	Trace *obs.Trace
 }
 
 // Adaptive wraps a query with Riveter's adaptive suspension controller.
@@ -50,6 +55,8 @@ func (q *Query) NewAdaptive() (*Adaptive, error) {
 	ctrl := riveter.NewController(q.db.cat, q.db.workers, q.db.checkpointDir)
 	ctrl.IO = q.db.io
 	ctrl.Rng = rand.New(rand.NewSource(1))
+	ctrl.Metrics = q.db.metrics
+	ctrl.Tracing = q.db.tracing
 	spec, err := ctrl.Calibrate(q.name, q.node)
 	if err != nil {
 		return nil, err
@@ -98,6 +105,7 @@ func (a *Adaptive) Run(sc Scenario) (*AdaptiveReport, error) {
 		TotalTime:      rep.TotalTime,
 		PersistedBytes: rep.PersistedBytes,
 		SelectionTime:  rep.SelectionTime,
+		Trace:          rep.Trace,
 	}, nil
 }
 
@@ -115,5 +123,6 @@ func (a *Adaptive) SuspendAt(k Strategy, frac float64) (*AdaptiveReport, error) 
 		NormalTime:     rep.NormalTime,
 		TotalTime:      rep.TotalTime,
 		PersistedBytes: rep.PersistedBytes,
+		Trace:          rep.Trace,
 	}, nil
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/riveterdb/riveter/internal/bench"
+	"github.com/riveterdb/riveter/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for data generation and termination sampling")
 		ckdir   = flag.String("checkpoint-dir", "", "checkpoint directory (default: temp dir)")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		metrics = flag.Bool("metrics", false, "collect decision traces and dump a metrics snapshot (human-readable + JSON) at exit")
 	)
 	flag.Parse()
 
@@ -38,6 +40,10 @@ func main() {
 		CheckpointDir: *ckdir,
 		Out:           os.Stdout,
 		Quiet:         *quiet,
+	}
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.DecisionTraces = true
 	}
 	var err error
 	if cfg.SFs, err = parseFloats(*sfs); err != nil {
@@ -56,6 +62,12 @@ func main() {
 	}
 	if _, err := suite.Run(*exp); err != nil {
 		fatal("%v", err)
+	}
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		fmt.Println("\nmetrics:")
+		_ = snap.WriteText(os.Stdout)
+		_ = snap.WriteJSON(os.Stdout)
 	}
 }
 

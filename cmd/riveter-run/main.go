@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/obs"
 )
 
 func main() {
@@ -36,10 +37,18 @@ func main() {
 		prob     = flag.Float64("p", 1.0, "termination probability (adaptive mode)")
 		window   = flag.String("window", "0.5,0.75", "termination window fractions (adaptive mode)")
 		maxRows  = flag.Int64("rows", 20, "result rows to print")
+		metrics  = flag.Bool("metrics", false, "dump execution trace and metrics (human-readable + JSON) at exit")
 	)
 	flag.Parse()
 
-	db := riveter.Open(riveter.WithWorkers(*workers))
+	dbOpts := []riveter.Option{riveter.WithWorkers(*workers)}
+	if *metrics {
+		dbOpts = append(dbOpts, riveter.WithTracing())
+	}
+	db := riveter.Open(dbOpts...)
+	if *metrics {
+		defer dumpMetrics(db)
+	}
 	fmt.Printf("generating TPC-H SF %g ...\n", *sf)
 	if err := db.GenerateTPCH(*sf); err != nil {
 		fatal("%v", err)
@@ -119,12 +128,15 @@ func runWithSuspension(ctx context.Context, db *riveter.DB, q *riveter.Query, ki
 		info.Kind, info.TotalBytes, info.StateBytes, info.Path)
 
 	resumeStart := time.Now()
-	res, err := q.Resume(ctx, path)
+	// Execution.Resume continues the execution's trace, so a -metrics dump
+	// covers the whole suspend→checkpoint→resume round trip.
+	res, err := exec.Resume(ctx, path)
 	if err != nil {
 		fatal("resume: %v", err)
 	}
 	fmt.Printf("resumed and completed in %v, %d rows\n%s",
 		time.Since(resumeStart).Round(time.Millisecond), res.NumRows(), res.Format(maxRows))
+	dumpTrace(exec.Trace())
 }
 
 func runAdaptive(q *riveter.Query, prob float64, window string) {
@@ -153,6 +165,25 @@ func runAdaptive(q *riveter.Query, prob float64, window string) {
 	fmt.Printf("cost model runtime: %v\n", rep.SelectionTime)
 	fmt.Printf("execution time with suspension: %v (normal %v)\n",
 		rep.TotalTime.Round(time.Millisecond), rep.NormalTime.Round(time.Millisecond))
+	dumpTrace(rep.Trace)
+}
+
+// dumpTrace prints the run's event stream, human-readable then JSON.
+func dumpTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	fmt.Println()
+	_ = tr.WriteText(os.Stdout)
+	_ = tr.WriteJSON(os.Stdout)
+}
+
+// dumpMetrics prints the DB's metrics snapshot, human-readable then JSON.
+func dumpMetrics(db *riveter.DB) {
+	snap := db.Metrics().Snapshot()
+	fmt.Println("\nmetrics:")
+	_ = snap.WriteText(os.Stdout)
+	_ = snap.WriteJSON(os.Stdout)
 }
 
 func fatal(format string, args ...any) {

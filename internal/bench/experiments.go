@@ -300,6 +300,7 @@ func (s *Suite) Fig11() ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				s.logDecision(arep)
 				trials++
 				// The paper's criterion: the query "under the strategy
 				// chosen by Riveter is completed in the shortest time".

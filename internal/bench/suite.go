@@ -10,6 +10,7 @@ import (
 
 	"github.com/riveterdb/riveter/internal/catalog"
 	"github.com/riveterdb/riveter/internal/costmodel"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
 	"github.com/riveterdb/riveter/internal/riveter"
 	"github.com/riveterdb/riveter/internal/strategy"
@@ -36,6 +37,13 @@ type Config struct {
 	Out io.Writer
 	// Quiet suppresses progress logging.
 	Quiet bool
+	// Metrics, when set, receives suspend/resume latency, checkpoint size,
+	// and strategy-decision metrics from every run the suite executes.
+	Metrics *obs.Registry
+	// DecisionTraces attaches a per-run decision trace to every controller
+	// Report; adaptive runs additionally log a one-line decision summary
+	// (chosen strategy plus the cost-model inputs that produced it).
+	DecisionTraces bool
 }
 
 // DefaultConfig returns the laptop-scale defaults (1:5:10 SF ratio).
@@ -157,6 +165,8 @@ func (s *Suite) controllerFor(sf float64) (*riveter.Controller, error) {
 	}
 	c := riveter.NewController(cat, s.cfg.Workers, s.cfg.CheckpointDir)
 	c.Rng = rand.New(rand.NewSource(s.cfg.Seed))
+	c.Metrics = s.cfg.Metrics
+	c.Tracing = s.cfg.DecisionTraces
 	if io, err := costmodel.CalibrateIO(s.cfg.CheckpointDir); err == nil {
 		c.IO = io
 	}
@@ -241,6 +251,24 @@ func (s *Suite) regressionFor(sf float64) (*costmodel.RegressionEstimator, error
 	}
 	s.regs[sf] = reg
 	return reg, nil
+}
+
+// logDecision logs one adaptive run's strategy-decision event (attached to
+// the report's trace when DecisionTraces is enabled): the chosen strategy
+// plus the cost-model inputs and per-strategy costs that produced it.
+func (s *Suite) logDecision(rep *riveter.Report) {
+	if rep == nil || rep.Trace == nil {
+		return
+	}
+	ev, ok := rep.Trace.Find(obs.EvDecision)
+	if !ok {
+		return
+	}
+	line := fmt.Sprintf("  decision %s:", rep.Query)
+	for _, a := range ev.Attrs {
+		line += fmt.Sprintf(" %s=%v", a.Key, a.Value)
+	}
+	s.logf("%s", line)
 }
 
 // Experiments returns the experiment ids in paper order.

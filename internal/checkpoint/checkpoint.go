@@ -42,6 +42,11 @@ type WriteResult struct {
 	FileBytes int64
 	// Duration is the wall time of serializing, writing, and fsyncing.
 	Duration time.Duration
+	// SerializeDuration is the state-serialization share of Duration;
+	// WriteDuration is the write+fsync share (padding included). Together
+	// they decompose the measured L_s for the observability layer.
+	SerializeDuration time.Duration
+	WriteDuration     time.Duration
 }
 
 // Write persists a checkpoint: save serializes the executor state; padding
@@ -66,6 +71,7 @@ func Write(path string, m Manifest, save func(*vector.Encoder) error, padding in
 	// an in-memory spill-free path is not possible without buffering; state
 	// sizes here are modest relative to RAM (they ARE the measured
 	// intermediate data), so buffer the state bytes.
+	serStart := time.Now()
 	var stateBuf sliceWriter
 	enc := vector.NewEncoder(&stateBuf)
 	if err := save(enc); err != nil {
@@ -74,10 +80,12 @@ func Write(path string, m Manifest, save func(*vector.Encoder) error, padding in
 	if enc.Err() != nil {
 		return nil, fmt.Errorf("checkpoint: serialize state: %w", enc.Err())
 	}
+	serDur := time.Since(serStart)
 	m.StateBytes = int64(len(stateBuf.b))
 	m.PaddingBytes = padding
 	m.CreatedUnixNano = time.Now().UnixNano()
 
+	writeStart := time.Now()
 	mj, err := json.Marshal(m)
 	if err != nil {
 		return nil, err
@@ -117,7 +125,13 @@ func Write(path string, m Manifest, save func(*vector.Encoder) error, padding in
 	if err != nil {
 		return nil, err
 	}
-	return &WriteResult{Manifest: m, FileBytes: st.Size(), Duration: time.Since(start)}, nil
+	return &WriteResult{
+		Manifest:          m,
+		FileBytes:         st.Size(),
+		Duration:          time.Since(start),
+		SerializeDuration: serDur,
+		WriteDuration:     time.Since(writeStart),
+	}, nil
 }
 
 type sliceWriter struct{ b []byte }

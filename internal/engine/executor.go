@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/vector"
 )
 
@@ -94,6 +95,40 @@ type Options struct {
 	// AutoSuspend, when its threshold is positive, arms a one-shot
 	// progress-triggered suspension.
 	AutoSuspend AutoSuspend
+	// Obs attaches metrics and tracing. The zero value disables both; the
+	// hot morsel loop then pays only two thread-local integer adds.
+	Obs obs.Context
+}
+
+// execMetrics holds the executor's metric handles, resolved once at
+// construction so the run loop never touches the registry. All handles are
+// nil (and drop recordings) when no registry is attached.
+type execMetrics struct {
+	morsels   *obs.Counter
+	processed *obs.Counter
+	pipesDone *obs.Counter
+	breakers  *obs.Counter
+	suspends  [3]*obs.Counter // indexed by SuspendKind
+	pipeDur   *obs.Histogram
+	liveState *obs.Gauge
+}
+
+func resolveExecMetrics(r *obs.Registry) execMetrics {
+	if r == nil {
+		return execMetrics{}
+	}
+	return execMetrics{
+		morsels:   r.Counter(obs.MetricMorsels),
+		processed: r.Counter(obs.MetricProcessedBytes),
+		pipesDone: r.Counter(obs.MetricPipelinesDone),
+		breakers:  r.Counter(obs.MetricBreakers),
+		suspends: [3]*obs.Counter{
+			KindPipeline: r.Counter(obs.Kinded(obs.MetricSuspends, "pipeline")),
+			KindProcess:  r.Counter(obs.Kinded(obs.MetricSuspends, "process")),
+		},
+		pipeDur:   r.DurationHistogram(obs.MetricPipelineDuration),
+		liveState: r.Gauge(obs.MetricLiveStateBytes),
+	}
 }
 
 // Executor runs a physical plan with morsel-driven parallelism and supports
@@ -103,6 +138,8 @@ type Executor struct {
 	pp   *PhysicalPlan
 	opts Options
 	acct *Accountant
+	met  execMetrics
+	tr   *obs.Trace
 
 	suspendReq  atomic.Int32
 	autoFired   atomic.Bool
@@ -145,6 +182,8 @@ func NewExecutor(pp *PhysicalPlan, opts Options) *Executor {
 		pp:        pp,
 		opts:      opts,
 		acct:      acct,
+		met:       resolveExecMetrics(opts.Obs.Metrics),
+		tr:        opts.Obs.Trace,
 		done:      make([]bool, len(pp.Pipelines)),
 		pipeTimes: make([]time.Duration, len(pp.Pipelines)),
 	}
@@ -159,11 +198,27 @@ func (ex *Executor) Workers() int { return ex.opts.Workers }
 // Accountant returns the memory accountant.
 func (ex *Executor) Accountant() *Accountant { return ex.acct }
 
+// Obs returns the executor's observability context (zero when disabled).
+func (ex *Executor) Obs() obs.Context { return obs.Context{Metrics: ex.opts.Obs.Metrics, Trace: ex.tr} }
+
 // RequestSuspend asks the executor to suspend at the next opportunity of the
 // given kind. Safe to call from any goroutine. A later request overrides an
 // earlier one only if none has been consumed yet.
 func (ex *Executor) RequestSuspend(kind SuspendKind) {
 	ex.suspendReq.Store(int32(kind))
+	ex.tr.Event(obs.EvSuspendRequested, obs.A("kind", kindName(kind)))
+}
+
+// kindName renders a SuspendKind for trace attributes.
+func kindName(k SuspendKind) string {
+	switch k {
+	case KindPipeline:
+		return "pipeline"
+	case KindProcess:
+		return "process"
+	default:
+		return "none"
+	}
 }
 
 // Suspended returns the suspension capture after Run returned ErrSuspended.
@@ -351,6 +406,11 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 		}
 
 		morsels := p.Source.MorselCount()
+		if ex.tr != nil {
+			ex.tr.Event(obs.EvPipelineStart,
+				obs.A("pipeline", pi), obs.A("workers", ex.opts.Workers),
+				obs.A("morsels", morsels), obs.A("cursor", cursor.Load()))
+		}
 		var (
 			wg        sync.WaitGroup
 			procStop  atomic.Bool
@@ -384,8 +444,15 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 			ex.cursor = cur
 			ex.locals = locals
 			ex.pipeElapsed += time.Since(pipeStart)
-			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi, Cursor: cur, Elapsed: ex.elapsed + time.Since(start)}
+			elapsed := ex.elapsed + time.Since(start)
+			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi, Cursor: cur, Elapsed: elapsed}
 			ex.mu.Unlock()
+			ex.met.suspends[KindProcess].Inc()
+			if ex.tr != nil {
+				ex.tr.Event(obs.EvSuspendAcked,
+					obs.A("kind", "process"), obs.A("pipeline", pi),
+					obs.A("cursor", cur), obs.A("elapsed", elapsed))
+			}
 			return nil, ErrSuspended
 		}
 
@@ -400,12 +467,22 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 		}
 		ex.mu.Lock()
 		ex.done[pi] = true
-		ex.pipeTimes[pi] = ex.pipeElapsed + time.Since(pipeStart)
+		pipeDur := ex.pipeElapsed + time.Since(pipeStart)
+		ex.pipeTimes[pi] = pipeDur
 		ex.pipeElapsed = 0
 		ex.current = pi + 1
 		ex.cursor = 0
 		ex.locals = nil
 		ex.mu.Unlock()
+		ex.met.pipesDone.Inc()
+		ex.met.pipeDur.ObserveDuration(pipeDur)
+		if ex.met.liveState != nil {
+			ex.met.liveState.Set(ex.liveStateBytes())
+		}
+		if ex.tr != nil {
+			ex.tr.Event(obs.EvPipelineFinish,
+				obs.A("pipeline", pi), obs.A("duration", pipeDur), obs.A("morsels", morsels))
+		}
 
 		if pi == len(ex.pp.Pipelines)-1 {
 			break // last pipeline: no breaker decision after the result sink
@@ -425,14 +502,27 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 			ex.current = pi + 1
 			ex.cursor = 0
 			ex.locals = fresh
-			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi + 1, Elapsed: ex.elapsed + time.Since(start)}
+			elapsed := ex.elapsed + time.Since(start)
+			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi + 1, Elapsed: elapsed}
 			ex.mu.Unlock()
+			ex.met.suspends[KindProcess].Inc()
+			if ex.tr != nil {
+				ex.tr.Event(obs.EvSuspendAcked,
+					obs.A("kind", "process"), obs.A("pipeline", pi+1),
+					obs.A("cursor", int64(0)), obs.A("elapsed", elapsed))
+			}
 			return nil, ErrSuspended
 		}
 		if ex.breakerSuspend(pi, start) {
 			ex.mu.Lock()
-			ex.suspended = &SuspendInfo{Kind: KindPipeline, Pipeline: pi + 1, Elapsed: ex.elapsed + time.Since(start)}
+			elapsed := ex.elapsed + time.Since(start)
+			ex.suspended = &SuspendInfo{Kind: KindPipeline, Pipeline: pi + 1, Elapsed: elapsed}
 			ex.mu.Unlock()
+			ex.met.suspends[KindPipeline].Inc()
+			if ex.tr != nil {
+				ex.tr.Event(obs.EvSuspendAcked,
+					obs.A("kind", "pipeline"), obs.A("pipeline", pi+1), obs.A("elapsed", elapsed))
+			}
 			return nil, ErrSuspended
 		}
 	}
@@ -444,6 +534,10 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 // breakerSuspend runs the breaker hook after pipeline pi finalized and
 // reports whether a pipeline-level suspension should trigger.
 func (ex *Executor) breakerSuspend(pi int, runStart time.Time) bool {
+	ex.met.breakers.Inc()
+	if ex.tr != nil {
+		ex.tr.Event(obs.EvBreaker, obs.A("pipeline", pi))
+	}
 	// An explicit pipeline-level request wins.
 	if SuspendKind(ex.suspendReq.Load()) == KindPipeline {
 		ex.suspendReq.Store(int32(KindNone))
@@ -478,6 +572,13 @@ func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.I
 		return p.Sink.Consume(local, c)
 	})
 	auto := ex.opts.AutoSuspend
+	// Metrics are accumulated worker-locally and flushed once on exit so the
+	// morsel loop pays two plain integer adds, not shared atomics.
+	var doneMorsels, doneBytes int64
+	defer func() {
+		ex.met.morsels.Add(doneMorsels)
+		ex.met.processed.Add(doneBytes)
+	}()
 	for {
 		if ctx.Err() != nil {
 			return nil // cancellation surfaces via ctx.Err in Run
@@ -504,7 +605,10 @@ func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.I
 		if n == 0 {
 			continue
 		}
-		ex.acct.AddProcessed(chunk.MemBytes())
+		mb := chunk.MemBytes()
+		ex.acct.AddProcessed(mb)
+		doneMorsels++
+		doneBytes += mb
 		if err := chain(chunk); err != nil {
 			return err
 		}

@@ -1,0 +1,82 @@
+// Package obs is Riveter's stdlib-only observability layer: counters,
+// gauges, and fixed-bucket histograms behind a lock-cheap Registry, plus a
+// per-query Trace of structured events covering the whole suspend/resume
+// life cycle (pipeline start/finish, breaker reached, suspension request
+// and acknowledgement, checkpoint serialize/write, restore, and the cost
+// model's strategy decision with the inputs that produced it).
+//
+// Everything is nil-safe: a nil *Registry, *Trace, Counter, Gauge, or
+// Histogram accepts recordings and drops them, so instrumented code paths
+// need no "is observability on?" branches. Hot-path instrumentation is
+// allocation-free: metric handles are resolved once (at executor
+// construction), observations are single atomic operations, and histogram
+// buckets are preallocated.
+//
+// Metric names map onto the paper's measured quantities (see DESIGN.md
+// "Observability"):
+//
+//	suspend.latency.{pipeline,process}   — L_s  (checkpoint persist wall time)
+//	resume.latency.{pipeline,process}    — L_r  (checkpoint restore wall time)
+//	checkpoint.bytes.{pipeline,process}  — persisted checkpoint size
+//	checkpoint.state_bytes               — serialized operator state (no padding)
+//	engine.pipeline.duration             — per-pipeline execution time
+//	engine.morsels / engine.processed_bytes — execution progress counters
+//	riveter.decision.{redo,pipeline,process} — Algorithm 1 outcomes
+package obs
+
+// Context bundles the two observability handles instrumented code paths
+// accept. The zero value disables both; either field may be set alone.
+type Context struct {
+	// Metrics receives counters, gauges, and histogram observations.
+	Metrics *Registry
+	// Trace receives structured per-query events.
+	Trace *Trace
+}
+
+// Enabled reports whether any observability sink is attached.
+func (c Context) Enabled() bool { return c.Metrics != nil || c.Trace != nil }
+
+// Canonical metric names. Suspend/resume/checkpoint metrics append a
+// ".<kind>" suffix ("pipeline" or "process") via the Kinded helper.
+const (
+	// MetricSuspendLatency histograms L_s per strategy kind (nanoseconds).
+	MetricSuspendLatency = "suspend.latency"
+	// MetricResumeLatency histograms L_r per strategy kind (nanoseconds).
+	MetricResumeLatency = "resume.latency"
+	// MetricCheckpointBytes histograms the persisted checkpoint size
+	// (state + process-image padding) per strategy kind.
+	MetricCheckpointBytes = "checkpoint.bytes"
+	// MetricCheckpointStateBytes histograms the serialized operator state
+	// alone, the S^ppl the cost model reasons about.
+	MetricCheckpointStateBytes = "checkpoint.state_bytes"
+	// MetricCheckpointSerialize histograms state-serialization wall time.
+	MetricCheckpointSerialize = "checkpoint.serialize.duration"
+	// MetricCheckpointWrite histograms write+fsync wall time.
+	MetricCheckpointWrite = "checkpoint.write.duration"
+
+	// MetricPipelineDuration histograms per-pipeline execution time.
+	MetricPipelineDuration = "engine.pipeline.duration"
+	// MetricMorsels counts morsels executed across all workers.
+	MetricMorsels = "engine.morsels"
+	// MetricProcessedBytes counts bytes flowing through workers.
+	MetricProcessedBytes = "engine.processed_bytes"
+	// MetricPipelinesDone counts finalized pipelines.
+	MetricPipelinesDone = "engine.pipelines_done"
+	// MetricBreakers counts pipeline breakers crossed with a hook attached.
+	MetricBreakers = "engine.breakers"
+	// MetricSuspends counts acknowledged suspensions per kind.
+	MetricSuspends = "engine.suspends"
+	// MetricLiveStateBytes gauges the live operator state at the last
+	// pipeline boundary.
+	MetricLiveStateBytes = "engine.live_state_bytes"
+
+	// MetricDecisions counts cost-model decisions per chosen strategy.
+	MetricDecisions = "riveter.decision"
+	// MetricDecisionTime histograms the cost model's own running time
+	// (the paper's Table V selection time).
+	MetricDecisionTime = "riveter.decision.duration"
+)
+
+// Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,
+// "process") == "suspend.latency.process".
+func Kinded(metric, kind string) string { return metric + "." + kind }

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event names emitted by the instrumented paths. Attr keys are
+// lower_snake_case; durations are nanoseconds, sizes are bytes.
+const (
+	// EvPipelineStart / EvPipelineFinish bracket one pipeline execution.
+	// Attrs: pipeline, morsels (finish), duration (finish), workers.
+	EvPipelineStart  = "pipeline.start"
+	EvPipelineFinish = "pipeline.finish"
+	// EvBreaker marks a crossed pipeline breaker where a suspension
+	// decision could run. Attrs: pipeline, elapsed.
+	EvBreaker = "breaker.reached"
+	// EvSuspendRequested records RequestSuspend. Attrs: kind.
+	EvSuspendRequested = "suspend.requested"
+	// EvSuspendAcked records the executor capturing a suspension.
+	// Attrs: kind, pipeline, cursor, elapsed.
+	EvSuspendAcked = "suspend.acknowledged"
+	// EvCheckpointSerialize / EvCheckpointWrite split a checkpoint persist
+	// into its state-serialization and write+fsync halves.
+	// Attrs: state_bytes / total_bytes, duration.
+	EvCheckpointSerialize = "checkpoint.serialize"
+	EvCheckpointWrite     = "checkpoint.write"
+	// EvCheckpointPersisted summarizes one persisted checkpoint.
+	// Attrs: kind, state_bytes, padding_bytes, total_bytes, duration (L_s).
+	EvCheckpointPersisted = "checkpoint.persisted"
+	// EvResumeRestore records a checkpoint restore into a fresh executor.
+	// Attrs: kind, total_bytes, duration (L_r).
+	EvResumeRestore = "resume.restore"
+	// EvDecision records one Algorithm 1 run with its cost-model inputs and
+	// outputs. Attrs: strategy, cost_redo, cost_pipeline, cost_process,
+	// ct, avg_pipeline_time, next_breaker_eta, pipeline_state_bytes,
+	// available_memory, est_total, model_time.
+	EvDecision = "strategy.decision"
+	// EvOutcome closes the loop on a decision with measured actuals.
+	// Attrs: strategy, suspended, terminated, suspend_latency,
+	// resume_latency, persisted_bytes, total_time, normal_time.
+	EvOutcome = "strategy.outcome"
+)
+
+// Attr is one structured event attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one recorded trace event.
+type Event struct {
+	// Seq is the event's position in the trace (0-based, dense).
+	Seq int
+	// At is the offset from the trace's start.
+	At time.Duration
+	// Name is one of the Ev* constants (or a caller-defined name).
+	Name string
+	// Attrs are the event's structured attributes, in recording order.
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute (nil if absent).
+func (e Event) Attr(key string) any {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// Trace records the structured event stream of one query execution,
+// spanning suspensions and resumes (the controller threads one Trace
+// through the original executor, the checkpoint, and the resumed
+// executor). A nil *Trace drops all events. Safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	query  string
+	start  time.Time
+	events []Event
+}
+
+// NewTrace starts a trace for the named query.
+func NewTrace(query string) *Trace {
+	return &Trace{query: query, start: time.Now(), events: make([]Event, 0, 32)}
+}
+
+// Query returns the traced query's name ("" for nil).
+func (t *Trace) Query() string {
+	if t == nil {
+		return ""
+	}
+	return t.query
+}
+
+// Event appends one event with the current timestamp.
+func (t *Trace) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start)
+	t.mu.Lock()
+	t.events = append(t.events, Event{Seq: len(t.events), At: at, Name: name, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Find returns the first event with the given name, and whether one exists.
+func (t *Trace) Find(name string) (Event, bool) {
+	for _, e := range t.Events() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FindAll returns every event with the given name, in order.
+func (t *Trace) FindAll(name string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// renderAttr renders attribute values compactly; durations stay readable.
+func renderAttr(v any) string {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.Round(time.Microsecond).String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// WriteText writes a human-readable event log.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	query := t.query
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "trace %s (%d events)\n", query, len(events)); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "  %10s  %-24s", e.At.Round(time.Microsecond), e.Name); err != nil {
+			return err
+		}
+		for _, a := range e.Attrs {
+			if _, err := fmt.Fprintf(w, " %s=%s", a.Key, renderAttr(a.Value)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonEvent mirrors Event with JSON-friendly attribute encoding.
+type jsonEvent struct {
+	Seq   int            `json:"seq"`
+	AtNs  int64          `json:"at_ns"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	query := t.query
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	out := struct {
+		Query  string      `json:"query"`
+		Events []jsonEvent `json:"events"`
+	}{Query: query, Events: make([]jsonEvent, 0, len(events))}
+	for _, e := range events {
+		je := jsonEvent{Seq: e.Seq, AtNs: int64(e.At), Name: e.Name}
+		if len(e.Attrs) > 0 {
+			je.Attrs = make(map[string]any, len(e.Attrs))
+			for _, a := range e.Attrs {
+				if d, ok := a.Value.(time.Duration); ok {
+					je.Attrs[a.Key] = int64(d)
+				} else {
+					je.Attrs[a.Key] = a.Value
+				}
+			}
+		}
+		out.Events = append(out.Events, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/riveterdb/riveter/internal/cloud"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
 	"github.com/riveterdb/riveter/internal/strategy"
 )
@@ -43,6 +44,13 @@ type Controller struct {
 	Retention float64
 	// Rng drives termination sampling.
 	Rng *rand.Rand
+	// Metrics, when set, receives suspend/resume/decision metrics from
+	// every scenario run.
+	Metrics *obs.Registry
+	// Tracing, when true, attaches a per-run decision Trace to each Report
+	// (strategy decisions with their cost-model inputs, suspension
+	// acknowledgements, checkpoint persists, restores, and outcomes).
+	Tracing bool
 
 	seq atomic.Int64
 }
@@ -161,6 +169,9 @@ type Report struct {
 	SelectionTime time.Duration
 	// Decision is the cost model decision that committed the strategy.
 	Decision costmodel.Decision
+	// Trace is the run's structured event stream (nil unless the
+	// controller's Tracing flag is set).
+	Trace *obs.Trace
 }
 
 // Overhead is TotalTime - NormalTime, clamped at zero.
@@ -173,6 +184,34 @@ func (r *Report) Overhead() time.Duration {
 
 func (c *Controller) ckptPath(name string) string {
 	return filepath.Join(c.CheckpointDir, fmt.Sprintf("%s-%d.rvck", name, c.seq.Add(1)))
+}
+
+// obsFor builds the run's observability context: the controller's shared
+// registry plus (when Tracing) a fresh per-run trace attached to rep.
+func (c *Controller) obsFor(rep *Report, name string) obs.Context {
+	o := obs.Context{Metrics: c.Metrics}
+	if c.Tracing {
+		o.Trace = obs.NewTrace(name)
+		rep.Trace = o.Trace
+	}
+	return o
+}
+
+// recordOutcome closes the loop on a run: the measured actuals that the
+// cost model's estimates should be audited against.
+func recordOutcome(rep *Report) {
+	if rep.Trace == nil {
+		return
+	}
+	rep.Trace.Event(obs.EvOutcome,
+		obs.A("strategy", rep.Strategy.String()),
+		obs.A("suspended", rep.Suspended),
+		obs.A("terminated", rep.Terminated),
+		obs.A("suspend_latency", rep.SuspendLatency),
+		obs.A("resume_latency", rep.ResumeLatency),
+		obs.A("persisted_bytes", rep.PersistedBytes),
+		obs.A("total_time", rep.TotalTime),
+		obs.A("normal_time", rep.NormalTime))
 }
 
 // accountant builds the process-image model, honoring Retention overrides.
@@ -263,6 +302,7 @@ func (c *Controller) runForced(spec QuerySpec, sc Scenario, ev Event, k strategy
 		TerminationAt: ev.At,
 	}
 	model := sc.Model(spec.EstTotal)
+	o := c.obsFor(rep, spec.Name)
 	start := time.Now()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -273,7 +313,7 @@ func (c *Controller) runForced(spec QuerySpec, sc Scenario, ev Event, k strategy
 	if err != nil {
 		return nil, err
 	}
-	opts := engine.Options{Workers: c.Workers, Accountant: c.accountant()}
+	opts := engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: o}
 	useProgress := k != strategy.Redo && progressFrac >= 0 && spec.TotalProcessed > 0
 	if useProgress {
 		// Progress-triggered: workers raise the request at the morsel
@@ -309,6 +349,7 @@ func (c *Controller) runForced(spec QuerySpec, sc Scenario, ev Event, k strategy
 		_ = res
 		guard.disarm()
 		rep.TotalTime = time.Since(start)
+		recordOutcome(rep)
 		return rep, nil
 
 	case errors.Is(err, engine.ErrSuspended):
@@ -354,8 +395,10 @@ func (c *Controller) finishSuspended(rep *Report, spec QuerySpec, ev Event, star
 	rep.PersistedBytes = wres.Manifest.TotalBytes()
 	rep.SuspendLatency = wres.Duration
 
-	// Resource gap passes (not counted), then resume.
-	ex2, rres, err := strategy.Restore(c.Cat, spec.Node, path, engine.Options{Workers: c.Workers})
+	// Resource gap passes (not counted), then resume. The run's trace
+	// continues into the restored executor so suspend→checkpoint→resume
+	// forms one event stream.
+	ex2, rres, err := strategy.Restore(c.Cat, spec.Node, path, engine.Options{Workers: c.Workers, Obs: ex.Obs()})
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +408,7 @@ func (c *Controller) finishSuspended(rep *Report, spec QuerySpec, ev Event, star
 		return nil, fmt.Errorf("riveter: resumed run: %w", err)
 	}
 	rep.TotalTime = suspendOffset + wres.Duration + rres.Duration + time.Since(resumeStart)
+	recordOutcome(rep)
 	return rep, nil
 }
 
@@ -376,6 +420,7 @@ func (c *Controller) finishTerminated(rep *Report, spec QuerySpec, ev Event) (*R
 		return nil, err
 	}
 	rep.TotalTime = ev.At + rerunTime
+	recordOutcome(rep)
 	return rep, nil
 }
 
@@ -403,6 +448,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		WindowEnd:   model.End,
 	}
 
+	o := c.obsFor(rep, spec.Name)
 	start := time.Now()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -413,7 +459,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 	if err != nil {
 		return nil, err
 	}
-	ex := engine.NewExecutor(pp, engine.Options{Workers: c.Workers, Accountant: c.accountant()})
+	ex := engine.NewExecutor(pp, engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: o})
 
 	// The alert quiesces the executor at a morsel boundary.
 	alertDelay := time.Until(start.Add(model.Start))
@@ -430,6 +476,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		_ = res
 		guard.disarm()
 		rep.TotalTime = time.Since(start)
+		recordOutcome(rep)
 		return rep, nil
 	case errors.Is(err, engine.ErrSuspended):
 		// Quiesced: run the cost model on consistent state.
@@ -461,6 +508,28 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 	d := costmodel.Select(in, params, c.Estimator)
 	d.ModelTime = time.Since(selStart) // includes the state measurement, as deployed
 	rep.Decision, rep.Strategy, rep.SelectionTime = d, d.Strategy, d.ModelTime
+	if c.Metrics != nil {
+		c.Metrics.Counter(obs.Kinded(obs.MetricDecisions, d.Strategy.String())).Inc()
+		c.Metrics.DurationHistogram(obs.MetricDecisionTime).ObserveDuration(d.ModelTime)
+	}
+	if rep.Trace != nil {
+		rep.Trace.Event(obs.EvDecision,
+			obs.A("strategy", d.Strategy.String()),
+			obs.A("cost_redo", d.CostRedo),
+			obs.A("cost_pipeline", d.CostPipeline),
+			obs.A("cost_process", d.CostProcess),
+			obs.A("process_suspend_at", d.ProcessSuspendAt),
+			obs.A("ct", in.Ct),
+			obs.A("avg_pipeline_time", in.AvgPipelineTime),
+			obs.A("next_breaker_eta", in.NextBreakerEta),
+			obs.A("pipeline_state_bytes", in.PipelineStateBytes),
+			obs.A("available_memory", in.AvailableMemory),
+			obs.A("est_total", in.EstTotal),
+			obs.A("probability", params.Probability),
+			obs.A("window_start", params.WindowStart),
+			obs.A("window_end", params.WindowEnd),
+			obs.A("model_time", d.ModelTime))
+	}
 
 	switch d.Strategy {
 	case strategy.Process:
@@ -485,6 +554,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 			// Reached completion before another breaker existed.
 			guard.disarm()
 			rep.TotalTime = time.Since(start)
+			recordOutcome(rep)
 			return rep, nil
 		case ctx.Err() != nil && guard.hasFired():
 			// Terminated while waiting for the breaker: the Fig. 12 failure.
@@ -500,6 +570,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		case err == nil:
 			guard.disarm()
 			rep.TotalTime = time.Since(start)
+			recordOutcome(rep)
 			return rep, nil
 		case ctx.Err() != nil && guard.hasFired():
 			return c.finishTerminated(rep, spec, ev)

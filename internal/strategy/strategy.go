@@ -17,6 +17,7 @@ import (
 	"github.com/riveterdb/riveter/internal/checkpoint"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
 )
 
@@ -64,7 +65,10 @@ func Request(ex *engine.Executor, k Kind, cancel context.CancelFunc) time.Time {
 
 // Persist writes the suspended executor's state to path. For process-level
 // suspensions the file is padded up to the modeled process-image size. The
-// checkpoint write is fsynced; its Duration is the measured L_s.
+// checkpoint write is fsynced; its Duration is the measured L_s. The
+// persist is recorded into the executor's observability context: per-kind
+// suspend-latency and checkpoint-size metrics, plus serialize/write trace
+// events.
 func Persist(ex *engine.Executor, path, query string) (*checkpoint.WriteResult, error) {
 	info := ex.Suspended()
 	if info == nil {
@@ -82,12 +86,44 @@ func Persist(ex *engine.Executor, path, query string) (*checkpoint.WriteResult, 
 		PlanFingerprint: fmt.Sprintf("%016x", ex.Plan().Fingerprint),
 		Workers:         ex.Workers(),
 	}
-	return checkpoint.Write(path, m, ex.SaveState, padding)
+	wres, err := checkpoint.Write(path, m, ex.SaveState, padding)
+	if err != nil {
+		return nil, err
+	}
+	recordPersist(ex.Obs(), kind, wres)
+	return wres, nil
+}
+
+// recordPersist emits the metrics and trace events of one checkpoint write.
+func recordPersist(o obs.Context, kind string, wres *checkpoint.WriteResult) {
+	if r := o.Metrics; r != nil {
+		r.DurationHistogram(obs.Kinded(obs.MetricSuspendLatency, kind)).ObserveDuration(wres.Duration)
+		r.SizeHistogram(obs.Kinded(obs.MetricCheckpointBytes, kind)).Observe(wres.Manifest.TotalBytes())
+		r.SizeHistogram(obs.MetricCheckpointStateBytes).Observe(wres.Manifest.StateBytes)
+		r.DurationHistogram(obs.MetricCheckpointSerialize).ObserveDuration(wres.SerializeDuration)
+		r.DurationHistogram(obs.MetricCheckpointWrite).ObserveDuration(wres.WriteDuration)
+	}
+	if t := o.Trace; t != nil {
+		t.Event(obs.EvCheckpointSerialize,
+			obs.A("state_bytes", wres.Manifest.StateBytes),
+			obs.A("duration", wres.SerializeDuration))
+		t.Event(obs.EvCheckpointWrite,
+			obs.A("total_bytes", wres.Manifest.TotalBytes()),
+			obs.A("duration", wres.WriteDuration))
+		t.Event(obs.EvCheckpointPersisted,
+			obs.A("kind", kind),
+			obs.A("state_bytes", wres.Manifest.StateBytes),
+			obs.A("padding_bytes", wres.Manifest.PaddingBytes),
+			obs.A("total_bytes", wres.Manifest.TotalBytes()),
+			obs.A("duration", wres.Duration))
+	}
 }
 
 // Restore compiles the plan, loads the checkpoint into a fresh executor,
 // and returns it ready to Run. The read result's Duration is the measured
 // L_r (it includes consuming the padded image, as a CRIU restore would).
+// The restore is recorded into opts.Obs: a per-kind resume-latency metric
+// and a resume.restore trace event.
 func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Options) (*engine.Executor, *checkpoint.ReadResult, error) {
 	pp, err := engine.Compile(node, cat)
 	if err != nil {
@@ -97,6 +133,15 @@ func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Opti
 	res, err := checkpoint.Read(path, ex.LoadState)
 	if err != nil {
 		return nil, nil, err
+	}
+	if r := opts.Obs.Metrics; r != nil {
+		r.DurationHistogram(obs.Kinded(obs.MetricResumeLatency, res.Manifest.Kind)).ObserveDuration(res.Duration)
+	}
+	if t := opts.Obs.Trace; t != nil {
+		t.Event(obs.EvResumeRestore,
+			obs.A("kind", res.Manifest.Kind),
+			obs.A("total_bytes", res.Manifest.TotalBytes()),
+			obs.A("duration", res.Duration))
 	}
 	return ex, res, nil
 }

@@ -1,0 +1,195 @@
+package riveter
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// TestTraceSuspendResumeRoundTrip verifies event ordering across a full
+// suspend→checkpoint→resume round trip through the public API: the trace
+// started by Query.Start continues through Execution.Checkpoint and
+// Execution.Resume, so request, acknowledgement, persist, restore, and the
+// resumed pipelines appear in causal order in one event stream.
+func TestTraceSuspendResumeRoundTrip(t *testing.T) {
+	db := Open(WithWorkers(2), WithCheckpointDir(t.TempDir()), WithTracing())
+	if err := db.GenerateTPCH(0.02); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.PrepareTPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec, err := q.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Suspend(PipelineLevel); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Wait()
+	if err == nil {
+		t.Skip("query finished before the suspension landed")
+	}
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("Wait = %v", err)
+	}
+	path := filepath.Join(db.CheckpointDir(), "q3.rvck")
+	info, err := exec.Checkpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Resume(context.Background(), path); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := exec.Trace()
+	if tr == nil {
+		t.Fatal("WithTracing must attach a trace to the execution")
+	}
+
+	// The causal chain must appear in order.
+	order := []string{
+		obs.EvSuspendRequested,
+		obs.EvSuspendAcked,
+		obs.EvCheckpointSerialize,
+		obs.EvCheckpointWrite,
+		obs.EvCheckpointPersisted,
+		obs.EvResumeRestore,
+	}
+	lastSeq := -1
+	for _, name := range order {
+		ev, ok := tr.Find(name)
+		if !ok {
+			t.Fatalf("trace missing %s event; trace has %d events", name, tr.Len())
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("%s (seq %d) out of order (previous seq %d)", name, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+
+	// Checkpoint events carry the persisted sizes the report exposes.
+	persisted, _ := tr.Find(obs.EvCheckpointPersisted)
+	if got := persisted.Attr("total_bytes"); got != info.TotalBytes {
+		t.Fatalf("checkpoint.persisted total_bytes = %v, checkpoint info says %d", got, info.TotalBytes)
+	}
+	if persisted.Attr("duration") == nil {
+		t.Fatal("checkpoint.persisted missing duration (L_s)")
+	}
+	restore, _ := tr.Find(obs.EvResumeRestore)
+	if restore.Attr("duration") == nil {
+		t.Fatal("resume.restore missing duration (L_r)")
+	}
+
+	// Pipelines finished both before the suspension and after the resume.
+	finishes := tr.FindAll(obs.EvPipelineFinish)
+	if len(finishes) == 0 {
+		t.Fatal("trace has no pipeline.finish events")
+	}
+	var afterRestore bool
+	for _, f := range finishes {
+		if f.Attr("duration") == nil {
+			t.Fatalf("pipeline.finish missing duration: %+v", f)
+		}
+		if f.Seq > restore.Seq {
+			afterRestore = true
+		}
+	}
+	if !afterRestore {
+		t.Fatal("no pipeline finished after the restore: trace did not continue into the resumed executor")
+	}
+
+	// The shared DB registry saw the same lifecycle.
+	snap := db.Metrics().Snapshot()
+	if snap.Counters[obs.Kinded(obs.MetricSuspends, "pipeline")] == 0 {
+		t.Fatal("metrics missing pipeline suspend count")
+	}
+	var sawSuspendLat, sawResumeLat, sawBytes bool
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case obs.Kinded(obs.MetricSuspendLatency, "pipeline"):
+			sawSuspendLat = h.Count > 0
+		case obs.Kinded(obs.MetricResumeLatency, "pipeline"):
+			sawResumeLat = h.Count > 0
+		case obs.Kinded(obs.MetricCheckpointBytes, "pipeline"):
+			sawBytes = h.Count > 0 && h.Max >= info.TotalBytes
+		}
+	}
+	if !sawSuspendLat || !sawResumeLat || !sawBytes {
+		t.Fatalf("metrics snapshot incomplete: suspend=%v resume=%v bytes=%v", sawSuspendLat, sawResumeLat, sawBytes)
+	}
+}
+
+// TestTracingDisabledByDefault verifies executions carry no trace (and pay
+// no tracing cost) unless the DB was opened WithTracing, while the metrics
+// registry is always available.
+func TestTracingDisabledByDefault(t *testing.T) {
+	db := openTPCH(t, 0.005)
+	q, err := db.PrepareTPCH(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := q.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if exec.Trace() != nil {
+		t.Fatal("tracing must be opt-in")
+	}
+	if db.Metrics() == nil {
+		t.Fatal("metrics registry must always exist")
+	}
+	if got := db.Metrics().Counter(obs.MetricPipelinesDone).Value(); got == 0 {
+		t.Fatal("metrics registry did not record the run")
+	}
+}
+
+// TestAdaptiveTrace verifies an adaptive run's report carries a decision
+// event with the cost-model inputs (the Algorithm 1 audit trail).
+func TestAdaptiveTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive calibration is slow")
+	}
+	db := Open(WithWorkers(2), WithCheckpointDir(t.TempDir()), WithTracing())
+	if err := db.GenerateTPCH(0.02); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.PrepareTPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := q.NewAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Run(Scenario{Probability: 1, WindowStartFrac: 0.4, WindowEndFrac: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("adaptive report must carry a trace when the DB traces")
+	}
+	if rep.Terminated {
+		t.Skip("termination preempted the quiesce; no decision ran")
+	}
+	dec, ok := rep.Trace.Find(obs.EvDecision)
+	if !ok {
+		t.Fatal("trace missing strategy.decision event")
+	}
+	for _, key := range []string{"strategy", "cost_redo", "cost_pipeline", "cost_process", "ct", "pipeline_state_bytes", "est_total"} {
+		if dec.Attr(key) == nil {
+			t.Fatalf("decision event missing %s attr: %+v", key, dec)
+		}
+	}
+	if _, ok := rep.Trace.Find(obs.EvOutcome); !ok {
+		t.Fatal("trace missing strategy.outcome event")
+	}
+}

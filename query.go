@@ -8,6 +8,7 @@ import (
 
 	"github.com/riveterdb/riveter/internal/checkpoint"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
 	"github.com/riveterdb/riveter/internal/sql"
 	"github.com/riveterdb/riveter/internal/strategy"
@@ -75,7 +76,7 @@ func (q *Query) Run(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := engine.NewExecutor(pp, engine.Options{Workers: q.db.workers})
+	ex := engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(nil)})
 	return ex.Run(ctx)
 }
 
@@ -98,7 +99,7 @@ func (q *Query) Start(ctx context.Context) (*Execution, error) {
 	}
 	e := &Execution{
 		q:    q,
-		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers}),
+		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(q.db.newTrace(q.name))}),
 		done: make(chan struct{}),
 	}
 	go func() {
@@ -136,6 +137,11 @@ func (e *Execution) Result() (*Result, error) {
 	return e.res, e.err
 }
 
+// Trace returns the execution's event trace (nil unless the DB was opened
+// WithTracing). The trace spans a suspend→checkpoint→resume round trip
+// when the query is resumed via Execution.Resume.
+func (e *Execution) Trace() *obs.Trace { return e.ex.Obs().Trace }
+
 // CheckpointInfo describes a persisted checkpoint.
 type CheckpointInfo struct {
 	Path string
@@ -169,11 +175,22 @@ func (e *Execution) Checkpoint(path string) (*CheckpointInfo, error) {
 // checkpoint's plan fingerprint must match; process-level checkpoints also
 // require the same worker count.
 func (q *Query) Resume(ctx context.Context, path string) (*Result, error) {
-	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers})
+	return q.resume(ctx, path, q.db.obsFor(nil))
+}
+
+func (q *Query) resume(ctx context.Context, path string, o obs.Context) (*Result, error) {
+	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
 	if err != nil {
 		return nil, err
 	}
 	return ex.Run(ctx)
+}
+
+// Resume loads a checkpoint of this (suspended) execution's query and runs
+// it to completion, continuing the execution's trace — the resulting event
+// stream covers the full suspend→checkpoint→resume round trip.
+func (e *Execution) Resume(ctx context.Context, path string) (*Result, error) {
+	return e.q.resume(ctx, path, e.ex.Obs())
 }
 
 // ReadCheckpointInfo inspects a checkpoint file without loading its state.

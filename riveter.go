@@ -39,6 +39,7 @@ import (
 	"github.com/riveterdb/riveter/internal/colfile"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/strategy"
 	"github.com/riveterdb/riveter/internal/tpch"
 )
@@ -71,6 +72,8 @@ type DB struct {
 	checkpointDir string
 	io            costmodel.IOProfile
 	tpchSF        float64
+	metrics       *obs.Registry
+	tracing       bool
 }
 
 // Option configures Open.
@@ -91,12 +94,22 @@ func WithCheckpointDir(dir string) Option {
 	return func(db *DB) { db.checkpointDir = dir }
 }
 
+// WithTracing enables per-execution traces: executions created by
+// Query.Start and adaptive runs record structured events (pipeline
+// start/finish, suspension requests and acknowledgements, checkpoint
+// persists, restores, strategy decisions) retrievable via
+// Execution.Trace and AdaptiveReport.Trace.
+func WithTracing() Option {
+	return func(db *DB) { db.tracing = true }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	db := &DB{
 		cat:     catalog.New(),
 		workers: 4,
 		io:      costmodel.DefaultIOProfile(),
+		metrics: obs.NewRegistry(),
 	}
 	for _, o := range opts {
 		o(db)
@@ -116,6 +129,26 @@ func Open(opts ...Option) *DB {
 
 // Workers returns the configured per-pipeline worker count.
 func (db *DB) Workers() int { return db.workers }
+
+// Metrics returns the database's metrics registry. Every execution the DB
+// creates records into it: engine progress counters, per-pipeline duration
+// histograms, per-strategy suspend/resume latencies (the paper's L_s and
+// L_r), and checkpoint sizes. Snapshot it at any time; see internal/obs
+// for the metric name taxonomy.
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
+
+// obsFor builds an execution's observability context; tr may be nil.
+func (db *DB) obsFor(tr *obs.Trace) obs.Context {
+	return obs.Context{Metrics: db.metrics, Trace: tr}
+}
+
+// newTrace returns a fresh trace when tracing is enabled, else nil.
+func (db *DB) newTrace(query string) *obs.Trace {
+	if !db.tracing {
+		return nil
+	}
+	return obs.NewTrace(query)
+}
 
 // CheckpointDir returns the checkpoint directory.
 func (db *DB) CheckpointDir() string { return db.checkpointDir }
