@@ -4,10 +4,10 @@
 GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
-# adaptive controller) — the -race job covers these.
-RACE_PKGS := ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/...
+# adaptive controller, serving layer, public API) — the -race job covers these.
+RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/...
 
-.PHONY: all build test race vet fmt bench-smoke bench ci
+.PHONY: all build test race vet fmt bench-smoke bench serve-smoke ci
 
 all: build
 
@@ -38,4 +38,9 @@ bench-smoke:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/engine/...
 
-ci: build vet fmt test race bench-smoke
+# End-to-end check of riveter-serve: boot on a tiny TPC-H dataset, submit
+# concurrent HTTP queries, verify responses and serving metrics.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: build vet fmt test race bench-smoke serve-smoke

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -119,7 +118,7 @@ func runWithSuspension(ctx context.Context, db *riveter.DB, q *riveter.Query, ki
 		fatal("%v", err)
 	}
 
-	path := filepath.Join(db.CheckpointDir(), "run.rvck")
+	path := db.NewCheckpointPath("run")
 	info, err := exec.Checkpoint(path)
 	if err != nil {
 		fatal("checkpoint: %v", err)

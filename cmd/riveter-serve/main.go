@@ -1,0 +1,119 @@
+// Command riveter-serve exposes the query-serving subsystem over HTTP:
+// session-managed, admission-controlled, suspension-preemptive execution
+// of TPC-H or ad-hoc SQL queries against one in-memory database.
+//
+// Examples:
+//
+//	riveter-serve -sf 0.01                       # generate data, listen on :8080
+//	riveter-serve -data ./snapshot -addr :9000   # serve a tpchgen snapshot
+//	riveter-serve -policy fifo                   # baseline scheduling, no preemption
+//
+//	curl -s localhost:8080/query -d '{"sql":"SELECT count(*) FROM orders","wait":true}'
+//	curl -s localhost:8080/query -d '{"tpch":21,"priority":"batch"}'
+//	curl -s localhost:8080/sessions
+//	curl -s localhost:8080/metrics?format=text
+//
+// SIGINT/SIGTERM shut down gracefully: running queries are suspended at
+// their next pipeline breaker and checkpointed, and a state manifest is
+// written so the next riveter-serve on the same checkpoint directory
+// resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		sf           = flag.Float64("sf", 0.01, "generate TPC-H at this scale factor (ignored with -data)")
+		data         = flag.String("data", "", "load a saved .rvc snapshot directory instead of generating")
+		workers      = flag.Int("workers", 4, "workers per pipeline")
+		slots        = flag.Int("slots", 1, "concurrent query slots")
+		queueLimit   = flag.Int("queue", 64, "max queued sessions (0 = unbounded)")
+		memBudget    = flag.Int64("mem", 0, "admission memory budget in bytes (0 = unlimited)")
+		policyName   = flag.String("policy", "suspend", "scheduling policy: suspend or fifo")
+		grace        = flag.Duration("grace", 0, "minimum runtime before a query is preemptable")
+		ckdir        = flag.String("ckdir", "", "checkpoint directory (default: a fresh temp dir)")
+		drainTimeout = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	opts := []riveter.Option{riveter.WithWorkers(*workers), riveter.WithTracing()}
+	if *ckdir != "" {
+		opts = append(opts, riveter.WithCheckpointDir(*ckdir))
+	}
+	db := riveter.Open(opts...)
+	if *data != "" {
+		log.Printf("loading snapshot from %s ...", *data)
+		if err := db.LoadDir(*data); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Printf("generating TPC-H at SF %g ...", *sf)
+		if err := db.GenerateTPCH(*sf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var policy server.Policy
+	switch *policyName {
+	case "fifo":
+		policy = server.FIFO{}
+	case "suspend":
+		policy = server.SuspensionAware{Grace: *grace}
+	default:
+		log.Fatalf("unknown -policy %q (want suspend or fifo)", *policyName)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:           db,
+		Slots:        *slots,
+		QueueLimit:   *queueLimit,
+		MemoryBudget: *memBudget,
+		Policy:       policy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("riveter-serve listening on %s (policy=%s slots=%d, checkpoints in %s)",
+			*addr, policy.Name(), *slots, db.CheckpointDir())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: suspending in-flight queries ...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("server shutdown: %v", err)
+		os.Exit(1)
+	}
+	for _, in := range srv.Sessions() {
+		if in.State == server.StateSuspended || in.State == server.StateQueued {
+			fmt.Printf("persisted session %s (%s, %s) for resume\n", in.ID, in.Query, in.State)
+		}
+	}
+	log.Printf("bye")
+}

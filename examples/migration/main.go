@@ -61,7 +61,7 @@ func main() {
 	if !errors.Is(err, riveter.ErrSuspended) {
 		log.Fatal(err)
 	}
-	ckpt := filepath.Join(os.TempDir(), "q9-migrate.rvck")
+	ckpt := source.NewCheckpointPath("q9-migrate")
 	info, err := exec.Checkpoint(ckpt)
 	if err != nil {
 		log.Fatal(err)

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"path/filepath"
 	"time"
 
 	"github.com/riveterdb/riveter"
@@ -59,7 +58,7 @@ func main() {
 		r, _ := exec.Result()
 		fmt.Printf("completed before the suspension landed: %d rows\n", r.NumRows())
 	case errors.Is(err, riveter.ErrSuspended):
-		path := filepath.Join(db.CheckpointDir(), "q21.rvck")
+		path := db.NewCheckpointPath("q21")
 		info, err := exec.Checkpoint(path)
 		if err != nil {
 			log.Fatal(err)

@@ -1,101 +1,95 @@
-// Heterogeneous workloads (the paper's Case 1).
+// Heterogeneous workloads (the paper's Case 1), served by the scheduling
+// subsystem in internal/server.
 //
 // A long-running analytic query saturates the node while short dashboard
-// queries queue behind it. The scheduler suspends the long query at a
-// pipeline breaker, drains the short queries, and resumes the long one —
-// turning one long-running query into a sequence of short-running pieces.
+// queries queue behind it. Under the FIFO baseline the shorts wait for the
+// long query to finish; under the suspension-aware policy the scheduler
+// preempts the long query at a pipeline breaker (checkpointing it), drains
+// the shorts, and resumes the long query from its checkpoint — turning one
+// long-running query into a sequence of short-running pieces, with no
+// hand-rolled suspend/drain/resume loop in sight.
 package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/server"
 )
 
+var shortQueries = []string{
+	"SELECT count(*) AS open_orders FROM orders WHERE o_orderstatus = 'O'",
+	"SELECT o_orderpriority, count(*) AS n FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority",
+	"SELECT max(l_shipdate) AS latest_ship FROM lineitem",
+}
+
+// runWorkload submits the long query, then the shorts shortly after, and
+// reports each short query's completion latency since its arrival.
+func runWorkload(db *riveter.DB, policy server.Policy) (shortLatencies []time.Duration, longInfo server.Info, err error) {
+	srv, err := server.New(server.Config{DB: db, Slots: 1, Policy: policy})
+	if err != nil {
+		return nil, server.Info{}, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	long, err := srv.Submit(server.Request{TPCH: 21, Priority: server.Batch})
+	if err != nil {
+		return nil, server.Info{}, err
+	}
+	// The short queries arrive shortly after the long query started.
+	time.Sleep(10 * time.Millisecond)
+	arrivals := make([]time.Time, len(shortQueries))
+	shorts := make([]*server.Session, len(shortQueries))
+	for i, s := range shortQueries {
+		arrivals[i] = time.Now()
+		if shorts[i], err = srv.Submit(server.Request{SQL: s, Priority: server.Interactive}); err != nil {
+			return nil, server.Info{}, err
+		}
+	}
+	for i, sess := range shorts {
+		if _, err := srv.Wait(context.Background(), sess.ID()); err != nil {
+			return nil, server.Info{}, err
+		}
+		shortLatencies = append(shortLatencies, time.Since(arrivals[i]))
+	}
+	if _, err := srv.Wait(context.Background(), long.ID()); err != nil {
+		return nil, server.Info{}, err
+	}
+	info, _ := srv.Info(long.ID())
+	return shortLatencies, info, nil
+}
+
 func main() {
-	ctx := context.Background()
 	db := riveter.Open(riveter.WithWorkers(4))
 	fmt.Println("generating TPC-H at scale factor 0.02 ...")
 	if err := db.GenerateTPCH(0.02); err != nil {
 		log.Fatal(err)
 	}
 
-	shortQueries := []string{
-		"SELECT count(*) AS open_orders FROM orders WHERE o_orderstatus = 'O'",
-		"SELECT o_orderpriority, count(*) AS n FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority",
-		"SELECT max(l_shipdate) AS latest_ship FROM lineitem",
-	}
-
-	// Baseline: short queries wait for the long query to finish.
-	long, err := db.PrepareTPCH(21)
+	fmt.Println("\nFIFO baseline (shorts wait for the long query):")
+	base, _, err := runWorkload(db, server.FIFO{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	baselineStart := time.Now()
-	if _, err := long.Run(ctx); err != nil {
-		log.Fatal(err)
+	for i, d := range base {
+		fmt.Printf("  short query %d completes %v after arrival\n", i+1, d.Round(time.Millisecond))
 	}
-	for _, s := range shortQueries {
-		if _, err := db.Query(ctx, s); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("FIFO baseline: last short query completes %v after arrival\n\n",
-		time.Since(baselineStart).Round(time.Millisecond))
 
-	// Riveter: suspend the long query, run the short ones, resume.
-	fmt.Println("with suspension:")
-	exec, err := long.Start(ctx)
+	fmt.Println("\nsuspension-aware policy (long query preempted at a breaker):")
+	pre, longInfo, err := runWorkload(db, server.SuspensionAware{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The short queries arrive shortly after the long query started.
-	time.Sleep(10 * time.Millisecond)
-	arrival := time.Now()
-	if err := exec.Suspend(riveter.PipelineLevel); err != nil {
-		log.Fatal(err)
+	for i, d := range pre {
+		fmt.Printf("  short query %d completes %v after arrival\n", i+1, d.Round(time.Millisecond))
 	}
-	werr := exec.Wait()
-	switch {
-	case werr == nil:
-		fmt.Println("  long query finished before the suspension point; nothing to do")
-	case errors.Is(werr, riveter.ErrSuspended):
-		ckpt := filepath.Join(db.CheckpointDir(), "long.rvck")
-		info, err := exec.Checkpoint(ckpt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  suspended long query at a breaker (%d bytes persisted)\n", info.TotalBytes)
+	fmt.Printf("  long query: %d preemption(s), ran %v, waited %v\n",
+		longInfo.Preemptions, longInfo.Ran.Round(time.Millisecond), longInfo.Waited.Round(time.Millisecond))
 
-		for i, s := range shortQueries {
-			st := time.Now()
-			res, err := db.Query(ctx, s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  short query %d: %d rows in %v (waited %v total)\n",
-				i+1, res.NumRows(), time.Since(st).Round(time.Millisecond),
-				time.Since(arrival).Round(time.Millisecond))
-		}
-
-		resumeStart := time.Now()
-		res, err := long.Resume(ctx, ckpt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  resumed long query, finished in %v (%d rows)\n",
-			time.Since(resumeStart).Round(time.Millisecond), res.NumRows())
-		os.Remove(ckpt)
-	default:
-		log.Fatal(werr)
-	}
 	fmt.Printf("\nshort-query latency drops from the long query's full runtime to the\n")
-	fmt.Printf("suspension lag plus their own execution — the long query only pays one\n")
-	fmt.Printf("checkpoint+resume cycle.\n")
+	fmt.Printf("suspension lag plus their own execution — the long query only pays\n")
+	fmt.Printf("checkpoint+resume cycles.\n")
 }

@@ -75,6 +75,24 @@ const (
 	// MetricDecisionTime histograms the cost model's own running time
 	// (the paper's Table V selection time).
 	MetricDecisionTime = "riveter.decision.duration"
+
+	// MetricServerQueueDepth gauges the number of sessions waiting for a
+	// worker slot.
+	MetricServerQueueDepth = "server.queue.depth"
+	// MetricServerWait histograms queue wait time: submission (or
+	// re-enqueue after a preemption) to dispatch.
+	MetricServerWait = "server.wait.duration"
+	// MetricServerPreemptions counts suspension-based preemptions.
+	MetricServerPreemptions = "server.preemptions"
+	// MetricServerAdmit counts admission outcomes per verdict via Kinded:
+	// "server.admit.{run,queue,reject}".
+	MetricServerAdmit = "server.admit"
+	// MetricServerSessions counts finished sessions per terminal state via
+	// Kinded: "server.sessions.{done,failed}".
+	MetricServerSessions = "server.sessions"
+	// MetricServerSessionDuration histograms submission-to-completion
+	// latency of successful sessions.
+	MetricServerSessionDuration = "server.session.duration"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/riveterdb/riveter"
+)
+
+// ErrRejected wraps every admission rejection; errors.Is(err, ErrRejected)
+// distinguishes "the server said no" from compile or execution failures.
+var ErrRejected = errors.New("server: admission rejected")
+
+// Verdict is an admission outcome.
+type Verdict string
+
+// The three admission outcomes of the controller: dispatch now, wait for a
+// slot, or refuse.
+const (
+	VerdictRun    Verdict = "run"
+	VerdictQueue  Verdict = "queue"
+	VerdictReject Verdict = "reject"
+)
+
+// admission prices a submission before any morsel runs. The formula (see
+// DESIGN.md §10):
+//
+//	reject  if MemoryBudget > 0 and est.StateBytes > MemoryBudget
+//	reject  if no free slot and queued sessions >= QueueLimit
+//	run     if a worker slot is free
+//	queue   otherwise
+//
+// est.StateBytes is the optimizer-priced peak intermediate state — an
+// overestimating upper bound for join-heavy plans, which is the right
+// polarity for a guardrail: a query the model prices above the budget
+// would, if wrong, have been cheap to re-submit; one it prices under the
+// budget that then grows is bounded by the engine's own accounting.
+type admission struct {
+	// MemoryBudget caps the estimated intermediate state (bytes, 0 = off).
+	MemoryBudget int64
+	// QueueLimit bounds the dispatch queue (0 = unbounded).
+	QueueLimit int
+}
+
+// Admit returns the verdict for a submission given current occupancy. The
+// error is non-nil exactly for VerdictReject and wraps ErrRejected.
+func (a admission) Admit(est riveter.Estimate, queued, freeSlots int) (Verdict, error) {
+	if a.MemoryBudget > 0 && est.StateBytes > a.MemoryBudget {
+		return VerdictReject, fmt.Errorf("%w: estimated intermediate state %d bytes exceeds memory budget %d",
+			ErrRejected, est.StateBytes, a.MemoryBudget)
+	}
+	if freeSlots > 0 {
+		return VerdictRun, nil
+	}
+	if a.QueueLimit > 0 && queued >= a.QueueLimit {
+		return VerdictReject, fmt.Errorf("%w: queue full (%d sessions waiting)", ErrRejected, queued)
+	}
+	return VerdictQueue, nil
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// maxHTTPRows caps the rows a single HTTP response materializes.
+const maxHTTPRows = 1000
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL      string `json:"sql,omitempty"`
+	TPCH     int    `json:"tpch,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	// Wait blocks the request until the session finishes and inlines the
+	// result; otherwise the response carries just the session snapshot.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// resultJSON is an inlined query result.
+type resultJSON struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	NumRows   int64      `json:"num_rows"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// sessionResponse is the session envelope every session endpoint returns.
+type sessionResponse struct {
+	Info
+	Result *resultJSON `json:"result,omitempty"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz        liveness
+//	POST /query          submit {"sql"|"tpch", "priority", "wait"}
+//	GET  /sessions       all session snapshots, newest first
+//	GET  /sessions/{id}  one session (result inlined when done)
+//	GET  /metrics        registry snapshot (?format=text for human-readable)
+//	GET  /traces         recently finished sessions' event traces
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.Submit(Request{SQL: req.SQL, TPCH: req.TPCH, Priority: prio})
+	switch {
+	case errors.Is(err, ErrRejected):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Wait {
+		if _, err := s.Wait(r.Context(), sess.ID()); err != nil {
+			// The session snapshot below carries the error detail.
+			_ = err
+		}
+	}
+	s.writeSession(w, http.StatusOK, sess.ID())
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Info(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %s", id))
+		return
+	}
+	s.writeSession(w, http.StatusOK, id)
+}
+
+// writeSession renders one session, inlining the result when it is done.
+func (s *Server) writeSession(w http.ResponseWriter, status int, id string) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %s", id))
+		return
+	}
+	resp := sessionResponse{Info: sess.infoLocked()}
+	res := sess.res
+	s.mu.Unlock()
+	if res != nil {
+		rj := &resultJSON{Columns: res.Schema.Names(), NumRows: res.NumRows()}
+		n := res.NumRows()
+		if n > maxHTTPRows {
+			n, rj.Truncated = maxHTTPRows, true
+		}
+		rj.Rows = make([][]string, n)
+		for i := int64(0); i < n; i++ {
+			row := res.Row(i)
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = renderCell(v)
+			}
+			rj.Rows[i] = cells
+		}
+		resp.Result = rj
+	}
+	writeJSON(w, status, resp)
+}
+
+// renderCell matches ResultSet.Format's float formatting so HTTP and CLI
+// render identically.
+func renderCell(v vector.Value) string {
+	if v.Type == vector.TypeFloat64 && !v.Null {
+		return strconv.FormatFloat(v.F, 'f', 2, 64)
+	}
+	return v.String()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.db.Metrics().Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.Traces()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range traces {
+			_ = t.WriteText(w)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, "[")
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Fprintln(w, ",")
+		}
+		_ = t.WriteJSON(w)
+	}
+	fmt.Fprintln(w, "]")
+}

@@ -1,0 +1,604 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// DB is the database the server serves. Required. Open it
+	// riveter.WithTracing() to get per-session traces on /traces.
+	DB *riveter.DB
+	// Slots is the number of queries executing concurrently (default 1;
+	// each query additionally parallelizes over the DB's worker count).
+	Slots int
+	// QueueLimit bounds the dispatch queue; submissions beyond it are
+	// rejected (0 = unbounded).
+	QueueLimit int
+	// MemoryBudget rejects queries whose estimated intermediate state
+	// exceeds it (bytes, 0 = unlimited).
+	MemoryBudget int64
+	// Policy picks dispatch order and preemption (default
+	// SuspensionAware{}).
+	Policy Policy
+	// StatePath is where graceful shutdown persists the resume manifest
+	// and where startup looks for one (default
+	// <DB.CheckpointDir()>/riveter-serve.state.json).
+	StatePath string
+}
+
+// serverMetrics holds the serving-layer metric handles, resolved once.
+type serverMetrics struct {
+	queueDepth  *obs.Gauge
+	wait        *obs.Histogram
+	preemptions *obs.Counter
+	admit       map[Verdict]*obs.Counter
+	done        *obs.Counter
+	failed      *obs.Counter
+	sessionDur  *obs.Histogram
+}
+
+func resolveServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		queueDepth:  r.Gauge(obs.MetricServerQueueDepth),
+		wait:        r.DurationHistogram(obs.MetricServerWait),
+		preemptions: r.Counter(obs.MetricServerPreemptions),
+		admit: map[Verdict]*obs.Counter{
+			VerdictRun:    r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictRun))),
+			VerdictQueue:  r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictQueue))),
+			VerdictReject: r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictReject))),
+		},
+		done:       r.Counter(obs.Kinded(obs.MetricServerSessions, "done")),
+		failed:     r.Counter(obs.Kinded(obs.MetricServerSessions, "failed")),
+		sessionDur: r.DurationHistogram(obs.MetricServerSessionDuration),
+	}
+}
+
+// Server is the query-serving subsystem. Create with New, submit with
+// Submit (or serve Handler over HTTP), stop with Shutdown.
+type Server struct {
+	cfg Config
+	db  *riveter.DB
+	adm admission
+	met serverMetrics
+	wg  sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[string]*Session
+	queue    *sessionQueue
+	running  map[string]*Session
+	free     int
+	seq      uint64
+	stopping bool
+	traces   []*obs.Trace // ring of recently finished session traces
+}
+
+const traceRingCap = 64
+
+// New builds a server and starts its scheduler. If a state manifest from a
+// previous graceful shutdown exists at StatePath, the suspended and queued
+// sessions it lists are re-admitted (suspended ones resume from their
+// checkpoints) and the manifest is consumed.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = SuspensionAware{}
+	}
+	if cfg.StatePath == "" {
+		cfg.StatePath = filepath.Join(cfg.DB.CheckpointDir(), "riveter-serve.state.json")
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		adm:      admission{MemoryBudget: cfg.MemoryBudget, QueueLimit: cfg.QueueLimit},
+		met:      resolveServerMetrics(cfg.DB.Metrics()),
+		sessions: map[string]*Session{},
+		running:  map[string]*Session{},
+		free:     cfg.Slots,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.queue = newSessionQueue(cfg.Policy.Less)
+	if err := s.restoreState(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.schedule()
+	return s, nil
+}
+
+// Policy returns the active scheduling policy.
+func (s *Server) Policy() Policy { return s.cfg.Policy }
+
+// DB returns the served database.
+func (s *Server) DB() *riveter.DB { return s.db }
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Submit admits a query. A nil error means the session was accepted (it
+// may be running or queued); rejections wrap ErrRejected, and compile
+// errors come back verbatim.
+func (s *Server) Submit(req Request) (*Session, error) {
+	var (
+		q       *riveter.Query
+		display string
+		err     error
+	)
+	switch {
+	case req.SQL != "" && req.TPCH != 0:
+		return nil, fmt.Errorf("server: set exactly one of SQL or TPCH")
+	case req.SQL != "":
+		q, err = s.db.Prepare(req.SQL)
+		display = req.SQL
+	case req.TPCH != 0:
+		q, err = s.db.PrepareTPCH(req.TPCH)
+		display = fmt.Sprintf("tpch:%d", req.TPCH)
+	default:
+		return nil, fmt.Errorf("server: empty request")
+	}
+	if err != nil {
+		return nil, err
+	}
+	est := q.Estimate()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return nil, ErrClosed
+	}
+	verdict, aerr := s.adm.Admit(est, s.queue.Len(), s.free)
+	s.met.admit[verdict].Inc()
+	if aerr != nil {
+		return nil, aerr
+	}
+	s.seq++
+	now := time.Now()
+	sess := &Session{
+		id:         fmt.Sprintf("s-%d", s.seq),
+		display:    display,
+		sql:        req.SQL,
+		tpch:       req.TPCH,
+		priority:   req.Priority,
+		seq:        s.seq,
+		q:          q,
+		est:        est,
+		state:      StateQueued,
+		submitted:  now,
+		lastQueued: now,
+		done:       make(chan struct{}),
+	}
+	s.sessions[sess.id] = sess
+	s.enqueueLocked(sess)
+	return sess, nil
+}
+
+// enqueueLocked adds a session to the dispatch queue and wakes the
+// scheduler.
+func (s *Server) enqueueLocked(sess *Session) {
+	s.queue.Enqueue(sess)
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	s.cond.Broadcast()
+}
+
+// Info returns a session snapshot.
+func (s *Server) Info(id string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return Info{}, false
+	}
+	return sess.infoLocked(), true
+}
+
+// Sessions snapshots every known session, newest first.
+func (s *Server) Sessions() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess.infoLocked())
+	}
+	// Newest first by numeric id suffix.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if sessionSeq(out[j].ID) > sessionSeq(out[i].ID) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func sessionSeq(id string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimPrefix(id, "s-"), 10, 64)
+	return n
+}
+
+// Wait blocks until the session reaches a terminal state and returns its
+// result. Suspended and queued sessions keep Wait blocked — they are still
+// destined to finish.
+func (s *Server) Wait(ctx context.Context, id string) (*riveter.Result, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown session %s", id)
+	}
+	select {
+	case <-sess.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.res, sess.err
+}
+
+// Traces returns the most recently finished sessions' traces (empty unless
+// the DB was opened WithTracing), oldest first.
+func (s *Server) Traces() []*obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*obs.Trace(nil), s.traces...)
+}
+
+// schedule is the scheduler loop: dispatch queued sessions into free
+// slots, and when none are free ask the policy for a preemption victim.
+func (s *Server) schedule() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopping {
+			return
+		}
+		progressed := false
+		for s.free > 0 {
+			sess := s.queue.Dequeue()
+			if sess == nil {
+				break
+			}
+			s.dispatchLocked(sess)
+			progressed = true
+		}
+		if s.free == 0 {
+			// Suspend at most one running query per waiting session: a lone
+			// short query never needs two slots cleared for it.
+			if head := s.queue.Peek(); head != nil && s.pendingSuspendsLocked() < s.queue.Len() {
+				if victim := s.preemptCandidateLocked(head); victim != nil {
+					victim.suspendRequested = true
+					// Suspend is a single atomic store on the executor;
+					// safe (and cheap) under the server mutex.
+					_ = victim.exec.Suspend(riveter.PipelineLevel)
+					progressed = true
+				} else {
+					s.scheduleGraceRetryLocked(head)
+				}
+			}
+		}
+		if !progressed {
+			s.cond.Wait()
+		}
+	}
+}
+
+// pendingSuspendsLocked counts issued, not-yet-acknowledged preemptions.
+func (s *Server) pendingSuspendsLocked() int {
+	n := 0
+	for _, r := range s.running {
+		if r.suspendRequested {
+			n++
+		}
+	}
+	return n
+}
+
+// preemptCandidateLocked filters the running set down to preemptable
+// executions and asks the policy to choose.
+func (s *Server) preemptCandidateLocked(head *Session) *Session {
+	cands := make([]*Session, 0, len(s.running))
+	for _, r := range s.running {
+		if r.exec == nil || r.suspendRequested {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return s.cfg.Policy.Preempt(cands, head, time.Now())
+}
+
+// graceHinter lets a policy ask for a delayed re-evaluation when Preempt
+// declined only because its grace period has not elapsed yet.
+type graceHinter interface{ graceRetry() time.Duration }
+
+func (p SuspensionAware) graceRetry() time.Duration { return p.Grace }
+
+// scheduleGraceRetryLocked re-wakes the scheduler after the policy's grace
+// period so a victim that was merely too young gets reconsidered.
+func (s *Server) scheduleGraceRetryLocked(head *Session) {
+	h, ok := s.cfg.Policy.(graceHinter)
+	if !ok || h.graceRetry() <= 0 {
+		return
+	}
+	// One timer per declined evaluation; the scheduler only re-evaluates on
+	// wakeups, so this cannot accumulate unboundedly.
+	time.AfterFunc(h.graceRetry(), func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
+// dispatchLocked moves a session from the queue into a slot and launches
+// its runner.
+func (s *Server) dispatchLocked(sess *Session) {
+	now := time.Now()
+	wait := now.Sub(sess.lastQueued)
+	sess.waited += wait
+	s.met.wait.ObserveDuration(wait)
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	sess.state = StateRunning
+	sess.started = now
+	sess.suspendRequested = false
+	sess.exec = nil
+	s.running[sess.id] = sess
+	s.free--
+	s.wg.Add(1)
+	go s.run(sess, sess.checkpoint)
+}
+
+// run executes one dispatch of a session: start (or resume from ckpt),
+// wait, and route the outcome — completion, preemption (checkpoint and
+// re-queue), or failure.
+func (s *Server) run(sess *Session, ckpt string) {
+	defer s.wg.Done()
+	ctx := context.Background()
+	var (
+		exec *riveter.Execution
+		err  error
+	)
+	if ckpt != "" {
+		exec, err = sess.q.StartFromCheckpoint(ctx, ckpt)
+	} else {
+		exec, err = sess.q.Start(ctx)
+	}
+	if err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	s.mu.Lock()
+	sess.exec = exec
+	// A preemption decision may already be waiting on this execution.
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	werr := exec.Wait()
+	switch {
+	case werr == nil:
+		res, rerr := exec.Result()
+		if ckpt != "" {
+			os.Remove(ckpt)
+		}
+		s.finish(sess, res, rerr)
+	case errors.Is(werr, riveter.ErrSuspended):
+		path := s.db.NewCheckpointPath("session-" + sess.id)
+		if _, cerr := exec.Checkpoint(path); cerr != nil {
+			s.finish(sess, nil, fmt.Errorf("server: persist preemption checkpoint: %w", cerr))
+			return
+		}
+		if ckpt != "" {
+			os.Remove(ckpt)
+		}
+		s.mu.Lock()
+		sess.ran += time.Since(sess.started)
+		sess.trace = exec.Trace()
+		sess.checkpoint = path
+		sess.state = StateSuspended
+		sess.lastQueued = time.Now()
+		sess.preemptions++
+		s.met.preemptions.Inc()
+		delete(s.running, sess.id)
+		s.free++
+		s.enqueueLocked(sess)
+		s.mu.Unlock()
+	default:
+		s.finish(sess, nil, werr)
+	}
+}
+
+// finish moves a session to its terminal state and releases its slot.
+func (s *Server) finish(sess *Session, res *riveter.Result, err error) {
+	s.mu.Lock()
+	if sess.state == StateRunning {
+		sess.ran += time.Since(sess.started)
+		delete(s.running, sess.id)
+		s.free++
+	}
+	if sess.exec != nil {
+		sess.trace = sess.exec.Trace()
+	}
+	sess.res, sess.err = res, err
+	sess.finished = time.Now()
+	if err == nil {
+		sess.state = StateDone
+		s.met.done.Inc()
+		s.met.sessionDur.ObserveDuration(sess.finished.Sub(sess.submitted))
+	} else {
+		sess.state = StateFailed
+		s.met.failed.Inc()
+	}
+	if sess.trace != nil {
+		s.traces = append(s.traces, sess.trace)
+		if len(s.traces) > traceRingCap {
+			s.traces = s.traces[len(s.traces)-traceRingCap:]
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(sess.done)
+}
+
+// Shutdown gracefully stops the server: new submissions are refused,
+// every running query is suspended at its next pipeline breaker and
+// checkpointed, and the queued + suspended sessions are persisted to the
+// state manifest so a future Server resumes them. Blocks until in-flight
+// work has quiesced or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopping = true
+	for _, r := range s.running {
+		if r.exec != nil && !r.suspendRequested {
+			r.suspendRequested = true
+			_ = r.exec.Suspend(riveter.PipelineLevel)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.persistState()
+}
+
+// persistedSession is one state-manifest entry.
+type persistedSession struct {
+	ID         string `json:"id"`
+	SQL        string `json:"sql,omitempty"`
+	TPCH       int    `json:"tpch,omitempty"`
+	Priority   int    `json:"priority"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// stateManifest is the JSON document graceful shutdown leaves behind.
+type stateManifest struct {
+	Sessions []persistedSession `json:"sessions"`
+}
+
+// persistState writes the resume manifest (or removes a stale one when
+// nothing is pending). Runs after the scheduler and all runners exited.
+func (s *Server) persistState() error {
+	s.mu.Lock()
+	var m stateManifest
+	for _, sess := range s.sessions {
+		if sess.state != StateQueued && sess.state != StateSuspended {
+			continue
+		}
+		m.Sessions = append(m.Sessions, persistedSession{
+			ID:         sess.id,
+			SQL:        sess.sql,
+			TPCH:       sess.tpch,
+			Priority:   int(sess.priority),
+			Checkpoint: sess.checkpoint,
+		})
+	}
+	s.mu.Unlock()
+	if len(m.Sessions) == 0 {
+		os.Remove(s.cfg.StatePath)
+		return nil
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.cfg.StatePath, data, 0o644)
+}
+
+// restoreState re-admits the sessions a previous shutdown persisted and
+// consumes the manifest. Called from New before the scheduler starts.
+func (s *Server) restoreState() error {
+	data, err := os.ReadFile(s.cfg.StatePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m stateManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("server: corrupt state manifest %s: %w", s.cfg.StatePath, err)
+	}
+	os.Remove(s.cfg.StatePath)
+	now := time.Now()
+	for _, p := range m.Sessions {
+		var (
+			q       *riveter.Query
+			display string
+			qerr    error
+		)
+		if p.TPCH != 0 {
+			q, qerr = s.db.PrepareTPCH(p.TPCH)
+			display = fmt.Sprintf("tpch:%d", p.TPCH)
+		} else {
+			q, qerr = s.db.Prepare(p.SQL)
+			display = p.SQL
+		}
+		if n := sessionSeq(p.ID); n > s.seq {
+			s.seq = n
+		}
+		sess := &Session{
+			id:         p.ID,
+			display:    display,
+			sql:        p.SQL,
+			tpch:       p.TPCH,
+			priority:   Priority(p.Priority),
+			seq:        sessionSeq(p.ID),
+			q:          q,
+			state:      StateQueued,
+			submitted:  now,
+			lastQueued: now,
+			checkpoint: p.Checkpoint,
+			done:       make(chan struct{}),
+		}
+		if p.Checkpoint != "" {
+			sess.state = StateSuspended
+		}
+		if qerr != nil {
+			sess.state = StateFailed
+			sess.err = qerr
+			close(sess.done)
+			s.sessions[sess.id] = sess
+			continue
+		}
+		sess.est = q.Estimate()
+		s.sessions[sess.id] = sess
+		s.queue.Enqueue(sess)
+	}
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	return nil
+}

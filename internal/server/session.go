@@ -1,0 +1,182 @@
+// Package server is Riveter's query-serving subsystem: a session and queue
+// manager with priority classes and a bounded worker-slot pool, an
+// admission controller priced by the cost model, and a preemptive
+// scheduler that uses pipeline-level suspension as its preemption
+// mechanism — the paper's Case 1 (heterogeneous workloads) turned from a
+// per-query API the caller drives by hand into serving-layer policy.
+//
+// A Server owns a riveter.DB. Clients submit queries tagged with a
+// priority class; admission decides run / queue / reject from the cost
+// model's pre-execution estimates and a memory budget; the scheduler
+// dispatches queued sessions into a fixed number of worker slots. Under
+// the suspension-aware policy, short high-priority arrivals preempt a
+// long-running low-priority query: the scheduler requests a
+// pipeline-level suspension, checkpoints the capture to a collision-free
+// path, drains the queue, and resumes the long query from its checkpoint
+// when the slot frees up — as many round trips as the workload demands.
+// Graceful shutdown suspends every in-flight query to a checkpoint and
+// persists a state manifest; a fresh Server pointed at the same manifest
+// resumes them.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// Priority orders sessions for dispatch: higher runs sooner, and under the
+// suspension-aware policy a higher class preempts a running lower class.
+type Priority int
+
+// The serving priority classes. The numeric gaps leave room for custom
+// intermediate classes.
+const (
+	// Batch is the default class for long analytic work.
+	Batch Priority = 0
+	// Normal is the default class.
+	Normal Priority = 10
+	// Interactive is for latency-sensitive short queries.
+	Interactive Priority = 20
+)
+
+// String renders the canonical class names; other values render numerically.
+func (p Priority) String() string {
+	switch p {
+	case Batch:
+		return "batch"
+	case Normal:
+		return "normal"
+	case Interactive:
+		return "interactive"
+	default:
+		return strconv.Itoa(int(p))
+	}
+}
+
+// ParsePriority accepts a class name ("batch", "normal", "interactive") or
+// a bare integer.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return Normal, nil
+	case "batch", "low":
+		return Batch, nil
+	case "interactive", "high":
+		return Interactive, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return Priority(n), nil
+	}
+	return 0, fmt.Errorf("server: unknown priority %q", s)
+}
+
+// State is a session's life-cycle position.
+type State string
+
+// Session states. Queued and Suspended sessions sit in the dispatch queue
+// (Suspended additionally holds a checkpoint to resume from); Running
+// occupies a worker slot; Done and Failed are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSuspended State = "suspended"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+)
+
+// Request describes one query submission. Exactly one of SQL or TPCH must
+// be set.
+type Request struct {
+	// SQL is an ad-hoc statement in the supported subset.
+	SQL string
+	// TPCH is a TPC-H query id 1..22.
+	TPCH int
+	// Priority is the session's class (zero value = Batch; use Normal or
+	// Interactive for foreground work).
+	Priority Priority
+}
+
+// Session is one submitted query moving through the serving life cycle.
+// All mutable fields are guarded by the owning Server's mutex; read them
+// through Server.Info / Server.Wait or the snapshot methods.
+type Session struct {
+	id       string
+	display  string // "tpch:21" or the SQL text
+	sql      string
+	tpch     int
+	priority Priority
+	seq      uint64 // admission order, the FIFO key
+
+	q   *riveter.Query
+	est riveter.Estimate
+
+	state       State
+	submitted   time.Time
+	lastQueued  time.Time // start of the current wait (submission or requeue)
+	started     time.Time // start of the current dispatch
+	finished    time.Time
+	waited      time.Duration // accumulated queue time
+	ran         time.Duration // accumulated slot time
+	preemptions int
+	checkpoint  string // resume point while StateSuspended
+	exec        *riveter.Execution
+	res         *riveter.Result
+	err         error
+	trace       *obs.Trace
+
+	// suspendRequested marks an issued, not-yet-acknowledged preemption so
+	// the scheduler never double-suspends one execution.
+	suspendRequested bool
+
+	done chan struct{} // closed on Done/Failed
+}
+
+// Info is a point-in-time, lock-free snapshot of a session.
+type Info struct {
+	ID          string        `json:"id"`
+	Query       string        `json:"query"`
+	Priority    string        `json:"priority"`
+	State       State         `json:"state"`
+	Preemptions int           `json:"preemptions"`
+	Waited      time.Duration `json:"waited_ns"`
+	Ran         time.Duration `json:"ran_ns"`
+	Checkpoint  string        `json:"checkpoint,omitempty"`
+	NumRows     int64         `json:"num_rows,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	// EstInputBytes and EstStateBytes echo the admission inputs.
+	EstInputBytes int64 `json:"est_input_bytes"`
+	EstStateBytes int64 `json:"est_state_bytes"`
+}
+
+// infoLocked snapshots the session; caller holds the server mutex.
+func (s *Session) infoLocked() Info {
+	in := Info{
+		ID:            s.id,
+		Query:         s.display,
+		Priority:      s.priority.String(),
+		State:         s.state,
+		Preemptions:   s.preemptions,
+		Waited:        s.waited,
+		Ran:           s.ran,
+		Checkpoint:    s.checkpoint,
+		EstInputBytes: s.est.InputBytes,
+		EstStateBytes: s.est.StateBytes,
+	}
+	switch s.state {
+	case StateQueued, StateSuspended:
+		in.Waited += time.Since(s.lastQueued)
+	case StateRunning:
+		in.Ran += time.Since(s.started)
+	}
+	if s.res != nil {
+		in.NumRows = s.res.NumRows()
+	}
+	if s.err != nil {
+		in.Error = s.err.Error()
+	}
+	return in
+}

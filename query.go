@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
 	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
@@ -61,6 +63,45 @@ func (q *Query) Name() string { return q.name }
 // Plan renders the logical plan tree.
 func (q *Query) Plan() string { return plan.Tree(q.node) }
 
+// Estimate is the cost model's pre-execution view of a query: the inputs an
+// admission controller reasons about before any morsel has run. Rows and
+// state sizes come from the deliberately naive optimizer model (see
+// internal/plan and DESIGN.md §5) — they are ranking signals, not
+// measurements.
+type Estimate struct {
+	// InputBytes and InputRows total the scanned base tables.
+	InputBytes int64
+	InputRows  int64
+	// Rows is the estimated output cardinality of the plan root.
+	Rows float64
+	// StateBytes prices the peak intermediate state via the optimizer-based
+	// process-image estimator at full progress (an upper-bound flavour:
+	// join-heavy plans overestimate, by design).
+	StateBytes int64
+	// Latency extrapolates a runtime from the input size at a flat
+	// in-memory processing bandwidth; good enough to split "short" from
+	// "long", not to predict wall time.
+	Latency time.Duration
+}
+
+// estProcBytesPerSec is the flat per-worker processing bandwidth behind
+// Estimate.Latency.
+const estProcBytesPerSec = 256 << 20
+
+// Estimate derives the query's pre-execution cost estimate.
+func (q *Query) Estimate() Estimate {
+	info := costmodel.BuildQueryInfo(q.name, q.node, q.db.cat)
+	est := Estimate{
+		InputBytes: info.InputBytes,
+		InputRows:  info.InputRows,
+		Rows:       plan.EstimateRows(q.node, q.db.cat),
+		StateBytes: costmodel.OptimizerEstimator{}.EstimateProcessImage(info, 1.0),
+	}
+	rate := float64(estProcBytesPerSec) * float64(q.db.workers)
+	est.Latency = time.Duration(float64(est.InputBytes) / rate * float64(time.Second))
+	return est
+}
+
 // Query parses and runs a SQL statement to completion.
 func (db *DB) Query(ctx context.Context, query string) (*Result, error) {
 	q, err := db.Prepare(query)
@@ -102,6 +143,25 @@ func (q *Query) Start(ctx context.Context) (*Execution, error) {
 		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(q.db.newTrace(q.name))}),
 		done: make(chan struct{}),
 	}
+	go func() {
+		defer close(e.done)
+		e.res, e.err = e.ex.Run(ctx)
+	}()
+	return e, nil
+}
+
+// StartFromCheckpoint loads a checkpoint of this query and continues it
+// asynchronously. Unlike Resume, the returned Execution is a first-class
+// in-flight query: it can be suspended and checkpointed again, so a
+// scheduler can preempt the same long query repeatedly, each round trip
+// picking up where the last checkpoint left off.
+func (q *Query) StartFromCheckpoint(ctx context.Context, path string) (*Execution, error) {
+	o := q.db.obsFor(q.db.newTrace(q.name))
+	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
+	if err != nil {
+		return nil, err
+	}
+	e := &Execution{q: q, ex: ex, done: make(chan struct{})}
 	go func() {
 		defer close(e.done)
 		e.res, e.err = e.ex.Run(ctx)

@@ -34,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync/atomic"
 
 	"github.com/riveterdb/riveter/internal/catalog"
 	"github.com/riveterdb/riveter/internal/colfile"
@@ -74,6 +76,7 @@ type DB struct {
 	tpchSF        float64
 	metrics       *obs.Registry
 	tracing       bool
+	ckptSeq       atomic.Uint64
 }
 
 // Option configures Open.
@@ -152,6 +155,28 @@ func (db *DB) newTrace(query string) *obs.Trace {
 
 // CheckpointDir returns the checkpoint directory.
 func (db *DB) CheckpointDir() string { return db.checkpointDir }
+
+// NewCheckpointPath allocates a fresh, collision-free checkpoint file path
+// under CheckpointDir. Concurrent suspensions from many sessions each get a
+// distinct name (a per-DB sequence number plus the process id, so two
+// processes sharing one directory cannot clobber each other either). The
+// file is not created; the path is meant to be handed straight to
+// Execution.Checkpoint.
+func (db *DB) NewCheckpointPath(prefix string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, prefix)
+	if clean == "" {
+		clean = "ckpt"
+	}
+	seq := db.ckptSeq.Add(1)
+	return filepath.Join(db.checkpointDir, fmt.Sprintf("%s-%d-%06d.rvck", clean, os.Getpid(), seq))
+}
 
 // GenerateTPCH populates the catalog with a TPC-H-style dataset at the
 // given scale factor (SF 1 is the full 6M-lineitem scale).

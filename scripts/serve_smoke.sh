@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve-smoke: boot riveter-serve on a tiny TPC-H dataset, submit
+# concurrent queries over HTTP (a long batch query plus interactive
+# shorts), and check the responses and serving metrics. Exercises the
+# whole serving stack — admission, priority scheduling, preemption, and
+# the HTTP API — in a few seconds. Requires curl.
+set -eu
+
+PORT="${PORT:-18091}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+BIN="$WORK/riveter-serve"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building riveter-serve"
+go build -o "$BIN" ./cmd/riveter-serve
+
+echo "== booting on $BASE (SF 0.002)"
+"$BIN" -addr "127.0.0.1:$PORT" -sf 0.002 -slots 1 -ckdir "$WORK/ckpt" &
+PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== submitting long batch query (async)"
+LONG_ID=$(curl -fsS "$BASE/query" -d '{"tpch":21,"priority":"batch"}' |
+    sed -n 's/.*"id": "\(s-[0-9]*\)".*/\1/p' | head -n 1)
+[ -n "$LONG_ID" ] || { echo "no session id in submit response" >&2; exit 1; }
+
+echo "== submitting interactive shorts (wait=true, concurrent)"
+n=0
+CURL_PIDS=""
+for q in "SELECT count(*) AS n FROM region" \
+         "SELECT count(*) AS n FROM nation" \
+         "SELECT count(*) AS n FROM orders"; do
+    curl -fsS "$BASE/query" -d "{\"sql\":\"$q\",\"priority\":\"interactive\",\"wait\":true}" \
+        >"$WORK/short-$n.json" &
+    CURL_PIDS="$CURL_PIDS $!"
+    n=$((n + 1))
+done
+for p in $CURL_PIDS; do
+    wait "$p" || { echo "short query request failed" >&2; exit 1; }
+done
+for f in "$WORK"/short-*.json; do
+    grep -q '"state": "done"' "$f" || { echo "short query not done: $(cat "$f")" >&2; exit 1; }
+done
+
+echo "== waiting for the long query to finish"
+i=0
+until curl -fsS "$BASE/sessions/$LONG_ID" | grep -q '"state": "done"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "long query never finished:" >&2
+        curl -fsS "$BASE/sessions/$LONG_ID" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== checking serving metrics"
+curl -fsS "$BASE/metrics" | grep -q '"server.sessions.done": 4' || {
+    echo "expected 4 done sessions in metrics:" >&2
+    curl -fsS "$BASE/metrics?format=text" >&2 || true
+    exit 1
+}
+curl -fsS "$BASE/sessions" >/dev/null
+curl -fsS "$BASE/traces" >/dev/null
+
+echo "serve-smoke OK"
