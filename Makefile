@@ -7,7 +7,12 @@ GO ?= go
 # adaptive controller, serving layer, public API) — the -race job covers these.
 RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/...
 
-.PHONY: all build test race vet fmt bench-smoke bench serve-smoke ci
+# Packages exercising the fault-injection matrix: the injectable
+# filesystem, checkpoint crash/verify tests, the server degradation
+# ladder, and the end-to-end crash matrix in the root package.
+FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/server/...
+
+.PHONY: all build test race vet fmt bench-smoke bench serve-smoke fault-matrix ci
 
 all: build
 
@@ -39,8 +44,17 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/engine/...
 
 # End-to-end check of riveter-serve: boot on a tiny TPC-H dataset, submit
-# concurrent HTTP queries, verify responses and serving metrics.
+# concurrent HTTP queries, verify responses and serving metrics, then
+# SIGTERM mid-load and verify the restarted server resumes the work.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: build vet fmt test race bench-smoke serve-smoke
+# The fault matrix under the race detector, twice — crash points, torn
+# writes, ENOSPC, quarantine, retry/fallback/abandon ladders. -count=2
+# also shakes out order dependence between injected faults.
+fault-matrix:
+	$(GO) test -race -count=2 \
+		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
+		$(FAULT_PKGS)
+
+ci: build vet fmt test race bench-smoke serve-smoke fault-matrix

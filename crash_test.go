@@ -1,0 +1,248 @@
+package riveter
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/faultfs"
+)
+
+// openTPCHFS is openTPCH with an injector wrapped around checkpoint I/O.
+func openTPCHFS(t testing.TB, sf float64) (*DB, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.New(nil)
+	db := Open(WithWorkers(2), WithCheckpointDir(t.TempDir()), WithFS(inj))
+	if err := db.GenerateTPCH(sf); err != nil {
+		t.Fatal(err)
+	}
+	return db, inj
+}
+
+// suspendedExec starts q and suspends it at the given level, skipping the
+// test if the query finished first.
+func suspendedExec(t *testing.T, q *Query, level Strategy) *Execution {
+	t.Helper()
+	exec, err := q.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Suspend(level); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Wait()
+	if err == nil {
+		t.Skip("timing: query finished before the suspension landed")
+	}
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("Wait = %v", err)
+	}
+	return exec
+}
+
+// TestCrashMatrixEndToEnd is the crash matrix over a real engine state: a
+// suspended TPC-H query is checkpointed under crash points spread across
+// the image. After each simulated crash, the final path either holds a
+// complete image — which verifies and resumes to a byte-identical result —
+// or holds nothing and the failure is reported cleanly. Orphaned .tmp
+// files are swept like a restarting server would.
+func TestCrashMatrixEndToEnd(t *testing.T) {
+	db, inj := openTPCHFS(t, 0.02)
+	q, err := db.PrepareTPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := suspendedExec(t, q, PipelineLevel)
+
+	// One clean checkpoint to learn the image size (and prove the state is
+	// re-serializable: every crash round below checkpoints the same
+	// suspended executor again).
+	cleanPath := db.NewCheckpointPath("clean")
+	if _, err := exec.Checkpoint(cleanPath); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := st.Size()
+
+	dir := db.CheckpointDir()
+	for _, frac := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999} {
+		crashAt := int64(frac * float64(size))
+		inj.Reset()
+		inj.CrashAfterBytes(crashAt)
+		path := db.NewCheckpointPath("crash")
+		_, cerr := exec.Checkpoint(path)
+		inj.Reset() // the "restarted process" sees a healthy disk again
+
+		if _, statErr := os.Stat(path); statErr == nil {
+			if _, verr := VerifyCheckpoint(path); verr != nil {
+				t.Fatalf("crash@%d: published checkpoint fails verify: %v", crashAt, verr)
+			}
+			res, rerr := q.Resume(context.Background(), path)
+			if rerr != nil {
+				t.Fatalf("crash@%d: resume: %v", crashAt, rerr)
+			}
+			if res.SortedKey() != want.SortedKey() {
+				t.Fatalf("crash@%d: resumed result differs from clean run", crashAt)
+			}
+		} else {
+			if cerr == nil {
+				t.Fatalf("crash@%d: Checkpoint claimed success but published nothing", crashAt)
+			}
+			if _, verr := VerifyCheckpoint(path); verr == nil {
+				t.Fatalf("crash@%d: verify passed on a missing checkpoint", crashAt)
+			}
+		}
+		// The fresh process sweeps whatever the crash left in flight.
+		removed, serr := checkpoint.SweepTemp(faultfs.OS, dir)
+		if serr != nil {
+			t.Fatalf("crash@%d: sweep: %v", crashAt, serr)
+		}
+		for _, p := range removed {
+			if !strings.HasSuffix(p, checkpoint.TempSuffix) {
+				t.Fatalf("crash@%d: sweep removed non-temp %s", crashAt, p)
+			}
+		}
+	}
+
+	// The clean checkpoint still resumes byte-identically after all rounds.
+	res, err := q.Resume(context.Background(), cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != want.SortedKey() {
+		t.Error("clean-checkpoint resume differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointWithRetryPublicAPI: the public retry entry point absorbs
+// transient faults and the checkpoint resumes correctly.
+func TestCheckpointWithRetryPublicAPI(t *testing.T) {
+	db, inj := openTPCHFS(t, 0.02)
+	q, err := db.PrepareTPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := suspendedExec(t, q, PipelineLevel)
+
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpWrite, PathSubstr: ".rvck", Nth: 1, Count: 2})
+	path := db.NewCheckpointPath("retry")
+	info, err := exec.CheckpointWithRetry(context.Background(), path,
+		RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "pipeline" {
+		t.Errorf("kind = %s", info.Kind)
+	}
+	if got := db.Metrics().Snapshot().Counters["checkpoint.retry"]; got != 2 {
+		t.Errorf("checkpoint.retry = %d, want 2", got)
+	}
+	res, err := q.Resume(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != want.SortedKey() {
+		t.Error("retried checkpoint resumed to a different result")
+	}
+}
+
+// TestCheckpointDegradedPublicAPI: a process-level suspension persisted
+// degraded carries no padding, records kind "pipeline", and still resumes
+// to an identical result.
+func TestCheckpointDegradedPublicAPI(t *testing.T) {
+	db, _ := openTPCHFS(t, 0.02)
+	q, err := db.PrepareTPCH(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := suspendedExec(t, q, ProcessLevel)
+
+	full := db.NewCheckpointPath("full")
+	fullInfo, err := exec.Checkpoint(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullInfo.Kind != "process" || fullInfo.TotalBytes <= fullInfo.StateBytes {
+		t.Fatalf("full checkpoint: %+v", fullInfo)
+	}
+	degraded := db.NewCheckpointPath("degraded")
+	degInfo, err := exec.CheckpointDegraded(context.Background(), degraded, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degInfo.Kind != "pipeline" || degInfo.TotalBytes != degInfo.StateBytes {
+		t.Fatalf("degraded checkpoint: %+v", degInfo)
+	}
+	if degInfo.TotalBytes >= fullInfo.TotalBytes {
+		t.Errorf("degraded image (%d bytes) not smaller than full image (%d bytes)",
+			degInfo.TotalBytes, fullInfo.TotalBytes)
+	}
+	res, err := q.Resume(context.Background(), degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != want.SortedKey() {
+		t.Error("degraded checkpoint resumed to a different result")
+	}
+}
+
+// TestResumeInPlacePublicAPI: with checkpoints impossible, a suspended
+// execution relaunches from memory and completes with the correct result.
+func TestResumeInPlacePublicAPI(t *testing.T) {
+	db, inj := openTPCHFS(t, 0.02)
+	q, err := db.PrepareTPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := suspendedExec(t, q, PipelineLevel)
+
+	// The disk is gone entirely.
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpCreate})
+	if _, err := exec.Checkpoint(db.NewCheckpointPath("doomed")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("checkpoint on dead disk: %v", err)
+	}
+	fresh, err := exec.ResumeInPlace(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != want.SortedKey() {
+		t.Error("resume-in-place result differs from clean run")
+	}
+	// Nothing landed on disk.
+	entries, _ := os.ReadDir(db.CheckpointDir())
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "doomed") && !strings.HasSuffix(e.Name(), checkpoint.TempSuffix) {
+			t.Errorf("dead disk grew a checkpoint: %s", e.Name())
+		}
+	}
+}

@@ -7,9 +7,10 @@ package costmodel
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
+
+	"github.com/riveterdb/riveter/internal/faultfs"
 )
 
 // IOProfile characterizes the persistence device used for checkpoints.
@@ -51,9 +52,15 @@ func (p IOProfile) ResumeLatency(bytes int64) time.Duration {
 // and returns a profile. The probe size balances accuracy against startup
 // cost.
 func CalibrateIO(dir string) (IOProfile, error) {
+	return CalibrateIOFS(faultfs.OS, dir)
+}
+
+// CalibrateIOFS is CalibrateIO over an injectable filesystem, so the probe
+// runs against the same (possibly fault-injected) device checkpoints will.
+func CalibrateIOFS(fsys faultfs.FS, dir string) (IOProfile, error) {
 	const probeBytes = 8 << 20
 	path := filepath.Join(dir, ".riveter-io-probe")
-	defer os.Remove(path)
+	defer fsys.Remove(path)
 
 	buf := make([]byte, 1<<20)
 	for i := range buf {
@@ -61,7 +68,7 @@ func CalibrateIO(dir string) (IOProfile, error) {
 	}
 
 	wStart := time.Now()
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return IOProfile{}, fmt.Errorf("costmodel: calibrate: %w", err)
 	}
@@ -81,7 +88,7 @@ func CalibrateIO(dir string) (IOProfile, error) {
 	wDur := time.Since(wStart)
 
 	rStart := time.Now()
-	rf, err := os.Open(path)
+	rf, err := fsys.Open(path)
 	if err != nil {
 		return IOProfile{}, err
 	}

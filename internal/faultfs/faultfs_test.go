@@ -1,0 +1,222 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, path string, chunks ...[]byte) error {
+	t.Helper()
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		if _, err := f.Write(c); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+func TestPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil)
+	path := filepath.Join(dir, "a")
+	if err := writeAll(t, inj, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if inj.Injected() != 0 {
+		t.Errorf("passthrough injected %d faults", inj.Injected())
+	}
+	if inj.OpCount(OpWrite) != 1 || inj.OpCount(OpCreate) != 1 {
+		t.Errorf("op counts: write=%d create=%d", inj.OpCount(OpWrite), inj.OpCount(OpCreate))
+	}
+}
+
+func TestFailNthPersistent(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).FailNth(OpWrite, 2, nil)
+	path := filepath.Join(dir, "a")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("first write must pass: %v", err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: want ErrInjected, got %v", k+2, err)
+		}
+	}
+	if inj.Injected() != 3 {
+		t.Errorf("injected = %d", inj.Injected())
+	}
+}
+
+func TestFailTransientClears(t *testing.T) {
+	dir := t.TempDir()
+	sentinel := errors.New("boom")
+	inj := New(nil).FailTransient(OpCreate, 1, 2, sentinel)
+	path := filepath.Join(dir, "a")
+	for k := 0; k < 2; k++ {
+		if _, err := inj.Create(path); !errors.Is(err, sentinel) {
+			t.Fatalf("create %d: want sentinel, got %v", k, err)
+		}
+	}
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatalf("third create must succeed: %v", err)
+	}
+	f.Close()
+}
+
+func TestPathScopedFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).AddFault(Fault{Op: OpWrite, PathSubstr: "victim"})
+	if err := writeAll(t, inj, filepath.Join(dir, "bystander"), []byte("ok")); err != nil {
+		t.Fatalf("unmatched path must pass: %v", err)
+	}
+	if err := writeAll(t, inj, filepath.Join(dir, "victim.rvck"), []byte("no")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched path: want ErrInjected, got %v", err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).AddFault(Fault{Op: OpWrite, Short: true, Count: 1})
+	path := filepath.Join(dir, "a")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write(make([]byte, 100))
+	f.Close()
+	if !errors.Is(werr, ErrInjected) || n != 50 {
+		t.Fatalf("short write: n=%d err=%v", n, werr)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != 50 {
+		t.Errorf("torn file size = %d, want 50", st.Size())
+	}
+}
+
+func TestWriteBudgetAndCredit(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).WriteBudget(10)
+	big := filepath.Join(dir, "big")
+	if err := writeAll(t, inj, big, make([]byte, 8), make([]byte, 8)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// The torn file holds the 8 budgeted bytes plus the 2 that still fit.
+	st, _ := os.Stat(big)
+	if st.Size() != 10 {
+		t.Errorf("torn file size = %d, want 10", st.Size())
+	}
+	// No room left for anything.
+	if err := writeAll(t, inj, filepath.Join(dir, "tiny"), []byte("xxx")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted budget must reject, got %v", err)
+	}
+	// Removing the big file frees its space; a small write fits again.
+	if err := inj.Remove(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(t, inj, filepath.Join(dir, "small"), make([]byte, 9)); err != nil {
+		t.Fatalf("write after credit: %v", err)
+	}
+}
+
+func TestBudgetFollowsRename(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).WriteBudget(8)
+	tmp, final := filepath.Join(dir, "f.tmp"), filepath.Join(dir, "f")
+	if err := writeAll(t, inj, tmp, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(t, inj, filepath.Join(dir, "g"), make([]byte, 8)); err != nil {
+		t.Fatalf("credit must follow rename: %v", err)
+	}
+}
+
+func TestCrashAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).CrashAfterBytes(5)
+	path := filepath.Join(dir, "a")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("123")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("45678")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	f.Close()
+	if !inj.Crashed() {
+		t.Fatal("injector must report crashed")
+	}
+	// The partial file stops at the exact crash offset.
+	data, _ := os.ReadFile(path)
+	if string(data) != "12345" {
+		t.Errorf("partial file %q, want %q", data, "12345")
+	}
+	// A dead process performs no further I/O of any kind.
+	if _, err := inj.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("create after crash: %v", err)
+	}
+	if err := inj.Remove(path); !errors.Is(err, ErrCrashed) {
+		t.Errorf("remove after crash: %v", err)
+	}
+	if err := inj.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("rename after crash: %v", err)
+	}
+	if _, err := inj.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Errorf("readdir after crash: %v", err)
+	}
+	// The partial file survives for the fresh process to inspect.
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("partial file vanished: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(nil).FailNth(OpWrite, 1, nil).CrashAfterBytes(0).WriteBudget(0)
+	if err := writeAll(t, inj, filepath.Join(dir, "a"), []byte("x")); err == nil {
+		t.Fatal("armed injector must fail")
+	}
+	inj.Reset()
+	if err := writeAll(t, inj, filepath.Join(dir, "b"), []byte("x")); err != nil {
+		t.Fatalf("reset injector must pass: %v", err)
+	}
+	if inj.Injected() != 0 || inj.Crashed() {
+		t.Errorf("reset left state: injected=%d crashed=%v", inj.Injected(), inj.Crashed())
+	}
+}
+
+func TestSyncDirPassthrough(t *testing.T) {
+	inj := New(nil)
+	if err := inj.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	inj.FailNth(OpSync, 1, nil)
+	if err := inj.SyncDir(t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected sync fault, got %v", err)
+	}
+}

@@ -53,6 +53,16 @@ const (
 	MetricCheckpointSerialize = "checkpoint.serialize.duration"
 	// MetricCheckpointWrite histograms write+fsync wall time.
 	MetricCheckpointWrite = "checkpoint.write.duration"
+	// MetricCheckpointRetry counts checkpoint write attempts that failed
+	// and were retried with backoff.
+	MetricCheckpointRetry = "checkpoint.retry"
+	// MetricCheckpointFallback counts persists that degraded to a cheaper
+	// strategy (process-level image abandoned for a pipeline-level state)
+	// after the requested kind could not be written.
+	MetricCheckpointFallback = "checkpoint.fallback"
+	// MetricCheckpointQuarantined counts torn or corrupt checkpoint files
+	// renamed aside (.corrupt) instead of crashing a restore.
+	MetricCheckpointQuarantined = "checkpoint.quarantined"
 
 	// MetricPipelineDuration histograms per-pipeline execution time.
 	MetricPipelineDuration = "engine.pipeline.duration"
@@ -93,6 +103,10 @@ const (
 	// MetricServerSessionDuration histograms submission-to-completion
 	// latency of successful sessions.
 	MetricServerSessionDuration = "server.session.duration"
+	// MetricServerPreemptAbandoned counts preemptions abandoned because no
+	// checkpoint could be persisted at any level; the victim resumed in
+	// place with its work preserved.
+	MetricServerPreemptAbandoned = "server.preempt_abandoned"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

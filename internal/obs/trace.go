@@ -34,6 +34,23 @@ const (
 	// EvResumeRestore records a checkpoint restore into a fresh executor.
 	// Attrs: kind, total_bytes, duration (L_r).
 	EvResumeRestore = "resume.restore"
+	// EvCheckpointRetry records one failed write attempt absorbed by the
+	// retry policy. Attrs: attempt, error.
+	EvCheckpointRetry = "checkpoint.retry"
+	// EvCheckpointFallback records a persist degrading to a cheaper kind
+	// after the requested one failed. Attrs: from, to, error.
+	EvCheckpointFallback = "checkpoint.fallback"
+	// EvCheckpointQuarantined records a torn or corrupt checkpoint renamed
+	// aside at restore time. Attrs: path, error.
+	EvCheckpointQuarantined = "checkpoint.quarantined"
+	// EvResumeInPlace records a suspended executor relaunched from its
+	// in-memory state because no checkpoint could be persisted.
+	// Attrs: kind, state_bytes.
+	EvResumeInPlace = "resume.in_place"
+	// EvPreemptAbandoned records a preemption given up after the whole
+	// degradation ladder failed; the victim kept its slot.
+	// Attrs: query, error.
+	EvPreemptAbandoned = "preempt.abandoned"
 	// EvDecision records one Algorithm 1 run with its cost-model inputs and
 	// outputs. Attrs: strategy, cost_redo, cost_pipeline, cost_process,
 	// ct, avg_pipeline_time, next_breaker_eta, pipeline_state_bytes,

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/faultfs"
 	"github.com/riveterdb/riveter/internal/obs"
 )
 
@@ -40,6 +42,21 @@ type Config struct {
 	// and where startup looks for one (default
 	// <DB.CheckpointDir()>/riveter-serve.state.json).
 	StatePath string
+	// FS routes the server's own file I/O (state manifest, checkpoint
+	// removal and quarantine, startup sweep). Defaults to the DB's
+	// filesystem, so one fault plan covers both layers.
+	FS faultfs.FS
+	// CheckpointRetry bounds preemption-checkpoint write attempts (default
+	// 3 attempts, 10ms base backoff capped at 200ms).
+	CheckpointRetry riveter.RetryPolicy
+	// PreemptLevel is the suspension strategy preemptions request (default
+	// riveter.PipelineLevel; riveter.ProcessLevel exercises the process-
+	// image path and its degradation ladder).
+	PreemptLevel riveter.Strategy
+	// AbandonCooldown is how long a session that survived an abandoned
+	// preemption is exempt from being re-chosen as a victim, so a broken
+	// checkpoint device cannot spin the scheduler (default 500ms).
+	AbandonCooldown time.Duration
 }
 
 // serverMetrics holds the serving-layer metric handles, resolved once.
@@ -51,6 +68,9 @@ type serverMetrics struct {
 	done        *obs.Counter
 	failed      *obs.Counter
 	sessionDur  *obs.Histogram
+	fallback    *obs.Counter
+	quarantined *obs.Counter
+	abandoned   *obs.Counter
 }
 
 func resolveServerMetrics(r *obs.Registry) serverMetrics {
@@ -63,20 +83,30 @@ func resolveServerMetrics(r *obs.Registry) serverMetrics {
 			VerdictQueue:  r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictQueue))),
 			VerdictReject: r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictReject))),
 		},
-		done:       r.Counter(obs.Kinded(obs.MetricServerSessions, "done")),
-		failed:     r.Counter(obs.Kinded(obs.MetricServerSessions, "failed")),
-		sessionDur: r.DurationHistogram(obs.MetricServerSessionDuration),
+		done:        r.Counter(obs.Kinded(obs.MetricServerSessions, "done")),
+		failed:      r.Counter(obs.Kinded(obs.MetricServerSessions, "failed")),
+		sessionDur:  r.DurationHistogram(obs.MetricServerSessionDuration),
+		fallback:    r.Counter(obs.MetricCheckpointFallback),
+		quarantined: r.Counter(obs.MetricCheckpointQuarantined),
+		abandoned:   r.Counter(obs.MetricServerPreemptAbandoned),
 	}
 }
 
 // Server is the query-serving subsystem. Create with New, submit with
 // Submit (or serve Handler over HTTP), stop with Shutdown.
 type Server struct {
-	cfg Config
-	db  *riveter.DB
-	adm admission
-	met serverMetrics
-	wg  sync.WaitGroup
+	cfg  Config
+	db   *riveter.DB
+	fsys faultfs.FS
+	adm  admission
+	met  serverMetrics
+	wg   sync.WaitGroup
+
+	// ctx parents every execution and checkpoint retry loop; cancel fires
+	// when a shutdown deadline expires, so a failing disk's backoff sleeps
+	// can never outlive the shutdown budget.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -108,15 +138,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StatePath == "" {
 		cfg.StatePath = filepath.Join(cfg.DB.CheckpointDir(), "riveter-serve.state.json")
 	}
+	if cfg.FS == nil {
+		cfg.FS = cfg.DB.FS()
+	}
+	if cfg.CheckpointRetry.Attempts == 0 {
+		cfg.CheckpointRetry = riveter.RetryPolicy{
+			Attempts:  3,
+			BaseDelay: 10 * time.Millisecond,
+			MaxDelay:  200 * time.Millisecond,
+		}
+	}
+	if cfg.PreemptLevel == riveter.Redo {
+		cfg.PreemptLevel = riveter.PipelineLevel
+	}
+	if cfg.AbandonCooldown == 0 {
+		cfg.AbandonCooldown = 500 * time.Millisecond
+	}
 	s := &Server{
 		cfg:      cfg,
 		db:       cfg.DB,
+		fsys:     cfg.FS,
 		adm:      admission{MemoryBudget: cfg.MemoryBudget, QueueLimit: cfg.QueueLimit},
 		met:      resolveServerMetrics(cfg.DB.Metrics()),
 		sessions: map[string]*Session{},
 		running:  map[string]*Session{},
 		free:     cfg.Slots,
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.cond = sync.NewCond(&s.mu)
 	s.queue = newSessionQueue(cfg.Policy.Less)
 	if err := s.restoreState(); err != nil {
@@ -291,7 +339,7 @@ func (s *Server) schedule() {
 					victim.suspendRequested = true
 					// Suspend is a single atomic store on the executor;
 					// safe (and cheap) under the server mutex.
-					_ = victim.exec.Suspend(riveter.PipelineLevel)
+					_ = victim.exec.Suspend(s.cfg.PreemptLevel)
 					progressed = true
 				} else {
 					s.scheduleGraceRetryLocked(head)
@@ -318,9 +366,10 @@ func (s *Server) pendingSuspendsLocked() int {
 // preemptCandidateLocked filters the running set down to preemptable
 // executions and asks the policy to choose.
 func (s *Server) preemptCandidateLocked(head *Session) *Session {
+	now := time.Now()
 	cands := make([]*Session, 0, len(s.running))
 	for _, r := range s.running {
-		if r.exec == nil || r.suspendRequested {
+		if r.exec == nil || r.suspendRequested || now.Before(r.noPreemptUntil) {
 			continue
 		}
 		cands = append(cands, r)
@@ -328,7 +377,7 @@ func (s *Server) preemptCandidateLocked(head *Session) *Session {
 	if len(cands) == 0 {
 		return nil
 	}
-	return s.cfg.Policy.Preempt(cands, head, time.Now())
+	return s.cfg.Policy.Preempt(cands, head, now)
 }
 
 // graceHinter lets a policy ask for a delayed re-evaluation when Preempt
@@ -373,16 +422,26 @@ func (s *Server) dispatchLocked(sess *Session) {
 
 // run executes one dispatch of a session: start (or resume from ckpt),
 // wait, and route the outcome — completion, preemption (checkpoint and
-// re-queue), or failure.
+// re-queue), or failure. A checkpoint that cannot be persisted walks the
+// degradation ladder (retry → pipeline-level fallback → resume in place)
+// instead of failing the session: the victim's work is never the casualty
+// of a broken checkpoint device.
 func (s *Server) run(sess *Session, ckpt string) {
 	defer s.wg.Done()
-	ctx := context.Background()
+	ctx := s.ctx
 	var (
 		exec *riveter.Execution
 		err  error
 	)
 	if ckpt != "" {
 		exec, err = sess.q.StartFromCheckpoint(ctx, ckpt)
+		if err != nil {
+			// A torn or unreadable checkpoint is quarantined, not fatal: the
+			// session reruns from scratch, losing progress but not the query.
+			s.quarantine(sess, ckpt, err)
+			ckpt = ""
+			exec, err = sess.q.Start(ctx)
+		}
 	} else {
 		exec, err = sess.q.Start(ctx)
 	}
@@ -396,38 +455,109 @@ func (s *Server) run(sess *Session, ckpt string) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
-	werr := exec.Wait()
-	switch {
-	case werr == nil:
-		res, rerr := exec.Result()
-		if ckpt != "" {
-			os.Remove(ckpt)
-		}
-		s.finish(sess, res, rerr)
-	case errors.Is(werr, riveter.ErrSuspended):
-		path := s.db.NewCheckpointPath("session-" + sess.id)
-		if _, cerr := exec.Checkpoint(path); cerr != nil {
-			s.finish(sess, nil, fmt.Errorf("server: persist preemption checkpoint: %w", cerr))
+	for {
+		werr := exec.Wait()
+		switch {
+		case werr == nil:
+			res, rerr := exec.Result()
+			if ckpt != "" {
+				s.fsys.Remove(ckpt)
+			}
+			s.finish(sess, res, rerr)
+			return
+		case errors.Is(werr, riveter.ErrSuspended):
+			path, cerr := s.persistPreemption(sess, exec)
+			if cerr != nil {
+				// The whole ladder failed on disk; resume the victim in place.
+				// Its work is preserved and the preemption is abandoned.
+				fresh, rerr := exec.ResumeInPlace(ctx)
+				if rerr != nil {
+					s.finish(sess, nil, fmt.Errorf("server: abandon preemption: %w", rerr))
+					return
+				}
+				s.met.abandoned.Inc()
+				if tr := exec.Trace(); tr != nil {
+					tr.Event(obs.EvPreemptAbandoned,
+						obs.A("query", sess.display),
+						obs.A("error", cerr.Error()))
+				}
+				exec = fresh
+				s.mu.Lock()
+				sess.exec = fresh
+				sess.abandoned++
+				sess.suspendRequested = false
+				sess.noPreemptUntil = time.Now().Add(s.cfg.AbandonCooldown)
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				continue
+			}
+			if ckpt != "" {
+				s.fsys.Remove(ckpt)
+			}
+			s.mu.Lock()
+			sess.ran += time.Since(sess.started)
+			sess.trace = exec.Trace()
+			sess.checkpoint = path
+			sess.state = StateSuspended
+			sess.lastQueued = time.Now()
+			sess.preemptions++
+			s.met.preemptions.Inc()
+			delete(s.running, sess.id)
+			s.free++
+			s.enqueueLocked(sess)
+			s.mu.Unlock()
+			return
+		default:
+			s.finish(sess, nil, werr)
 			return
 		}
-		if ckpt != "" {
-			os.Remove(ckpt)
-		}
-		s.mu.Lock()
-		sess.ran += time.Since(sess.started)
-		sess.trace = exec.Trace()
-		sess.checkpoint = path
-		sess.state = StateSuspended
-		sess.lastQueued = time.Now()
-		sess.preemptions++
-		s.met.preemptions.Inc()
-		delete(s.running, sess.id)
-		s.free++
-		s.enqueueLocked(sess)
-		s.mu.Unlock()
-	default:
-		s.finish(sess, nil, werr)
 	}
+}
+
+// persistPreemption walks the first two rungs of the degradation ladder:
+// a retrying write at the requested level, then — for process-level
+// suspensions — a retrying pipeline-kind write without the image padding.
+// Returns the path that succeeded, or the first rung's error if every rung
+// failed.
+func (s *Server) persistPreemption(sess *Session, exec *riveter.Execution) (string, error) {
+	path := s.db.NewCheckpointPath("session-" + sess.id)
+	_, cerr := exec.CheckpointWithRetry(s.ctx, path, s.cfg.CheckpointRetry)
+	if cerr == nil {
+		return path, nil
+	}
+	if s.cfg.PreemptLevel == riveter.ProcessLevel {
+		fbPath := s.db.NewCheckpointPath("session-" + sess.id + "-pl")
+		if _, fberr := exec.CheckpointDegraded(s.ctx, fbPath, s.cfg.CheckpointRetry); fberr == nil {
+			s.met.fallback.Inc()
+			if tr := exec.Trace(); tr != nil {
+				tr.Event(obs.EvCheckpointFallback,
+					obs.A("from", "process"),
+					obs.A("to", "pipeline"),
+					obs.A("error", cerr.Error()))
+			}
+			return fbPath, nil
+		}
+	}
+	return "", cerr
+}
+
+// quarantine renames an unusable checkpoint aside and records it.
+func (s *Server) quarantine(sess *Session, ckpt string, cause error) {
+	s.met.quarantined.Inc()
+	qp, qerr := checkpoint.Quarantine(s.fsys, ckpt)
+	if qerr != nil {
+		qp = ckpt // could not even rename; leave it, still rerun from scratch
+	}
+	if tr := sess.trace; tr != nil {
+		tr.Event(obs.EvCheckpointQuarantined,
+			obs.A("path", qp),
+			obs.A("error", cause.Error()))
+	}
+	s.mu.Lock()
+	if sess.checkpoint == ckpt {
+		sess.checkpoint = ""
+	}
+	s.mu.Unlock()
 }
 
 // finish moves a session to its terminal state and releases its slot.
@@ -477,7 +607,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, r := range s.running {
 		if r.exec != nil && !r.suspendRequested {
 			r.suspendRequested = true
-			_ = r.exec.Suspend(riveter.PipelineLevel)
+			_ = r.exec.Suspend(s.cfg.PreemptLevel)
 		}
 	}
 	s.cond.Broadcast()
@@ -490,10 +620,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.cancel()
+		return s.persistState()
 	case <-ctx.Done():
+		// The drain budget expired. Cancel the server context: running
+		// executions abort and checkpoint retry loops stop sleeping, so the
+		// wait below is bounded even with a failing disk.
+		s.cancel()
+		<-done
+		if perr := s.persistState(); perr != nil {
+			return perr
+		}
 		return ctx.Err()
 	}
-	return s.persistState()
 }
 
 // persistedSession is one state-manifest entry.
@@ -529,19 +668,54 @@ func (s *Server) persistState() error {
 	}
 	s.mu.Unlock()
 	if len(m.Sessions) == 0 {
-		os.Remove(s.cfg.StatePath)
+		s.fsys.Remove(s.cfg.StatePath)
 		return nil
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.cfg.StatePath, data, 0o644)
+	return writeFileAtomic(s.fsys, s.cfg.StatePath, data)
+}
+
+// writeFileAtomic writes data via the tmp+fsync+rename protocol, so the
+// state manifest — like the checkpoints it points at — is never torn at
+// its final path.
+func writeFileAtomic(fsys faultfs.FS, path string, data []byte) error {
+	tmp := path + checkpoint.TempSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // restoreState re-admits the sessions a previous shutdown persisted and
-// consumes the manifest. Called from New before the scheduler starts.
+// consumes the manifest. Called from New before the scheduler starts. A
+// crashed predecessor's leftovers never abort startup: orphaned .tmp files
+// are swept, a torn manifest is quarantined, and each listed checkpoint is
+// verified — failing ones are quarantined and their sessions rerun from
+// scratch.
 func (s *Server) restoreState() error {
+	s.sweepTempDirs()
 	data, err := os.ReadFile(s.cfg.StatePath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -551,9 +725,13 @@ func (s *Server) restoreState() error {
 	}
 	var m stateManifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return fmt.Errorf("server: corrupt state manifest %s: %w", s.cfg.StatePath, err)
+		s.met.quarantined.Inc()
+		if _, qerr := checkpoint.Quarantine(s.fsys, s.cfg.StatePath); qerr != nil {
+			s.fsys.Remove(s.cfg.StatePath)
+		}
+		return nil
 	}
-	os.Remove(s.cfg.StatePath)
+	s.fsys.Remove(s.cfg.StatePath)
 	now := time.Now()
 	for _, p := range m.Sessions {
 		var (
@@ -586,7 +764,14 @@ func (s *Server) restoreState() error {
 			done:       make(chan struct{}),
 		}
 		if p.Checkpoint != "" {
-			sess.state = StateSuspended
+			// A torn checkpoint is quarantined here, before the session can
+			// dispatch into it; the query reruns from scratch instead.
+			if _, verr := checkpoint.VerifyFS(s.fsys, p.Checkpoint); verr != nil {
+				s.quarantine(sess, p.Checkpoint, verr)
+				sess.checkpoint = ""
+			} else {
+				sess.state = StateSuspended
+			}
 		}
 		if qerr != nil {
 			sess.state = StateFailed
@@ -601,4 +786,17 @@ func (s *Server) restoreState() error {
 	}
 	s.met.queueDepth.Set(int64(s.queue.Len()))
 	return nil
+}
+
+// sweepTempDirs removes orphaned in-flight .tmp files a crashed
+// predecessor left behind — the atomic-write protocol guarantees anything
+// still named *.tmp was abandoned mid-write.
+func (s *Server) sweepTempDirs() {
+	dirs := map[string]struct{}{
+		s.db.CheckpointDir():          {},
+		filepath.Dir(s.cfg.StatePath): {},
+	}
+	for dir := range dirs {
+		_, _ = checkpoint.SweepTemp(s.fsys, dir)
+	}
 }

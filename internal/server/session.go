@@ -122,11 +122,17 @@ type Session struct {
 	waited      time.Duration // accumulated queue time
 	ran         time.Duration // accumulated slot time
 	preemptions int
+	abandoned   int    // preemptions given up because no checkpoint would persist
 	checkpoint  string // resume point while StateSuspended
 	exec        *riveter.Execution
 	res         *riveter.Result
 	err         error
 	trace       *obs.Trace
+
+	// noPreemptUntil exempts the session from victim selection after an
+	// abandoned preemption, so a broken checkpoint device cannot spin the
+	// scheduler against the same query.
+	noPreemptUntil time.Time
 
 	// suspendRequested marks an issued, not-yet-acknowledged preemption so
 	// the scheduler never double-suspends one execution.
@@ -142,6 +148,7 @@ type Info struct {
 	Priority    string        `json:"priority"`
 	State       State         `json:"state"`
 	Preemptions int           `json:"preemptions"`
+	Abandoned   int           `json:"abandoned,omitempty"`
 	Waited      time.Duration `json:"waited_ns"`
 	Ran         time.Duration `json:"ran_ns"`
 	Checkpoint  string        `json:"checkpoint,omitempty"`
@@ -160,6 +167,7 @@ func (s *Session) infoLocked() Info {
 		Priority:      s.priority.String(),
 		State:         s.state,
 		Preemptions:   s.preemptions,
+		Abandoned:     s.abandoned,
 		Waited:        s.waited,
 		Ran:           s.ran,
 		Checkpoint:    s.checkpoint,

@@ -9,6 +9,7 @@
 package strategy
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -17,8 +18,10 @@ import (
 	"github.com/riveterdb/riveter/internal/checkpoint"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/faultfs"
 	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
 )
 
 // Kind aliases the cost model's strategy enum so decisions flow through
@@ -70,13 +73,38 @@ func Request(ex *engine.Executor, k Kind, cancel context.CancelFunc) time.Time {
 // suspend-latency and checkpoint-size metrics, plus serialize/write trace
 // events.
 func Persist(ex *engine.Executor, path, query string) (*checkpoint.WriteResult, error) {
+	return PersistWith(context.Background(), ex, path, query, PersistOptions{})
+}
+
+// PersistOptions tunes a checkpoint persist's I/O behavior.
+type PersistOptions struct {
+	// FS is the filesystem to write through (faultfs.OS when nil).
+	FS faultfs.FS
+	// Retry bounds write attempts; the zero policy is a single attempt.
+	Retry checkpoint.RetryPolicy
+	// Degraded drops the process-image padding and records the checkpoint
+	// as pipeline-kind even for a process-level suspension — the graceful-
+	// degradation rung for when the full image will not fit or write. The
+	// serialized state is identical (it embeds its own kind), so a restore
+	// still resumes exactly where the suspension stopped.
+	Degraded bool
+}
+
+// PersistWith is Persist with fault-injectable I/O, bounded retries, and
+// optional degradation. Each failed attempt bumps checkpoint.retry and
+// emits a checkpoint.retry trace event; ctx cancellation aborts the backoff
+// so shutdown is never blocked behind a failing disk.
+func PersistWith(ctx context.Context, ex *engine.Executor, path, query string, po PersistOptions) (*checkpoint.WriteResult, error) {
 	info := ex.Suspended()
 	if info == nil {
 		return nil, fmt.Errorf("strategy: executor is not suspended")
 	}
+	if po.FS == nil {
+		po.FS = faultfs.OS
+	}
 	kind := "pipeline"
 	var padding int64
-	if info.Kind == engine.KindProcess {
+	if info.Kind == engine.KindProcess && !po.Degraded {
 		kind = "process"
 		padding = ex.ProcessImagePadding(ex.MeasureSuspendedStateBytes())
 	}
@@ -86,11 +114,22 @@ func Persist(ex *engine.Executor, path, query string) (*checkpoint.WriteResult, 
 		PlanFingerprint: fmt.Sprintf("%016x", ex.Plan().Fingerprint),
 		Workers:         ex.Workers(),
 	}
-	wres, err := checkpoint.Write(path, m, ex.SaveState, padding)
+	o := ex.Obs()
+	onRetry := func(attempt int, err error) {
+		if r := o.Metrics; r != nil {
+			r.Counter(obs.MetricCheckpointRetry).Inc()
+		}
+		if t := o.Trace; t != nil {
+			t.Event(obs.EvCheckpointRetry,
+				obs.A("attempt", attempt),
+				obs.A("error", err.Error()))
+		}
+	}
+	wres, err := checkpoint.WriteRetry(ctx, po.FS, path, m, ex.SaveState, padding, po.Retry, onRetry)
 	if err != nil {
 		return nil, err
 	}
-	recordPersist(ex.Obs(), kind, wres)
+	recordPersist(o, kind, wres)
 	return wres, nil
 }
 
@@ -125,12 +164,17 @@ func recordPersist(o obs.Context, kind string, wres *checkpoint.WriteResult) {
 // The restore is recorded into opts.Obs: a per-kind resume-latency metric
 // and a resume.restore trace event.
 func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Options) (*engine.Executor, *checkpoint.ReadResult, error) {
+	return RestoreFS(faultfs.OS, cat, node, path, opts)
+}
+
+// RestoreFS is Restore over an injectable filesystem.
+func RestoreFS(fsys faultfs.FS, cat *catalog.Catalog, node plan.Node, path string, opts engine.Options) (*engine.Executor, *checkpoint.ReadResult, error) {
 	pp, err := engine.Compile(node, cat)
 	if err != nil {
 		return nil, nil, err
 	}
 	ex := engine.NewExecutor(pp, opts)
-	res, err := checkpoint.Read(path, ex.LoadState)
+	res, err := checkpoint.ReadFS(fsys, path, ex.LoadState)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,4 +188,42 @@ func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Opti
 			obs.A("duration", res.Duration))
 	}
 	return ex, res, nil
+}
+
+// Relaunch resumes a suspended executor in place: its captured state round-
+// trips through memory into a fresh executor, touching no disk. This is the
+// last rung of the degradation ladder — when no checkpoint can be persisted
+// at any level, the query's work is still preserved and the suspension
+// (hence the preemption) is abandoned rather than the query.
+func Relaunch(cat *catalog.Catalog, node plan.Node, ex *engine.Executor, opts engine.Options) (*engine.Executor, error) {
+	info := ex.Suspended()
+	if info == nil {
+		return nil, fmt.Errorf("strategy: executor is not suspended")
+	}
+	var buf bytes.Buffer
+	enc := vector.NewEncoder(&buf)
+	if err := ex.SaveState(enc); err != nil {
+		return nil, fmt.Errorf("strategy: relaunch save: %w", err)
+	}
+	if enc.Err() != nil {
+		return nil, fmt.Errorf("strategy: relaunch save: %w", enc.Err())
+	}
+	pp, err := engine.Compile(node, cat)
+	if err != nil {
+		return nil, err
+	}
+	fresh := engine.NewExecutor(pp, opts)
+	if err := fresh.LoadState(vector.NewDecoder(bytes.NewReader(buf.Bytes()))); err != nil {
+		return nil, fmt.Errorf("strategy: relaunch load: %w", err)
+	}
+	kind := "pipeline"
+	if info.Kind == engine.KindProcess {
+		kind = "process"
+	}
+	if t := opts.Obs.Trace; t != nil {
+		t.Event(obs.EvResumeInPlace,
+			obs.A("kind", kind),
+			obs.A("state_bytes", int64(buf.Len())))
+	}
+	return fresh, nil
 }

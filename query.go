@@ -157,7 +157,7 @@ func (q *Query) Start(ctx context.Context) (*Execution, error) {
 // picking up where the last checkpoint left off.
 func (q *Query) StartFromCheckpoint(ctx context.Context, path string) (*Execution, error) {
 	o := q.db.obsFor(q.db.newTrace(q.name))
-	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
+	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +212,51 @@ type CheckpointInfo struct {
 	StateBytes, TotalBytes int64
 }
 
+// RetryPolicy bounds a retrying checkpoint write: up to Attempts tries
+// with capped exponential backoff between them. The zero policy means one
+// attempt, no backoff.
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) internal() checkpoint.RetryPolicy {
+	return checkpoint.RetryPolicy{Attempts: p.Attempts, BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay}
+}
+
 // Checkpoint persists the suspended execution's state to path. Valid only
-// after Wait returned ErrSuspended.
+// after Wait returned ErrSuspended. The write is atomic: path either holds
+// a complete verified image or nothing.
 func (e *Execution) Checkpoint(path string) (*CheckpointInfo, error) {
+	return e.CheckpointWithRetry(context.Background(), path, RetryPolicy{})
+}
+
+// CheckpointWithRetry is Checkpoint under a retry policy: transient write
+// failures are absorbed with capped exponential backoff, each retry counted
+// in the checkpoint.retry metric. Cancelling ctx aborts the backoff.
+func (e *Execution) CheckpointWithRetry(ctx context.Context, path string, pol RetryPolicy) (*CheckpointInfo, error) {
+	return e.persist(ctx, path, pol, false)
+}
+
+// CheckpointDegraded persists a process-level suspension as a pipeline-kind
+// checkpoint: same serialized state, no process-image padding. This is the
+// degradation rung for a full image that will not fit or write; the restore
+// resumes exactly where the suspension stopped.
+func (e *Execution) CheckpointDegraded(ctx context.Context, path string, pol RetryPolicy) (*CheckpointInfo, error) {
+	return e.persist(ctx, path, pol, true)
+}
+
+func (e *Execution) persist(ctx context.Context, path string, pol RetryPolicy, degraded bool) (*CheckpointInfo, error) {
 	<-e.done
 	if !errors.Is(e.err, ErrSuspended) {
 		return nil, fmt.Errorf("riveter: execution is not suspended (err=%v)", e.err)
 	}
-	wres, err := strategy.Persist(e.ex, path, e.q.name)
+	wres, err := strategy.PersistWith(ctx, e.ex, path, e.q.name, strategy.PersistOptions{
+		FS:       e.q.db.fsys,
+		Retry:    pol.internal(),
+		Degraded: degraded,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +268,29 @@ func (e *Execution) Checkpoint(path string) (*CheckpointInfo, error) {
 	}, nil
 }
 
+// ResumeInPlace relaunches a suspended execution from its in-memory state,
+// touching no disk — the last rung of the degradation ladder, used when no
+// checkpoint can be persisted anywhere. The returned Execution continues
+// from exactly where the suspension stopped (and keeps this execution's
+// trace); the suspension itself is effectively abandoned.
+func (e *Execution) ResumeInPlace(ctx context.Context) (*Execution, error) {
+	<-e.done
+	if !errors.Is(e.err, ErrSuspended) {
+		return nil, fmt.Errorf("riveter: execution is not suspended (err=%v)", e.err)
+	}
+	q := e.q
+	ex, err := strategy.Relaunch(q.db.cat, q.node, e.ex, engine.Options{Workers: q.db.workers, Obs: e.ex.Obs()})
+	if err != nil {
+		return nil, err
+	}
+	fresh := &Execution{q: q, ex: ex, done: make(chan struct{})}
+	go func() {
+		defer close(fresh.done)
+		fresh.res, fresh.err = fresh.ex.Run(ctx)
+	}()
+	return fresh, nil
+}
+
 // Resume loads a checkpoint of this query and runs it to completion. The
 // checkpoint's plan fingerprint must match; process-level checkpoints also
 // require the same worker count.
@@ -239,7 +299,7 @@ func (q *Query) Resume(ctx context.Context, path string) (*Result, error) {
 }
 
 func (q *Query) resume(ctx context.Context, path string, o obs.Context) (*Result, error) {
-	ex, _, err := strategy.Restore(q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
+	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +316,23 @@ func (e *Execution) Resume(ctx context.Context, path string) (*Result, error) {
 // ReadCheckpointInfo inspects a checkpoint file without loading its state.
 func ReadCheckpointInfo(path string) (*CheckpointInfo, error) {
 	m, err := checkpoint.ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointInfo{
+		Path:       path,
+		Kind:       m.Kind,
+		StateBytes: m.StateBytes,
+		TotalBytes: m.TotalBytes(),
+	}, nil
+}
+
+// VerifyCheckpoint walks a checkpoint file's structure — magic, manifest,
+// checksum, padding — without deserializing its state. A nil error means a
+// restore will find a structurally intact image; torn writes, truncations,
+// and bit flips all report as errors, never panics.
+func VerifyCheckpoint(path string) (*CheckpointInfo, error) {
+	m, err := checkpoint.Verify(path)
 	if err != nil {
 		return nil, err
 	}

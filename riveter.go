@@ -41,6 +41,7 @@ import (
 	"github.com/riveterdb/riveter/internal/colfile"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/faultfs"
 	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/strategy"
 	"github.com/riveterdb/riveter/internal/tpch"
@@ -76,6 +77,7 @@ type DB struct {
 	tpchSF        float64
 	metrics       *obs.Registry
 	tracing       bool
+	fsys          faultfs.FS
 	ckptSeq       atomic.Uint64
 }
 
@@ -97,6 +99,18 @@ func WithCheckpointDir(dir string) Option {
 	return func(db *DB) { db.checkpointDir = dir }
 }
 
+// WithFS routes all checkpoint I/O (writes, restores, the calibration
+// probe) through the given filesystem. The default is the real OS
+// filesystem; tests pass a faultfs.Injector to exercise torn writes,
+// ENOSPC, and crash points deterministically.
+func WithFS(fs faultfs.FS) Option {
+	return func(db *DB) {
+		if fs != nil {
+			db.fsys = fs
+		}
+	}
+}
+
 // WithTracing enables per-execution traces: executions created by
 // Query.Start and adaptive runs record structured events (pipeline
 // start/finish, suspension requests and acknowledgements, checkpoint
@@ -113,6 +127,7 @@ func Open(opts ...Option) *DB {
 		workers: 4,
 		io:      costmodel.DefaultIOProfile(),
 		metrics: obs.NewRegistry(),
+		fsys:    faultfs.OS,
 	}
 	for _, o := range opts {
 		o(db)
@@ -123,12 +138,20 @@ func Open(opts ...Option) *DB {
 		} else {
 			db.checkpointDir = os.TempDir()
 		}
+	} else {
+		// A configured directory may not exist yet; creating it here keeps
+		// every later checkpoint write a plain create-in-directory, so a
+		// missing parent can never surface mid-suspension.
+		os.MkdirAll(db.checkpointDir, 0o755)
 	}
-	if prof, err := costmodel.CalibrateIO(db.checkpointDir); err == nil {
+	if prof, err := costmodel.CalibrateIOFS(db.fsys, db.checkpointDir); err == nil {
 		db.io = prof
 	}
 	return db
 }
+
+// FS returns the filesystem checkpoint I/O goes through.
+func (db *DB) FS() faultfs.FS { return db.fsys }
 
 // Workers returns the configured per-pipeline worker count.
 func (db *DB) Workers() int { return db.workers }

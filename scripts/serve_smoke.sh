@@ -1,9 +1,12 @@
 #!/bin/sh
 # serve-smoke: boot riveter-serve on a tiny TPC-H dataset, submit
 # concurrent queries over HTTP (a long batch query plus interactive
-# shorts), and check the responses and serving metrics. Exercises the
-# whole serving stack — admission, priority scheduling, preemption, and
-# the HTTP API — in a few seconds. Requires curl.
+# shorts), and check the responses and serving metrics. Then restart the
+# server mid-load: SIGTERM with batch work in flight, boot a fresh
+# process on the same checkpoint dir, and check the same session ids
+# resume to completion. Exercises the whole serving stack — admission,
+# priority scheduling, preemption, graceful shutdown, crash-safe state
+# restore, and the HTTP API — in a few seconds. Requires curl.
 set -eu
 
 PORT="${PORT:-18091}"
@@ -77,5 +80,74 @@ curl -fsS "$BASE/metrics" | grep -q '"server.sessions.done": 4' || {
 }
 curl -fsS "$BASE/sessions" >/dev/null
 curl -fsS "$BASE/traces" >/dev/null
+
+stop_server() { # $1 = signal
+    kill "-$1" "$PID"
+    i=0
+    while kill -0 "$PID" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 200 ]; then
+            echo "server did not shut down on SIG$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    wait "$PID" 2>/dev/null || true
+    PID=""
+}
+
+wait_healthy() { # $1 = label
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 150 ]; then
+            echo "$1 server did not become healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "== restart mid-load: booting a slower instance (SF 0.02, 1 worker)"
+stop_server TERM
+CKDIR2="$WORK/ckpt2"
+"$BIN" -addr "127.0.0.1:$PORT" -sf 0.02 -workers 1 -slots 1 -ckdir "$CKDIR2" &
+PID=$!
+wait_healthy "mid-load"
+
+echo "== submitting a burst of long batch queries"
+MID_IDS=""
+n=0
+while [ "$n" -lt 4 ]; do
+    SID=$(curl -fsS "$BASE/query" -d '{"tpch":21,"priority":"batch"}' |
+        sed -n 's/.*"id": "\(s-[0-9]*\)".*/\1/p' | head -n 1)
+    [ -n "$SID" ] || { echo "no session id in burst submit response" >&2; exit 1; }
+    MID_IDS="$MID_IDS $SID"
+    n=$((n + 1))
+done
+
+echo "== SIGTERM with the burst in flight"
+stop_server TERM
+[ -f "$CKDIR2/riveter-serve.state.json" ] ||
+    { echo "graceful shutdown left no state manifest" >&2; exit 1; }
+
+echo "== restarting on the same checkpoint dir"
+"$BIN" -addr "127.0.0.1:$PORT" -sf 0.02 -workers 1 -slots 1 -ckdir "$CKDIR2" &
+PID=$!
+wait_healthy "restarted"
+
+echo "== interrupted sessions resume to completion"
+for SID in $MID_IDS; do
+    i=0
+    until curl -fsS "$BASE/sessions/$SID" | grep -q '"state": "done"'; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "session $SID never finished after restart:" >&2
+            curl -fsS "$BASE/sessions/$SID" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
 
 echo "serve-smoke OK"
