@@ -12,7 +12,7 @@ RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/
 # ladder, and the end-to-end crash matrix in the root package.
 FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/server/...
 
-.PHONY: all build test race vet fmt bench-smoke bench serve-smoke fault-matrix ci
+.PHONY: all build test race vet fmt scheduler-suite bench-smoke bench serve-smoke fault-matrix ci
 
 all: build
 
@@ -34,10 +34,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# One iteration of every engine benchmark: keeps benchmark code compiling
-# and running without paying for a real measurement.
+# The DAG scheduler suites under the race detector, twice: DAG-vs-serial
+# schedule equivalence (engine plans and all 22 TPC-H queries),
+# multi-pipeline mid-DAG suspend/resume, v1 checkpoint-format loading,
+# and the server preemption that quiesces a whole DAG.
+scheduler-suite:
+	$(GO) test -race -count=2 \
+		-run 'DAG|Scheduler|MaxConcurrentPipelines|InFlight|StateFormatV1|MultipleSuspensions|QueriesDAGMatchesSerial' \
+		./internal/engine/... ./internal/tpch/... ./internal/server/...
+
+# One iteration of every engine benchmark plus the TPC-H per-query suite:
+# keeps benchmark code compiling and running without paying for a real
+# measurement, and emits BENCH_engine.json (ns/op, allocs/op, per-query
+# wall times) for the CI artifact. BENCHTIME=5x for a real measurement.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/engine/...
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_engine.json
 
 # Real engine microbenchmarks (compare against bench_results.txt).
 bench:
@@ -57,4 +68,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt test race bench-smoke serve-smoke fault-matrix
+ci: build vet fmt test race scheduler-suite bench-smoke serve-smoke fault-matrix

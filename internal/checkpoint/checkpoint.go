@@ -50,6 +50,15 @@ type Manifest struct {
 	StateBytes      int64  `json:"state_bytes"`
 	PaddingBytes    int64  `json:"padding_bytes"`
 	CreatedUnixNano int64  `json:"created_unix_nano"`
+	// StateVersion is the engine state-format revision embedded in the
+	// payload (0 in manifests written before the field existed, which carry
+	// v1 state). The state stream validates its own version on load; the
+	// manifest copy lets tooling inspect a checkpoint without deserializing.
+	StateVersion int `json:"state_version,omitempty"`
+	// InFlightPipelines lists the pipelines captured mid-execution by a
+	// process-level suspension (v2 states capture a set; empty for pipeline
+	// checkpoints and for pre-DAG single-cursor images).
+	InFlightPipelines []int `json:"in_flight_pipelines,omitempty"`
 }
 
 // TotalBytes is the persisted payload size (state + padding).
@@ -352,6 +361,17 @@ func readHeader(r *bufio.Reader, crc io.Writer) (Manifest, error) {
 	}
 	if m.StateBytes < 0 || m.PaddingBytes < 0 {
 		return Manifest{}, fmt.Errorf("checkpoint: manifest has negative sizes")
+	}
+	// The payload validates its own version precisely on load; here the walk
+	// only rejects obviously mangled manifests (the engine's revisions are
+	// small integers, 0 meaning "written before the field existed").
+	if m.StateVersion < 0 || m.StateVersion > 1<<10 {
+		return Manifest{}, fmt.Errorf("checkpoint: implausible state version %d", m.StateVersion)
+	}
+	for _, pi := range m.InFlightPipelines {
+		if pi < 0 {
+			return Manifest{}, fmt.Errorf("checkpoint: negative in-flight pipeline index %d", pi)
+		}
 	}
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Manifest{}, fmt.Errorf("checkpoint: read state length: %w", err)

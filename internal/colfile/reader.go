@@ -22,12 +22,17 @@ type Meta struct {
 	BlockRows int
 }
 
-// Reader provides sequential and random block access to a colfile.
+// Reader provides sequential and random block access to a colfile. A Reader
+// is not safe for concurrent use: ReadBlock reuses an internal buffered
+// reader and payload scratch across calls.
 type Reader struct {
 	f         *os.File
 	meta      Meta
 	blockOffs []int64
 	dataStart int64
+
+	br      *bufio.Reader // reused across ReadBlock calls
+	payload []byte        // reused column-part payload scratch
 }
 
 // Open opens a colfile and reads its header and footer.
@@ -152,10 +157,14 @@ func (r *Reader) ReadBlock(i int) ([]*vector.Vector, error) {
 	if _, err := r.f.Seek(r.blockOffs[i], io.SeekStart); err != nil {
 		return nil, err
 	}
-	br := bufio.NewReaderSize(r.f, 1<<20)
+	if r.br == nil {
+		r.br = bufio.NewReaderSize(r.f, 1<<20)
+	} else {
+		r.br.Reset(r.f)
+	}
 	cols := make([]*vector.Vector, r.meta.Schema.Arity())
 	for j := range cols {
-		v, err := readBlockPart(br, r.meta.Schema.Columns[j].Type)
+		v, err := r.readBlockPart(r.br, r.meta.Schema.Columns[j].Type)
 		if err != nil {
 			return nil, fmt.Errorf("colfile: block %d column %d: %w", i, j, err)
 		}
@@ -164,7 +173,7 @@ func (r *Reader) ReadBlock(i int) ([]*vector.Vector, error) {
 	return cols, nil
 }
 
-func readBlockPart(br *bufio.Reader, want vector.Type) (*vector.Vector, error) {
+func (r *Reader) readBlockPart(br *bufio.Reader, want vector.Type) (*vector.Vector, error) {
 	mode, err := br.ReadByte()
 	if err != nil {
 		return nil, err
@@ -176,7 +185,10 @@ func readBlockPart(br *bufio.Reader, want vector.Type) (*vector.Vector, error) {
 	if plen > 1<<33 {
 		return nil, fmt.Errorf("implausible payload length %d", plen)
 	}
-	payload := make([]byte, plen)
+	if uint64(cap(r.payload)) < plen {
+		r.payload = make([]byte, plen)
+	}
+	payload := r.payload[:plen]
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, err
 	}

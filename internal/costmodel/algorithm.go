@@ -56,6 +56,14 @@ type Input struct {
 	// deferred until the current pipeline completes, so its termination
 	// exposure starts that much later (the Fig. 9 / Fig. 12 lag).
 	NextBreakerEta time.Duration
+	// PipelineDiscard is the in-flight sibling work a pipeline-level
+	// suspension would discard. Under DAG scheduling several pipelines run
+	// concurrently, but a pipeline-level checkpoint carries only finalized
+	// state: when the first breaker fires, every other in-flight pipeline is
+	// quiesced and its partial progress thrown away and re-executed on
+	// resume. That re-execution is a direct cost of choosing the pipeline
+	// strategy, on top of its suspend/resume latencies.
+	PipelineDiscard time.Duration
 	// Query feeds the process-image size estimator.
 	Query QueryInfo
 }
@@ -149,7 +157,8 @@ func costEstPpl(in Input, p Params) time.Duration {
 	// The suspension cannot start before the next breaker; mid-pipeline the
 	// exposure window shifts by the breaker ETA.
 	prob := overlapProbability(in.Ct+in.NextBreakerEta+ls, p)
-	return ls + lr + time.Duration(prob*float64(in.Ct))
+	// Sibling pipelines quiesced at that breaker lose their in-flight work.
+	return ls + lr + in.PipelineDiscard + time.Duration(prob*float64(in.Ct))
 }
 
 // costEstProc implements CostEstProc (lines 18-32): probe future suspension

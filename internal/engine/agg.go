@@ -300,6 +300,8 @@ type aggLocal struct {
 	table     *aggHashTable
 	keyBuf    []byte
 	rowGroups []*aggGroup
+	groupVecs []*vector.Vector // per-chunk eval scratch (worker-local)
+	argVecs   []*vector.Vector
 }
 
 // MakeLocal implements Sink.
@@ -314,7 +316,10 @@ func (s *HashAggSink) Consume(ls LocalState, c *vector.Chunk) error {
 	if n == 0 {
 		return nil
 	}
-	groupVecs := make([]*vector.Vector, len(s.groupBy))
+	if cap(l.groupVecs) < len(s.groupBy) {
+		l.groupVecs = make([]*vector.Vector, len(s.groupBy))
+	}
+	groupVecs := l.groupVecs[:len(s.groupBy)]
 	for i, g := range s.groupBy {
 		v, err := g.Eval(c)
 		if err != nil {
@@ -322,7 +327,13 @@ func (s *HashAggSink) Consume(ls LocalState, c *vector.Chunk) error {
 		}
 		groupVecs[i] = v
 	}
-	argVecs := make([]*vector.Vector, len(s.specs))
+	if cap(l.argVecs) < len(s.specs) {
+		l.argVecs = make([]*vector.Vector, len(s.specs))
+	}
+	argVecs := l.argVecs[:len(s.specs)]
+	for i := range argVecs {
+		argVecs[i] = nil
+	}
 	for i, sp := range s.specs {
 		if sp.Arg == nil {
 			continue

@@ -15,6 +15,14 @@ import (
 
 // Micro-benchmarks of the engine's core operators and of the suspension
 // machinery itself (state serialization and round-trips).
+//
+// Reference allocs/op on the CI host before/after pooling the morsel-loop
+// scratch (chunkPool in op.go, probeScratch in join.go, worker-local eval
+// slices in agg.go):
+//
+//	BenchmarkScanFilter      1582 -> 699   (6.87 MB -> 2.68 MB per op)
+//	BenchmarkHashJoin        3507 -> 1618  (13.53 MB -> 1.93 MB per op)
+//	BenchmarkHashAggregate  13475 -> 13221 (dominated by group-table growth)
 
 func benchCatalog(b *testing.B, rows int) *catalog.Catalog {
 	b.Helper()

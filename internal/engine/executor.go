@@ -42,7 +42,10 @@ const (
 // BreakerEvent describes the pipeline breaker the executor just crossed; it
 // is handed to the OnBreaker callback, where Riveter's cost model decides
 // whether to suspend (paper §III-C: decisions are made when query execution
-// reaches a pipeline breaker).
+// reaches a pipeline breaker). Under the DAG scheduler breaker events are
+// serialized on the scheduler goroutine, so the callback always observes a
+// consistent set of finalized pipelines even while sibling pipelines keep
+// claiming morsels.
 type BreakerEvent struct {
 	ex *Executor
 
@@ -61,7 +64,7 @@ type BreakerEvent struct {
 // "serialize the intermediate data in binary format, which allows us to
 // determine its size".
 func (e *BreakerEvent) MeasurePipelineCheckpointBytes() int64 {
-	return e.ex.measureState(KindPipeline, e.PipelineIdx+1)
+	return e.ex.measureState(KindPipeline)
 }
 
 // LiveStateBytes returns the resident size of live operator state.
@@ -84,8 +87,14 @@ type AutoSuspend struct {
 
 // Options configure an Executor.
 type Options struct {
-	// Workers is the number of worker goroutines per pipeline (>=1).
+	// Workers is the total worker-goroutine budget (>=1). The DAG scheduler
+	// partitions it across all concurrently running pipelines.
 	Workers int
+	// MaxConcurrentPipelines caps how many pipelines may run at once.
+	// 0 means no cap (bounded only by Workers and DAG readiness); 1 degrades
+	// to the pre-DAG serial schedule: pipelines execute one at a time in
+	// compile order, which is what the equivalence property tests pin against.
+	MaxConcurrentPipelines int
 	// Accountant models process-image growth; nil gets a default.
 	Accountant *Accountant
 	// OnBreaker, when set, is invoked synchronously after every pipeline
@@ -104,13 +113,14 @@ type Options struct {
 // construction so the run loop never touches the registry. All handles are
 // nil (and drop recordings) when no registry is attached.
 type execMetrics struct {
-	morsels   *obs.Counter
-	processed *obs.Counter
-	pipesDone *obs.Counter
-	breakers  *obs.Counter
-	suspends  [3]*obs.Counter // indexed by SuspendKind
-	pipeDur   *obs.Histogram
-	liveState *obs.Gauge
+	morsels      *obs.Counter
+	processed    *obs.Counter
+	pipesDone    *obs.Counter
+	breakers     *obs.Counter
+	suspends     [3]*obs.Counter // indexed by SuspendKind
+	pipeDur      *obs.Histogram
+	liveState    *obs.Gauge
+	runningPipes *obs.Gauge
 }
 
 func resolveExecMetrics(r *obs.Registry) execMetrics {
@@ -126,14 +136,29 @@ func resolveExecMetrics(r *obs.Registry) execMetrics {
 			KindPipeline: r.Counter(obs.Kinded(obs.MetricSuspends, "pipeline")),
 			KindProcess:  r.Counter(obs.Kinded(obs.MetricSuspends, "process")),
 		},
-		pipeDur:   r.DurationHistogram(obs.MetricPipelineDuration),
-		liveState: r.Gauge(obs.MetricLiveStateBytes),
+		pipeDur:      r.DurationHistogram(obs.MetricPipelineDuration),
+		liveState:    r.Gauge(obs.MetricLiveStateBytes),
+		runningPipes: r.Gauge(obs.MetricRunningPipelines),
 	}
+}
+
+// inflightPipe is the captured mid-flight execution state of one pipeline:
+// its morsel cursor, the worker-local sink states accumulated so far, and the
+// time already spent inside it. The executor holds a set of these — either
+// restored from a checkpoint before Run, or captured by a process-level
+// barrier across every pipeline the DAG scheduler had running.
+type inflightPipe struct {
+	pi      int
+	cursor  int64
+	locals  []LocalState
+	elapsed time.Duration
 }
 
 // Executor runs a physical plan with morsel-driven parallelism and supports
 // the three suspension paths: context cancellation (redo), pipeline-level
 // suspension at breakers, and process-level suspension at morsel boundaries.
+// Pipelines whose dependencies have finalized run concurrently, sharing the
+// Options.Workers goroutine budget.
 type Executor struct {
 	pp   *PhysicalPlan
 	opts Options
@@ -144,35 +169,56 @@ type Executor struct {
 	suspendReq  atomic.Int32
 	autoFired   atomic.Bool
 	autoFiredAt atomic.Int64 // UnixNano of the auto-suspend trigger
+	// stopAll barriers every worker at its next morsel boundary regardless of
+	// pipeline: set on worker error (abort) and when a breaker commits a
+	// pipeline-level suspension (sibling progress is discarded, see schedule).
+	stopAll atomic.Bool
 
-	mu          sync.Mutex
-	done        []bool
-	pipeTimes   []time.Duration
-	current     int   // pipeline being executed
-	cursor      int64 // restored morsel cursor for current pipeline
-	locals      []LocalState
-	elapsed     time.Duration // accumulated across resumes
-	pipeElapsed time.Duration // accumulated time within the current pipeline
-	suspended   *SuspendInfo
-	ranAlready  bool
+	mu         sync.Mutex
+	done       []bool
+	pipeTimes  []time.Duration
+	inflight   []*inflightPipe // captured or restored mid-flight pipelines
+	elapsed    time.Duration   // accumulated across resumes
+	suspended  *SuspendInfo
+	ranAlready bool
+}
+
+// InFlightPipeline summarizes one pipeline interrupted mid-flight by a
+// process-level suspension.
+type InFlightPipeline struct {
+	// Pipeline is the interrupted pipeline's index.
+	Pipeline int
+	// Cursor is its morsel cursor (morsels claimed so far).
+	Cursor int64
+	// Workers is how many worker-local states were captured.
+	Workers int
+	// Elapsed is the time spent inside this pipeline so far.
+	Elapsed time.Duration
 }
 
 // SuspendInfo describes the captured suspension.
 type SuspendInfo struct {
 	Kind SuspendKind
-	// Pipeline is the next pipeline to run (pipeline-level) or the pipeline
-	// interrupted mid-flight (process-level).
+	// Pipeline is the lowest-index pending pipeline: the first in-flight one
+	// (process-level) or the next to run (pipeline-level).
 	Pipeline int
-	// Cursor is the morsel cursor of the interrupted pipeline.
+	// Cursor is the morsel cursor of that pipeline (process-level).
 	Cursor int64
 	// Elapsed is the total execution time consumed so far.
 	Elapsed time.Duration
+	// InFlight lists every pipeline interrupted mid-flight, ascending by
+	// index. Empty for pipeline-level suspensions and for process-level
+	// barriers that landed between pipelines.
+	InFlight []InFlightPipeline
 }
 
 // NewExecutor builds an executor for a compiled plan.
 func NewExecutor(pp *PhysicalPlan, opts Options) *Executor {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
+	}
+	if opts.MaxConcurrentPipelines < 0 {
+		opts.MaxConcurrentPipelines = 0
 	}
 	acct := opts.Accountant
 	if acct == nil {
@@ -239,10 +285,11 @@ func (ex *Executor) AutoSuspendFiredAt() time.Time {
 }
 
 // ClearSuspension discards a process-level suspension capture and lets Run
-// continue the query in place (locals and morsel cursor are retained). It
-// turns a suspension barrier into a quiesce point: Riveter uses it to run
-// the cost model against a consistent executor state and then keep going
-// when the chosen strategy is not an immediate process-level suspension.
+// continue the query in place (the in-flight pipelines' locals and morsel
+// cursors are retained). It turns a suspension barrier into a quiesce point:
+// Riveter uses it to run the cost model against a consistent executor state
+// and then keep going when the chosen strategy is not an immediate
+// process-level suspension.
 func (ex *Executor) ClearSuspension() {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
@@ -250,27 +297,105 @@ func (ex *Executor) ClearSuspension() {
 	ex.suspendReq.Store(int32(KindNone))
 }
 
-// Progress describes how far execution has advanced; used by the cost model
-// to estimate the time to the next pipeline breaker.
-type Progress struct {
-	// Pipeline is the pipeline currently executing (or next to execute).
+// PipelineProgress is the progress of one in-flight pipeline.
+type PipelineProgress struct {
+	// Pipeline is the pipeline's index.
 	Pipeline int
-	// NumPipelines is the plan's pipeline count.
-	NumPipelines int
-	// DoneMorsels and TotalMorsels cover the current pipeline.
+	// DoneMorsels and TotalMorsels cover this pipeline.
 	DoneMorsels, TotalMorsels int64
-	// PipelineElapsed is the time spent in the current pipeline so far.
-	PipelineElapsed time.Duration
+	// Elapsed is the time spent inside this pipeline so far.
+	Elapsed time.Duration
 }
 
-// NextBreakerEta estimates the remaining time of the current pipeline by
-// extrapolating its observed per-morsel rate.
-func (p Progress) NextBreakerEta() time.Duration {
+// eta extrapolates the pipeline's remaining time from its per-morsel rate.
+func (p PipelineProgress) eta() time.Duration {
 	if p.DoneMorsels <= 0 || p.TotalMorsels <= p.DoneMorsels {
 		return 0
 	}
-	perMorsel := float64(p.PipelineElapsed) / float64(p.DoneMorsels)
+	perMorsel := float64(p.Elapsed) / float64(p.DoneMorsels)
 	return time.Duration(perMorsel * float64(p.TotalMorsels-p.DoneMorsels))
+}
+
+// Progress describes how far execution has advanced; used by the cost model
+// to estimate the time to the next pipeline breaker.
+type Progress struct {
+	// Pipeline is the lowest-index pipeline currently in flight (or next to
+	// execute).
+	Pipeline int
+	// NumPipelines is the plan's pipeline count.
+	NumPipelines int
+	// DoneMorsels and TotalMorsels cover that pipeline.
+	DoneMorsels, TotalMorsels int64
+	// PipelineElapsed is the time spent in that pipeline so far.
+	PipelineElapsed time.Duration
+	// InFlight holds the progress of every in-flight pipeline (ascending by
+	// index) when the executor quiesced with several pipelines running.
+	InFlight []PipelineProgress
+}
+
+// NextBreakerEta estimates the time until the next pipeline breaker fires.
+// With several pipelines in flight that is the minimum of their extrapolated
+// remaining times — whichever finalizes first reaches its breaker first.
+func (p Progress) NextBreakerEta() time.Duration {
+	if len(p.InFlight) == 0 {
+		return PipelineProgress{
+			DoneMorsels: p.DoneMorsels, TotalMorsels: p.TotalMorsels, Elapsed: p.PipelineElapsed,
+		}.eta()
+	}
+	min := time.Duration(-1)
+	for _, f := range p.InFlight {
+		if e := f.eta(); min < 0 || e < min {
+			min = e
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// PipelineSuspendDiscard estimates the in-flight work a pipeline-level
+// suspension would throw away: when the first breaker fires, every sibling
+// pipeline is quiesced and its partial progress discarded (pipeline-level
+// checkpoints carry only finalized state, which is what keeps them resumable
+// under a different worker count). The estimate charges the elapsed time of
+// every in-flight pipeline except the one expected to reach its breaker
+// first.
+func (p Progress) PipelineSuspendDiscard() time.Duration {
+	if len(p.InFlight) <= 1 {
+		return 0
+	}
+	first, firstEta := 0, time.Duration(-1)
+	for i, f := range p.InFlight {
+		if e := f.eta(); firstEta < 0 || e < firstEta {
+			first, firstEta = i, e
+		}
+	}
+	var lost time.Duration
+	for i, f := range p.InFlight {
+		if i != first {
+			lost += f.Elapsed
+		}
+	}
+	return lost
+}
+
+// firstPendingLocked returns the lowest-index pipeline not yet finalized
+// (len(Pipelines) when all are done). Callers hold ex.mu.
+func (ex *Executor) firstPendingLocked() int {
+	for i, d := range ex.done {
+		if !d {
+			return i
+		}
+	}
+	return len(ex.pp.Pipelines)
+}
+
+// allDone reports whether every pipeline has finalized.
+func (ex *Executor) allDone() bool {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.firstPendingLocked() == len(ex.pp.Pipelines)
 }
 
 // CurrentProgress returns the execution progress snapshot. Meaningful when
@@ -278,51 +403,63 @@ func (p Progress) NextBreakerEta() time.Duration {
 func (ex *Executor) CurrentProgress() Progress {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
-	p := Progress{Pipeline: ex.current, NumPipelines: len(ex.pp.Pipelines)}
-	if ex.current < len(ex.pp.Pipelines) {
-		pl := ex.pp.Pipelines[ex.current]
-		deps := true
+	p := Progress{Pipeline: ex.firstPendingLocked(), NumPipelines: len(ex.pp.Pipelines)}
+	if len(ex.inflight) > 0 {
+		for _, c := range ex.inflight {
+			pl := ex.pp.Pipelines[c.pi]
+			p.InFlight = append(p.InFlight, PipelineProgress{
+				Pipeline:    c.pi,
+				DoneMorsels: c.cursor,
+				// In-flight pipelines had all dependencies finalized, so the
+				// source's morsel count is well defined.
+				TotalMorsels: pl.Source.MorselCount(),
+				Elapsed:      c.elapsed,
+			})
+		}
+		first := p.InFlight[0]
+		p.Pipeline = first.Pipeline
+		p.DoneMorsels = first.DoneMorsels
+		p.TotalMorsels = first.TotalMorsels
+		p.PipelineElapsed = first.Elapsed
+		return p
+	}
+	if p.Pipeline < len(ex.pp.Pipelines) {
+		pl := ex.pp.Pipelines[p.Pipeline]
+		ready := true
 		for _, d := range pl.Deps {
 			if !ex.done[d] {
-				deps = false
+				ready = false
 				break
 			}
 		}
-		if deps {
+		if ready {
 			p.TotalMorsels = pl.Source.MorselCount()
 		}
-		p.DoneMorsels = ex.cursor
-		if p.DoneMorsels > p.TotalMorsels {
-			p.DoneMorsels = p.TotalMorsels
-		}
-		p.PipelineElapsed = ex.pipeElapsed
 	}
 	return p
 }
 
 // EstimateNextBreakerCheckpointBytes approximates the pipeline-level
-// checkpoint size at the current pipeline's completion: the finalized live
-// states the next pipelines still need, plus the in-flight pipeline's
-// worker-local state (which its breaker will merge into the global state).
-// Local states are priced by serializing them to a counting writer — the
+// checkpoint size at the next breaker: the finalized live states pending
+// pipelines still need, plus the worker-local state of every in-flight
+// pipeline (whose breakers will merge it into the global state). Local
+// states are priced by serializing them to a counting writer — the
 // checkpoint's L_s depends on serialized bytes, which for hash tables are
 // far below their resident size. Call only while the executor is quiesced.
 func (ex *Executor) EstimateNextBreakerCheckpointBytes() int64 {
 	ex.mu.Lock()
-	current := ex.current
-	locals := ex.locals
+	inflight := ex.inflight
 	ex.mu.Unlock()
-	n := ex.measureState(KindPipeline, current+1)
-	if locals != nil && current < len(ex.pp.Pipelines) {
-		sink := ex.pp.Pipelines[current].Sink
-		var cw countingWriter
-		enc := vector.NewEncoder(&cw)
-		for _, ls := range locals {
+	n := ex.measureState(KindPipeline)
+	var cw countingWriter
+	enc := vector.NewEncoder(&cw)
+	for _, c := range inflight {
+		sink := ex.pp.Pipelines[c.pi].Sink
+		for _, ls := range c.locals {
 			_ = sink.SaveLocal(ls, enc)
 		}
-		n += cw.n
 	}
-	return n
+	return n + cw.n
 }
 
 // Elapsed returns total execution time accumulated so far (across resumes).
@@ -360,6 +497,11 @@ func (ex *Executor) DonePipelines() int {
 
 // Run executes the plan to completion, a suspension, or cancellation.
 // It may be called again after LoadState to continue a resumed query.
+//
+// Scheduling is DAG-driven: every pipeline whose dependencies have finalized
+// is eligible to run, and the Options.Workers goroutine budget is partitioned
+// across the running set (see schedule in scheduler.go). Serial per-pipeline
+// execution is the MaxConcurrentPipelines==1 special case.
 func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 	ex.mu.Lock()
 	if ex.suspended != nil {
@@ -367,11 +509,11 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 		return nil, fmt.Errorf("engine: executor already suspended; build a new executor and LoadState to resume")
 	}
 	start := time.Now()
-	startPipe := ex.current
-	restoredCursor := ex.cursor
-	restoredLocals := ex.locals
+	restored := ex.inflight
+	ex.inflight = nil
 	ex.ranAlready = true
 	ex.mu.Unlock()
+	ex.stopAll.Store(false)
 
 	defer func() {
 		ex.mu.Lock()
@@ -379,160 +521,16 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 		ex.mu.Unlock()
 	}()
 
-	for pi := startPipe; pi < len(ex.pp.Pipelines); pi++ {
-		if ex.done[pi] {
-			continue
-		}
-		p := ex.pp.Pipelines[pi]
-		for _, dep := range p.Deps {
-			if !ex.done[dep] {
-				return nil, fmt.Errorf("engine: pipeline %d scheduled before dep %d", pi, dep)
-			}
-		}
-		pipeStart := time.Now()
-
-		var cursor atomic.Int64
-		locals := make([]LocalState, ex.opts.Workers)
-		if pi == startPipe && restoredLocals != nil {
-			if len(restoredLocals) != ex.opts.Workers {
-				return nil, fmt.Errorf("engine: resume requires %d workers, have %d", len(restoredLocals), ex.opts.Workers)
-			}
-			copy(locals, restoredLocals)
-			cursor.Store(restoredCursor)
-		} else {
-			for w := range locals {
-				locals[w] = p.Sink.MakeLocal()
-			}
-		}
-
-		morsels := p.Source.MorselCount()
-		if ex.tr != nil {
-			ex.tr.Event(obs.EvPipelineStart,
-				obs.A("pipeline", pi), obs.A("workers", ex.opts.Workers),
-				obs.A("morsels", morsels), obs.A("cursor", cursor.Load()))
-		}
-		var (
-			wg        sync.WaitGroup
-			procStop  atomic.Bool
-			workerErr atomic.Value
-		)
-		for w := 0; w < ex.opts.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				if err := ex.runWorker(ctx, p, &cursor, morsels, locals[w], &procStop); err != nil {
-					workerErr.CompareAndSwap(nil, err)
-				}
-			}(w)
-		}
-		wg.Wait()
-
-		if err, _ := workerErr.Load().(error); err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if procStop.Load() {
-			// Process-level suspension: capture mid-pipeline state.
-			cur := cursor.Load()
-			if cur > morsels {
-				cur = morsels
-			}
-			ex.mu.Lock()
-			ex.current = pi
-			ex.cursor = cur
-			ex.locals = locals
-			ex.pipeElapsed += time.Since(pipeStart)
-			elapsed := ex.elapsed + time.Since(start)
-			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi, Cursor: cur, Elapsed: elapsed}
-			ex.mu.Unlock()
-			ex.met.suspends[KindProcess].Inc()
-			if ex.tr != nil {
-				ex.tr.Event(obs.EvSuspendAcked,
-					obs.A("kind", "process"), obs.A("pipeline", pi),
-					obs.A("cursor", cur), obs.A("elapsed", elapsed))
-			}
-			return nil, ErrSuspended
-		}
-
-		// Pipeline complete: combine locals deterministically, finalize.
-		for _, ls := range locals {
-			if err := p.Sink.Combine(ls); err != nil {
-				return nil, err
-			}
-		}
-		if err := p.Sink.Finalize(); err != nil {
-			return nil, err
-		}
-		ex.mu.Lock()
-		ex.done[pi] = true
-		pipeDur := ex.pipeElapsed + time.Since(pipeStart)
-		ex.pipeTimes[pi] = pipeDur
-		ex.pipeElapsed = 0
-		ex.current = pi + 1
-		ex.cursor = 0
-		ex.locals = nil
-		ex.mu.Unlock()
-		ex.met.pipesDone.Inc()
-		ex.met.pipeDur.ObserveDuration(pipeDur)
-		if ex.met.liveState != nil {
-			ex.met.liveState.Set(ex.liveStateBytes())
-		}
-		if ex.tr != nil {
-			ex.tr.Event(obs.EvPipelineFinish,
-				obs.A("pipeline", pi), obs.A("duration", pipeDur), obs.A("morsels", morsels))
-		}
-
-		if pi == len(ex.pp.Pipelines)-1 {
-			break // last pipeline: no breaker decision after the result sink
-		}
-		// A process-level request that arrived during Combine/Finalize (when
-		// no worker loop was polling) is honored here: the pipeline boundary
-		// is a valid morsel boundary of the next pipeline (cursor 0, fresh
-		// locals), so the quiesce latency is bounded by one finalize rather
-		// than left pending until the next pipeline spins up workers.
-		if SuspendKind(ex.suspendReq.Load()) == KindProcess {
-			next := ex.pp.Pipelines[pi+1]
-			fresh := make([]LocalState, ex.opts.Workers)
-			for w := range fresh {
-				fresh[w] = next.Sink.MakeLocal()
-			}
-			ex.mu.Lock()
-			ex.current = pi + 1
-			ex.cursor = 0
-			ex.locals = fresh
-			elapsed := ex.elapsed + time.Since(start)
-			ex.suspended = &SuspendInfo{Kind: KindProcess, Pipeline: pi + 1, Elapsed: elapsed}
-			ex.mu.Unlock()
-			ex.met.suspends[KindProcess].Inc()
-			if ex.tr != nil {
-				ex.tr.Event(obs.EvSuspendAcked,
-					obs.A("kind", "process"), obs.A("pipeline", pi+1),
-					obs.A("cursor", int64(0)), obs.A("elapsed", elapsed))
-			}
-			return nil, ErrSuspended
-		}
-		if ex.breakerSuspend(pi, start) {
-			ex.mu.Lock()
-			elapsed := ex.elapsed + time.Since(start)
-			ex.suspended = &SuspendInfo{Kind: KindPipeline, Pipeline: pi + 1, Elapsed: elapsed}
-			ex.mu.Unlock()
-			ex.met.suspends[KindPipeline].Inc()
-			if ex.tr != nil {
-				ex.tr.Event(obs.EvSuspendAcked,
-					obs.A("kind", "pipeline"), obs.A("pipeline", pi+1), obs.A("elapsed", elapsed))
-			}
-			return nil, ErrSuspended
-		}
+	if err := newSchedule(ex, ctx, start).run(restored); err != nil {
+		return nil, err
 	}
-
 	res := &ResultSet{Schema: ex.pp.OutSchema, Buf: ex.pp.Result().Buffer()}
 	return res, nil
 }
 
 // breakerSuspend runs the breaker hook after pipeline pi finalized and
-// reports whether a pipeline-level suspension should trigger.
+// reports whether a pipeline-level suspension should trigger. Called only
+// from the scheduler goroutine, so breaker events are totally ordered.
 func (ex *Executor) breakerSuspend(pi int, runStart time.Time) bool {
 	ex.met.breakers.Inc()
 	if ex.tr != nil {
@@ -548,7 +546,7 @@ func (ex *Executor) breakerSuspend(pi int, runStart time.Time) bool {
 	}
 	ex.mu.Lock()
 	times := make([]time.Duration, 0, pi+1)
-	for i := 0; i <= pi; i++ {
+	for i := range ex.pp.Pipelines {
 		if ex.done[i] {
 			times = append(times, ex.pipeTimes[i])
 		}
@@ -565,8 +563,26 @@ func (ex *Executor) breakerSuspend(pi int, runStart time.Time) bool {
 	return ex.opts.OnBreaker(ev) == ActionSuspend
 }
 
-// runWorker is one morsel-pulling worker loop.
-func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.Int64, morsels int64, local LocalState, procStop *atomic.Bool) error {
+// claimMorsel claims the next unprocessed morsel index with a CAS so the
+// cursor never exceeds the morsel count — DoneMorsels and suspend captures
+// are exact without downstream clamping.
+func claimMorsel(cursor *atomic.Int64, morsels int64) (int64, bool) {
+	for {
+		cur := cursor.Load()
+		if cur >= morsels {
+			return 0, false
+		}
+		if cursor.CompareAndSwap(cur, cur+1) {
+			return cur, true
+		}
+	}
+}
+
+// runWorker is one morsel-pulling worker loop. It returns stopped=true when
+// it exited at a morsel boundary due to a stop signal (context cancellation,
+// a process-level suspension request, or the stop-all barrier) rather than
+// because the pipeline's morsels were exhausted.
+func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.Int64, morsels int64, local LocalState) (stopped bool, err error) {
 	chunk := vector.NewChunk(p.Source.OutTypes())
 	chain := makeChain(p.Ops, func(c *vector.Chunk) error {
 		return p.Sink.Consume(local, c)
@@ -581,7 +597,7 @@ func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.I
 	}()
 	for {
 		if ctx.Err() != nil {
-			return nil // cancellation surfaces via ctx.Err in Run
+			return true, nil // cancellation surfaces via ctx.Err in Run
 		}
 		if auto.AtProcessedBytes > 0 && !ex.autoFired.Load() &&
 			ex.acct.ProcessedBytes() >= auto.AtProcessedBytes {
@@ -590,17 +606,22 @@ func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.I
 				ex.RequestSuspend(auto.Kind)
 			}
 		}
-		if SuspendKind(ex.suspendReq.Load()) == KindProcess {
-			procStop.Store(true)
-			return nil
+		if ex.stopAll.Load() || SuspendKind(ex.suspendReq.Load()) == KindProcess {
+			// An exhausted pipeline quiesces as finished, not as stopped: its
+			// workers already consumed every morsel, so letting it finalize
+			// shrinks the capture and keeps the in-flight worker-local count
+			// within the Options.Workers budget (a pipeline that lost a worker
+			// to morsel exhaustion would otherwise be captured with more
+			// locals than live workers).
+			return cursor.Load() < morsels, nil
 		}
-		idx := cursor.Add(1) - 1
-		if idx >= morsels {
-			return nil
+		idx, ok := claimMorsel(cursor, morsels)
+		if !ok {
+			return false, nil
 		}
 		n, err := p.Source.ReadMorsel(idx, chunk)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if n == 0 {
 			continue
@@ -610,7 +631,7 @@ func (ex *Executor) runWorker(ctx context.Context, p *Pipeline, cursor *atomic.I
 		doneMorsels++
 		doneBytes += mb
 		if err := chain(chunk); err != nil {
-			return err
+			return false, err
 		}
 	}
 }
@@ -625,20 +646,20 @@ func makeChain(ops []StreamOp, final func(*vector.Chunk) error) func(*vector.Chu
 	return h
 }
 
-// liveStateBytes sums the resident size of all sink global states and
-// the current pipeline's captured locals. Callers need not hold mu: sinks
-// are only mutated between pipelines on the Run goroutine, and this is
-// invoked either from the breaker hook (same goroutine) or after suspension.
+// liveStateBytes sums the resident size of all finalized sink global states
+// and the captured locals of every in-flight pipeline.
 func (ex *Executor) liveStateBytes() int64 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	var b int64
 	for i, p := range ex.pp.Pipelines {
 		if ex.done[i] {
 			b += p.Sink.MemBytes()
 		}
 	}
-	if ex.locals != nil {
-		p := ex.pp.Pipelines[ex.current]
-		for _, ls := range ex.locals {
+	for _, c := range ex.inflight {
+		p := ex.pp.Pipelines[c.pi]
+		for _, ls := range c.locals {
 			b += p.Sink.LocalMemBytes(ls)
 		}
 	}

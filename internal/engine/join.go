@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/riveterdb/riveter/internal/expr"
 	"github.com/riveterdb/riveter/internal/plan"
@@ -44,6 +45,9 @@ func NewHashJoinBuildSink(keys []expr.Expr, inTypes []vector.Type) *HashJoinBuil
 
 type joinBuildLocal struct {
 	buf *RowBuffer
+	// keyVecs is per-chunk scratch for evaluated key vectors; worker-local,
+	// so plain reuse is race-free.
+	keyVecs []*vector.Vector
 }
 
 // MakeLocal implements Sink.
@@ -54,7 +58,10 @@ func (s *HashJoinBuildSink) MakeLocal() LocalState {
 // Consume implements Sink.
 func (s *HashJoinBuildSink) Consume(ls LocalState, c *vector.Chunk) error {
 	l := ls.(*joinBuildLocal)
-	keyVecs := make([]*vector.Vector, len(s.keyExprs))
+	if cap(l.keyVecs) < len(s.keyExprs) {
+		l.keyVecs = make([]*vector.Vector, len(s.keyExprs))
+	}
+	keyVecs := l.keyVecs[:len(s.keyExprs)]
 	for i, k := range s.keyExprs {
 		v, err := k.Eval(c)
 		if err != nil {
@@ -191,6 +198,58 @@ type HashJoinProbeOp struct {
 	probeTypes []vector.Type
 	outTypes   []vector.Type
 	pairTypes  []vector.Type // probeTypes ++ build payload types
+
+	// scratch pools per-worker probe state (the operator instance is shared
+	// by all workers of the pipeline). See chunkPool for why reusing emitted
+	// chunks is sound.
+	scratch sync.Pool
+}
+
+// probeScratch is the reusable per-Process working set of a probe.
+type probeScratch struct {
+	keyVecs  []*vector.Vector
+	hashes   []uint64
+	matched  []bool
+	pair     *vector.Chunk // joined probe++payload rows pending flush
+	pairRows []int         // probe row index of each pair row
+	filtered *vector.Chunk // pair rows surviving the extra predicate
+	frows    []int
+	tail     *vector.Chunk // left-outer padding / semi-anti output
+}
+
+// getScratch returns a scratch sized for an n-row probe chunk.
+func (p *HashJoinProbeOp) getScratch(n int) *probeScratch {
+	s, _ := p.scratch.Get().(*probeScratch)
+	if s == nil {
+		s = &probeScratch{
+			keyVecs: make([]*vector.Vector, len(p.keyExprs)),
+			pair:    vector.NewChunk(p.pairTypes),
+		}
+		if p.extra != nil {
+			s.filtered = vector.NewChunk(p.pairTypes)
+		}
+		switch p.Type {
+		case plan.LeftOuterJoin:
+			s.tail = vector.NewChunk(p.pairTypes)
+		case plan.SemiJoin, plan.AntiJoin:
+			s.tail = vector.NewChunk(p.probeTypes)
+		}
+	}
+	if cap(s.hashes) < n {
+		s.hashes = make([]uint64, n)
+	}
+	s.hashes = s.hashes[:n]
+	if cap(s.matched) < n {
+		s.matched = make([]bool, n)
+	}
+	s.matched = s.matched[:n]
+	for i := 0; i < n; i++ {
+		s.hashes[i] = 0
+		s.matched[i] = false
+	}
+	s.pair.Reset()
+	s.pairRows = s.pairRows[:0]
+	return s
 }
 
 // NewHashJoinProbeOp builds the probe operator.
@@ -224,7 +283,9 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 		return nil
 	}
 	// Evaluate and hash the probe keys.
-	keyVecs := make([]*vector.Vector, len(p.keyExprs))
+	s := p.getScratch(n)
+	defer p.scratch.Put(s)
+	keyVecs := s.keyVecs
 	for i, k := range p.keyExprs {
 		v, err := k.Eval(in)
 		if err != nil {
@@ -232,38 +293,37 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 		}
 		keyVecs[i] = v
 	}
-	hashes := make([]uint64, n)
+	hashes := s.hashes
 	for _, kv := range keyVecs {
 		kv.HashInto(hashes)
 	}
 
-	matched := make([]bool, n)
+	matched := s.matched
 	emitPairs := p.Type == plan.InnerJoin || p.Type == plan.LeftOuterJoin || p.Type == plan.CrossJoin
-	pairOut := vector.NewChunk(p.pairTypes)
-	pairProbeRows := make([]int, 0, vector.ChunkCapacity)
+	pairOut := s.pair
 
 	flush := func() error {
 		if pairOut.Len() == 0 {
 			return nil
 		}
 		keepChunk := pairOut
-		keepRows := pairProbeRows
+		keepRows := s.pairRows
 		if p.extra != nil {
 			sel, err := p.extra.Eval(pairOut)
 			if err != nil {
 				return err
 			}
-			filtered := vector.NewChunk(p.pairTypes)
-			frows := make([]int, 0, len(keepRows))
+			s.filtered.Reset()
+			s.frows = s.frows[:0]
 			bs := sel.Bools()
 			for i := 0; i < pairOut.Len(); i++ {
 				if sel.IsNull(i) || !bs[i] {
 					continue
 				}
-				filtered.AppendRowFrom(pairOut, i)
-				frows = append(frows, pairProbeRows[i])
+				s.filtered.AppendRowFrom(pairOut, i)
+				s.frows = append(s.frows, s.pairRows[i])
 			}
-			keepChunk, keepRows = filtered, frows
+			keepChunk, keepRows = s.filtered, s.frows
 		}
 		for _, pr := range keepRows {
 			matched[pr] = true
@@ -273,8 +333,8 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 				return err
 			}
 		}
-		pairOut = vector.NewChunk(p.pairTypes)
-		pairProbeRows = pairProbeRows[:0]
+		pairOut.Reset()
+		s.pairRows = s.pairRows[:0]
 		return nil
 	}
 
@@ -289,7 +349,7 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 			pairOut.Col(in.NumCols()+j).AppendFrom(bc.Col(nk+j), ri)
 		}
 		pairOut.SetLen(pairOut.Len() + 1)
-		pairProbeRows = append(pairProbeRows, probeRow)
+		s.pairRows = append(s.pairRows, probeRow)
 		if pairOut.Len() >= vector.ChunkCapacity {
 			return flush()
 		}
@@ -327,7 +387,8 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 	switch p.Type {
 	case plan.LeftOuterJoin:
 		// Emit unmatched probe rows padded with NULL build columns.
-		out := vector.NewChunk(p.pairTypes)
+		out := s.tail
+		out.Reset()
 		for i := 0; i < n; i++ {
 			if matched[i] {
 				continue
@@ -343,7 +404,7 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 				if err := emit(out); err != nil {
 					return err
 				}
-				out = vector.NewChunk(p.pairTypes)
+				out.Reset()
 			}
 		}
 		if out.Len() > 0 {
@@ -351,7 +412,8 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 		}
 	case plan.SemiJoin, plan.AntiJoin:
 		want := p.Type == plan.SemiJoin
-		out := vector.NewChunk(p.probeTypes)
+		out := s.tail
+		out.Reset()
 		for i := 0; i < n; i++ {
 			if matched[i] != want {
 				continue
@@ -361,7 +423,7 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 				if err := emit(out); err != nil {
 					return err
 				}
-				out = vector.NewChunk(p.probeTypes)
+				out.Reset()
 			}
 		}
 		if out.Len() > 0 {

@@ -2,10 +2,33 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/riveterdb/riveter/internal/expr"
 	"github.com/riveterdb/riveter/internal/vector"
 )
+
+// chunkPool amortizes output-chunk allocations across Process calls. Operator
+// instances are shared by every worker of a pipeline, so the scratch lives in
+// a sync.Pool rather than on the operator. Pooling is sound because emitted
+// chunks are never retained downstream: sinks copy rows out on Consume (the
+// source chunk in runWorker is itself reused every morsel, which forces that
+// discipline on the whole chain).
+type chunkPool struct {
+	types []vector.Type
+	pool  sync.Pool
+}
+
+// get returns an empty chunk of the pool's types.
+func (p *chunkPool) get() *vector.Chunk {
+	if c, ok := p.pool.Get().(*vector.Chunk); ok {
+		c.Reset()
+		return c
+	}
+	return vector.NewChunk(p.types)
+}
+
+func (p *chunkPool) put(c *vector.Chunk) { p.pool.Put(c) }
 
 // StreamOp is a non-blocking operator inside a pipeline. Process may emit
 // zero or more output chunks per input chunk via the emit callback.
@@ -22,11 +45,12 @@ type StreamOp interface {
 type FilterOp struct {
 	Cond  expr.Expr
 	types []vector.Type
+	out   chunkPool
 }
 
 // NewFilterOp builds a filter operator over inputs of the given types.
 func NewFilterOp(cond expr.Expr, inTypes []vector.Type) *FilterOp {
-	return &FilterOp{Cond: cond, types: inTypes}
+	return &FilterOp{Cond: cond, types: inTypes, out: chunkPool{types: inTypes}}
 }
 
 // OutTypes implements StreamOp.
@@ -44,7 +68,8 @@ func (f *FilterOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) err
 	if sel.Type() != vector.TypeBool {
 		return fmt.Errorf("filter condition of type %v", sel.Type())
 	}
-	out := vector.NewChunk(f.types)
+	out := f.out.get()
+	defer f.out.put(out)
 	bs := sel.Bools()
 	for i := 0; i < in.Len(); i++ {
 		if sel.IsNull(i) || !bs[i] {
@@ -62,6 +87,7 @@ func (f *FilterOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) err
 type ProjectOp struct {
 	Exprs []expr.Expr
 	types []vector.Type
+	out   chunkPool
 }
 
 // NewProjectOp builds a projection operator.
@@ -70,7 +96,7 @@ func NewProjectOp(exprs []expr.Expr) *ProjectOp {
 	for i, e := range exprs {
 		types[i] = e.Type()
 	}
-	return &ProjectOp{Exprs: exprs, types: types}
+	return &ProjectOp{Exprs: exprs, types: types, out: chunkPool{types: types}}
 }
 
 // OutTypes implements StreamOp.
@@ -81,20 +107,21 @@ func (p *ProjectOp) Process(in *vector.Chunk, emit func(*vector.Chunk) error) er
 	if in.Len() == 0 {
 		return nil
 	}
-	out := vector.NewChunk(p.types)
+	out := p.out.get()
+	defer p.out.put(out)
 	for j, e := range p.Exprs {
 		v, err := e.Eval(in)
 		if err != nil {
 			return err
 		}
 		// Column references may return the input vector itself; chunks must
-		// own their columns, so copy in that case.
+		// own their columns, so copy into the pooled column in that case.
 		if _, shared := e.(*expr.Column); shared {
-			cp := vector.New(v.Type(), v.Len())
+			cp := out.Col(j)
 			for i := 0; i < v.Len(); i++ {
 				cp.AppendFrom(v, i)
 			}
-			v = cp
+			continue
 		}
 		*out.Col(j) = *v
 	}

@@ -44,12 +44,27 @@ func (pp *PhysicalPlan) Result() *CollectorSink {
 type compiler struct {
 	cat   *catalog.Catalog
 	pipes []*Pipeline
+	// memo shares materialized breakers across references to the same plan
+	// node: a subplan appearing several times (Q15's revenue view, say)
+	// executes once, and every consumer scans the one finalized sink. Beyond
+	// the saved work, sharing makes repeated references bit-identical — two
+	// independent executions of a float aggregation may differ in the last
+	// ulp depending on how morsels were partitioned across workers.
+	memo map[plan.Node]*memoEntry
+}
+
+// memoEntry records one materialized breaker available for reuse.
+type memoEntry struct {
+	id    int
+	sink  BufferedSink
+	types []vector.Type
+	label string
 }
 
 // Compile lowers a logical plan into pipelines. Pipelines are emitted
 // bottom-up, so the slice order is already a valid sequential schedule.
 func Compile(root plan.Node, cat *catalog.Catalog) (*PhysicalPlan, error) {
-	c := &compiler{cat: cat}
+	c := &compiler{cat: cat, memo: make(map[plan.Node]*memoEntry)}
 	final := &Pipeline{Label: "result"}
 	types, err := c.compile(root, final)
 	if err != nil {
@@ -131,6 +146,9 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		return probe.OutTypes(), nil
 
 	case *plan.Aggregate:
+		if e := c.memo[n]; e != nil {
+			return c.scanShared(p, e), nil
+		}
 		cp := &Pipeline{}
 		if _, err := c.compile(t.Child, cp); err != nil {
 			return nil, err
@@ -140,13 +158,12 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		cp.Sink = sink
 		cp.Label = appendLabel(cp.Label, "aggregate")
 		c.register(cp)
-
-		p.Source = NewSinkSource(sink, outTypes)
-		p.Deps = append(p.Deps, cp.ID)
-		p.Label = appendLabel(p.Label, "scan(agg)")
-		return outTypes, nil
+		return c.scanShared(p, c.remember(n, cp.ID, sink, outTypes, "scan(agg)")), nil
 
 	case *plan.Sort:
+		if e := c.memo[n]; e != nil {
+			return c.scanShared(p, e), nil
+		}
 		cp := &Pipeline{}
 		inTypes, err := c.compile(t.Child, cp)
 		if err != nil {
@@ -156,13 +173,12 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		cp.Sink = sink
 		cp.Label = appendLabel(cp.Label, "sort")
 		c.register(cp)
-
-		p.Source = NewSinkSource(sink, inTypes)
-		p.Deps = append(p.Deps, cp.ID)
-		p.Label = appendLabel(p.Label, "scan(sorted)")
-		return inTypes, nil
+		return c.scanShared(p, c.remember(n, cp.ID, sink, inTypes, "scan(sorted)")), nil
 
 	case *plan.Limit:
+		if e := c.memo[n]; e != nil {
+			return c.scanShared(p, e), nil
+		}
 		if srt, ok := t.Child.(*plan.Sort); ok {
 			// Fuse ORDER BY + LIMIT into a top-N breaker.
 			cp := &Pipeline{}
@@ -174,11 +190,7 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 			cp.Sink = sink
 			cp.Label = appendLabel(cp.Label, fmt.Sprintf("topn(%d)", t.N))
 			c.register(cp)
-
-			p.Source = NewSinkSource(sink, inTypes)
-			p.Deps = append(p.Deps, cp.ID)
-			p.Label = appendLabel(p.Label, "scan(topn)")
-			return inTypes, nil
+			return c.scanShared(p, c.remember(n, cp.ID, sink, inTypes, "scan(topn)")), nil
 		}
 		// Standalone limit: materialize the child with a row cap.
 		cp := &Pipeline{}
@@ -191,11 +203,7 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		cp.Sink = sink
 		cp.Label = appendLabel(cp.Label, fmt.Sprintf("limit(%d)", t.N))
 		c.register(cp)
-
-		p.Source = NewSinkSource(sink, inTypes)
-		p.Deps = append(p.Deps, cp.ID)
-		p.Label = appendLabel(p.Label, "scan(limit)")
-		return inTypes, nil
+		return c.scanShared(p, c.remember(n, cp.ID, sink, inTypes, "scan(limit)")), nil
 
 	case *plan.UnionAll:
 		var sinks []BufferedSink
@@ -223,6 +231,21 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 	default:
 		return nil, fmt.Errorf("engine: cannot compile %T", n)
 	}
+}
+
+// remember memoizes a freshly registered breaker for reuse.
+func (c *compiler) remember(n plan.Node, id int, sink BufferedSink, types []vector.Type, label string) *memoEntry {
+	e := &memoEntry{id: id, sink: sink, types: types, label: label}
+	c.memo[n] = e
+	return e
+}
+
+// scanShared points pipeline p at a materialized breaker's finalized buffer.
+func (c *compiler) scanShared(p *Pipeline, e *memoEntry) []vector.Type {
+	p.Source = NewSinkSource(e.sink, e.types)
+	p.Deps = append(p.Deps, e.id)
+	p.Label = appendLabel(p.Label, e.label)
+	return e.types
 }
 
 func appendLabel(cur, add string) string {

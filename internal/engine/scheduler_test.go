@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// dagQuery builds a plan whose physical form has several independent
+// pipelines: three filtered aggregations over emp, unioned, re-aggregated,
+// and sorted. The three branch aggregations share no dependencies, so the
+// DAG scheduler runs them concurrently.
+func dagQuery(cat *catalog.Catalog) plan.Node {
+	b := plan.NewBuilder(cat)
+	part := func(lo, hi int64) *plan.Rel {
+		e := b.Scan("emp", "id", "dept", "salary")
+		return e.Filter(expr.And(
+			expr.Ge(e.Col("id"), expr.Int(lo)),
+			expr.Lt(e.Col("id"), expr.Int(hi)),
+		)).Agg([]string{"dept"},
+			plan.Sum(e.Col("salary"), "total"),
+			plan.CountStar("n"))
+	}
+	u := part(0, 4000).Union(part(2000, 8000), part(5000, 10000))
+	return u.Agg([]string{"dept"},
+		plan.Sum(u.Col("total"), "grand"),
+		plan.Sum(u.Col("n"), "rows")).
+		Sort(plan.Asc("dept")).Node()
+}
+
+// runWith runs a plan with explicit scheduling options.
+func runWith(t *testing.T, cat *catalog.Catalog, node plan.Node, opts Options) *ResultSet {
+	t.Helper()
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, opts)
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDAGMatchesSerialSchedule pins the scheduler equivalence property:
+// the DAG schedule (MaxConcurrentPipelines=0) produces the same result as
+// the compile-order serial schedule (MaxConcurrentPipelines=1) for every
+// worker count.
+func TestDAGMatchesSerialSchedule(t *testing.T) {
+	cat := testDB(t)
+	for _, node := range []plan.Node{complexQuery(cat), dagQuery(cat)} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			serial := runWith(t, cat, node, Options{Workers: workers, MaxConcurrentPipelines: 1}).SortedKey()
+			dag := runWith(t, cat, node, Options{Workers: workers, MaxConcurrentPipelines: 0}).SortedKey()
+			if dag != serial {
+				t.Errorf("workers=%d: DAG result differs from serial schedule", workers)
+			}
+		}
+	}
+}
+
+// TestMaxConcurrentPipelinesCap verifies the cap is honored while the query
+// still completes correctly.
+func TestMaxConcurrentPipelinesCap(t *testing.T) {
+	cat := testDB(t)
+	node := dagQuery(cat)
+	ref := runWith(t, cat, node, Options{Workers: 1, MaxConcurrentPipelines: 1}).SortedKey()
+	for _, cap := range []int{2, 3} {
+		got := runWith(t, cat, node, Options{Workers: 4, MaxConcurrentPipelines: cap}).SortedKey()
+		if got != ref {
+			t.Errorf("cap=%d: result differs", cap)
+		}
+	}
+}
+
+// TestProcessSuspendCapturesMultipleInFlight drives a process-level barrier
+// into a DAG with several concurrently running pipelines and checks that the
+// capture holds the whole in-flight set, that the set round-trips through
+// SaveState/LoadState, and that the resumed run completes to the reference
+// result.
+func TestProcessSuspendCapturesMultipleInFlight(t *testing.T) {
+	cat := testDB(t)
+	node := dagQuery(cat)
+	ref := runWith(t, cat, node, Options{Workers: 4}).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers:     4,
+		AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: 1},
+	})
+	_, err := ex.Run(context.Background())
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("err = %v", err)
+	}
+	info := ex.Suspended()
+	if info.Kind != KindProcess {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	// The three branch aggregations are independent and launch together; an
+	// immediate barrier must catch more than one of them mid-flight.
+	if len(info.InFlight) < 2 {
+		t.Fatalf("in-flight set = %+v, want >= 2 pipelines", info.InFlight)
+	}
+	if !sort.SliceIsSorted(info.InFlight, func(i, j int) bool {
+		return info.InFlight[i].Pipeline < info.InFlight[j].Pipeline
+	}) {
+		t.Errorf("in-flight set not ascending: %+v", info.InFlight)
+	}
+	if info.Pipeline != info.InFlight[0].Pipeline || info.Cursor != info.InFlight[0].Cursor {
+		t.Errorf("summary fields %d/%d do not match first in-flight %+v",
+			info.Pipeline, info.Cursor, info.InFlight[0])
+	}
+	for _, f := range info.InFlight {
+		if f.Workers < 1 {
+			t.Errorf("in-flight pipeline %d captured no worker locals", f.Pipeline)
+		}
+		if c := pp.Pipelines[f.Pipeline].Source.MorselCount(); f.Cursor > c {
+			t.Errorf("in-flight pipeline %d cursor %d exceeds %d morsels", f.Pipeline, f.Cursor, c)
+		}
+	}
+
+	// Progress and cost-model inputs over the multi-pipeline capture.
+	prog := ex.CurrentProgress()
+	if len(prog.InFlight) != len(info.InFlight) {
+		t.Errorf("progress in-flight %d, suspend info %d", len(prog.InFlight), len(info.InFlight))
+	}
+	if eta := prog.NextBreakerEta(); eta < 0 {
+		t.Errorf("NextBreakerEta = %v", eta)
+	}
+	if d := prog.PipelineSuspendDiscard(); d < 0 {
+		t.Errorf("PipelineSuspendDiscard = %v", d)
+	}
+
+	state := saveState(t, ex)
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 4})
+	loadState(t, ex2, state)
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after multi-pipeline process suspend/resume differs")
+	}
+}
+
+// TestRepeatedMidDAGSuspensions chains several process-level barriers at
+// increasing progress thresholds through the DAG, resuming each time.
+func TestRepeatedMidDAGSuspensions(t *testing.T) {
+	cat := testDB(t)
+	node := dagQuery(cat)
+	ref := runWith(t, cat, node, Options{Workers: 4}).SortedKey()
+
+	var state []byte
+	for round := 0; round < 5; round++ {
+		pp := mustCompile(t, node, cat)
+		ex := NewExecutor(pp, Options{
+			Workers:     4,
+			AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: int64(round+1) * 300_000},
+		})
+		if state != nil {
+			loadState(t, ex, state)
+		}
+		res, err := ex.Run(context.Background())
+		if err == nil {
+			if res.SortedKey() != ref {
+				t.Fatalf("round %d: completed result differs", round)
+			}
+			return
+		}
+		if !errors.Is(err, ErrSuspended) {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+		state = saveState(t, ex)
+	}
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{Workers: 4})
+	loadState(t, ex, state)
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after repeated mid-DAG suspensions differs")
+	}
+}
+
+// TestPipelineSuspendMidDAGDiscardsSiblings: a pipeline-level suspension in
+// a DAG with concurrent pipelines quiesces the siblings, discards their
+// partial progress, and still resumes to the correct result — under a
+// different worker count, which is the point of the pipeline strategy.
+func TestPipelineSuspendMidDAGDiscardsSiblings(t *testing.T) {
+	cat := testDB(t)
+	node := dagQuery(cat)
+	ref := runWith(t, cat, node, Options{Workers: 4}).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	fired := false
+	ex := NewExecutor(pp, Options{
+		Workers: 4,
+		OnBreaker: func(ev *BreakerEvent) BreakerAction {
+			if !fired {
+				fired = true
+				return ActionSuspend
+			}
+			return ActionContinue
+		},
+	})
+	_, err := ex.Run(context.Background())
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("err = %v", err)
+	}
+	info := ex.Suspended()
+	if info.Kind != KindPipeline {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if len(info.InFlight) != 0 {
+		t.Errorf("pipeline-level capture must not carry in-flight state, got %+v", info.InFlight)
+	}
+	state := saveState(t, ex)
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 2}) // different worker count
+	loadState(t, ex2, state)
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after mid-DAG pipeline suspend/resume differs")
+	}
+}
+
+// encodeStateV1 hand-writes the pre-DAG v1 state layout from a suspended
+// executor, standing in for a checkpoint produced by an older build.
+func encodeStateV1(t *testing.T, ex *Executor) []byte {
+	t.Helper()
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	var buf writerBuffer
+	enc := vector.NewEncoder(&buf)
+	kind := ex.suspended.Kind
+	enc.String(stateMagic)
+	enc.Uvarint(stateVersionV1)
+	enc.Uvarint(uint64(kind))
+	enc.Uvarint(ex.pp.Fingerprint)
+
+	var fl *inflightPipe
+	var pipeElapsed time.Duration
+	next := len(ex.pp.Pipelines)
+	var cursor int64
+	workers := ex.opts.Workers
+	if kind == KindProcess {
+		if len(ex.inflight) != 1 {
+			t.Fatalf("v1 encoding needs exactly one in-flight pipeline, have %d", len(ex.inflight))
+		}
+		fl = ex.inflight[0]
+		pipeElapsed = fl.elapsed
+		next = fl.pi
+		cursor = fl.cursor
+		workers = len(fl.locals) // v1 wrote one local per worker
+	} else {
+		for i, d := range ex.done {
+			if !d {
+				next = i
+				break
+			}
+		}
+	}
+	enc.Uvarint(uint64(workers))
+	enc.Varint(int64(ex.elapsed))
+	enc.Varint(int64(pipeElapsed))
+	enc.Varint(ex.acct.ProcessedBytes())
+	enc.Uvarint(uint64(len(ex.pp.Pipelines)))
+	for i := range ex.pp.Pipelines {
+		enc.Bool(ex.done[i])
+		if ex.done[i] {
+			enc.Varint(int64(ex.pipeTimes[i]))
+		}
+	}
+	enc.Uvarint(uint64(next))
+	enc.Uvarint(uint64(cursor))
+	live := ex.livePipes()
+	enc.Uvarint(uint64(len(live)))
+	for _, pi := range live {
+		enc.Uvarint(uint64(pi))
+		if err := ex.pp.Pipelines[pi].Sink.SaveGlobal(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kind == KindProcess {
+		enc.Uvarint(uint64(len(fl.locals)))
+		sink := ex.pp.Pipelines[fl.pi].Sink
+		for _, ls := range fl.locals {
+			if err := sink.SaveLocal(ls, enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := enc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.b
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// TestStateFormatV1PipelineLoads: a hand-written v1 pipeline-level state
+// (what a pre-DAG build persisted) loads into the current executor and
+// resumes to the correct result.
+func TestStateFormatV1PipelineLoads(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers: 2,
+		OnBreaker: func(ev *BreakerEvent) BreakerAction {
+			if ev.PipelineIdx == 0 {
+				return ActionSuspend
+			}
+			return ActionContinue
+		},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	v1 := encodeStateV1(t, ex)
+
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 3}) // pipeline resumes are worker-flexible
+	loadState(t, ex2, v1)
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after v1 pipeline-state load differs")
+	}
+}
+
+// TestStateFormatV1ProcessLoads: a hand-written v1 process-level state with
+// its single in-flight pipeline loads and resumes. The serial schedule
+// (MaxConcurrentPipelines=1) keeps the capture to one pipeline, matching
+// what the pre-DAG executor could produce.
+func TestStateFormatV1ProcessLoads(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers:                2,
+		MaxConcurrentPipelines: 1,
+		AutoSuspend:            AutoSuspend{Kind: KindProcess, AtProcessedBytes: 200_000},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	info := ex.Suspended()
+	if len(info.InFlight) != 1 {
+		t.Skipf("capture has %d in-flight pipelines; v1 can only express one", len(info.InFlight))
+	}
+	v1 := encodeStateV1(t, ex)
+
+	// v1 process resumes require the exact worker count that was captured.
+	nl := info.InFlight[0].Workers
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: nl})
+	loadState(t, ex2, v1)
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortedKey() != ref {
+		t.Error("result after v1 process-state load differs")
+	}
+
+	// A mismatched worker count must be rejected, as before.
+	pp3 := mustCompile(t, node, cat)
+	ex3 := NewExecutor(pp3, Options{Workers: nl + 1})
+	if err := ex3.LoadState(vector.NewDecoder(bytes.NewReader(v1))); err == nil {
+		t.Error("v1 process state must reject a different worker count")
+	}
+}

@@ -12,14 +12,23 @@ import (
 //
 // Pipeline-level checkpoints persist the finalized global sink states that
 // pending pipelines still consume, plus the pipeline progress bitmap.
-// Process-level checkpoints additionally persist the interrupted pipeline's
-// morsel cursor and every worker's local sink state — the full execution
-// context, as a CRIU dump would.
+// Process-level checkpoints additionally persist, for every pipeline the DAG
+// scheduler had in flight, its morsel cursor and each of its workers' local
+// sink states — the full execution context, as a CRIU dump would.
+//
+// Format v1 (pre-DAG) assumed at most one pipeline in flight; v2 carries a
+// set. LoadState accepts both, so checkpoints written before the DAG
+// scheduler remain restorable.
 
 const (
-	stateMagic   = "RVST"
-	stateVersion = 1
+	stateMagic     = "RVST"
+	stateVersionV1 = 1
+	stateVersion   = 2
 )
+
+// StateFormatVersion is the executor state format version written by
+// SaveState; checkpoint manifests record it for forensics and Verify walks.
+const StateFormatVersion = stateVersion
 
 // SaveState serializes the executor's suspension state. Must be called only
 // after Run returned ErrSuspended (or before Run for a cold checkpoint).
@@ -27,24 +36,19 @@ func (ex *Executor) SaveState(enc *vector.Encoder) error {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	kind := KindPipeline
-	cursor := int64(0)
-	next := ex.current
 	if ex.suspended != nil {
 		kind = ex.suspended.Kind
-		cursor = ex.suspended.Cursor
-		next = ex.suspended.Pipeline
 	}
-	return ex.saveStateLocked(enc, kind, next, cursor, ex.locals)
+	return ex.saveStateLocked(enc, kind)
 }
 
-func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind, next int, cursor int64, locals []LocalState) error {
+func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind) error {
 	enc.String(stateMagic)
 	enc.Uvarint(stateVersion)
 	enc.Uvarint(uint64(kind))
 	enc.Uvarint(ex.pp.Fingerprint)
 	enc.Uvarint(uint64(ex.opts.Workers))
 	enc.Varint(int64(ex.elapsed))
-	enc.Varint(int64(ex.pipeElapsed))
 	enc.Varint(ex.acct.ProcessedBytes())
 	enc.Uvarint(uint64(len(ex.pp.Pipelines)))
 	for i := range ex.pp.Pipelines {
@@ -53,10 +57,8 @@ func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind, next 
 			enc.Varint(int64(ex.pipeTimes[i]))
 		}
 	}
-	enc.Uvarint(uint64(next))
-	enc.Uvarint(uint64(cursor))
 
-	live := ex.livePipes(next)
+	live := ex.livePipes()
 	enc.Uvarint(uint64(len(live)))
 	for _, pi := range live {
 		enc.Uvarint(uint64(pi))
@@ -66,23 +68,29 @@ func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind, next 
 	}
 
 	if kind == KindProcess {
-		enc.Uvarint(uint64(len(locals)))
-		sink := ex.pp.Pipelines[next].Sink
-		for _, ls := range locals {
-			if err := sink.SaveLocal(ls, enc); err != nil {
-				return err
+		enc.Uvarint(uint64(len(ex.inflight)))
+		for _, c := range ex.inflight {
+			enc.Uvarint(uint64(c.pi))
+			enc.Uvarint(uint64(c.cursor))
+			enc.Varint(int64(c.elapsed))
+			enc.Uvarint(uint64(len(c.locals)))
+			sink := ex.pp.Pipelines[c.pi].Sink
+			for _, ls := range c.locals {
+				if err := sink.SaveLocal(ls, enc); err != nil {
+					return err
+				}
 			}
 		}
 	}
 	return enc.Err()
 }
 
-// livePipes returns done pipelines whose sink state is still consumed
-// by a pipeline that has not finished (including the interrupted one).
-func (ex *Executor) livePipes(next int) []int {
+// livePipes returns done pipelines whose sink state is still consumed by a
+// pipeline that has not finished (including in-flight ones).
+func (ex *Executor) livePipes() []int {
 	needed := map[int]bool{}
-	for qi := next; qi < len(ex.pp.Pipelines); qi++ {
-		if qi < len(ex.done) && ex.done[qi] {
+	for qi := range ex.pp.Pipelines {
+		if ex.done[qi] {
 			continue
 		}
 		for _, dep := range ex.pp.Pipelines[qi].Deps {
@@ -92,7 +100,7 @@ func (ex *Executor) livePipes(next int) []int {
 		}
 	}
 	live := make([]int, 0, len(needed))
-	for pi := 0; pi < len(ex.pp.Pipelines); pi++ {
+	for pi := range ex.pp.Pipelines {
 		if needed[pi] {
 			live = append(live, pi)
 		}
@@ -101,7 +109,8 @@ func (ex *Executor) livePipes(next int) []int {
 }
 
 // LoadState restores a suspension state into a freshly built executor over
-// the same physical plan. After LoadState, Run continues the query.
+// the same physical plan. After LoadState, Run continues the query. Both the
+// current v2 format and the pre-DAG v1 format are accepted.
 func (ex *Executor) LoadState(dec *vector.Decoder) error {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
@@ -111,26 +120,38 @@ func (ex *Executor) LoadState(dec *vector.Decoder) error {
 	if m := dec.String(); m != stateMagic {
 		return fmt.Errorf("engine: bad state magic %q", m)
 	}
-	if v := dec.Uvarint(); v != stateVersion {
+	switch v := dec.Uvarint(); v {
+	case stateVersionV1:
+		return ex.loadStateV1Locked(dec)
+	case stateVersion:
+		return ex.loadStateV2Locked(dec)
+	default:
 		return fmt.Errorf("engine: unsupported state version %d", v)
 	}
+}
+
+// loadHeaderLocked reads and validates the fields shared by v1 and v2 after
+// the version: kind, fingerprint, workers. It returns the kind.
+func (ex *Executor) loadHeaderLocked(dec *vector.Decoder) (SuspendKind, error) {
 	kind := SuspendKind(dec.Uvarint())
 	fp := dec.Uvarint()
 	if err := dec.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	if fp != ex.pp.Fingerprint {
-		return fmt.Errorf("engine: checkpoint plan fingerprint %016x does not match plan %016x", fp, ex.pp.Fingerprint)
+		return 0, fmt.Errorf("engine: checkpoint plan fingerprint %016x does not match plan %016x", fp, ex.pp.Fingerprint)
 	}
 	workers := int(dec.Uvarint())
 	if kind == KindProcess && workers != ex.opts.Workers {
 		// The paper's process-level strategy "requires identical resource
 		// configurations ... as were in use at the time of suspension".
-		return fmt.Errorf("engine: process-level resume requires %d workers, executor has %d", workers, ex.opts.Workers)
+		return 0, fmt.Errorf("engine: process-level resume requires %d workers, executor has %d", workers, ex.opts.Workers)
 	}
-	ex.elapsed = time.Duration(dec.Varint())
-	ex.pipeElapsed = time.Duration(dec.Varint())
-	ex.acct.SetProcessed(dec.Varint())
+	return kind, nil
+}
+
+// loadDoneLocked reads the pipeline-count header and done bitmap with times.
+func (ex *Executor) loadDoneLocked(dec *vector.Decoder) error {
 	np := int(dec.Uvarint())
 	if err := dec.Err(); err != nil {
 		return err
@@ -144,32 +165,53 @@ func (ex *Executor) LoadState(dec *vector.Decoder) error {
 			ex.pipeTimes[i] = time.Duration(dec.Varint())
 		}
 	}
-	next := int(dec.Uvarint())
-	cursor := int64(dec.Uvarint())
-	if err := dec.Err(); err != nil {
-		return err
-	}
-	if next < 0 || next > np {
-		return fmt.Errorf("engine: checkpoint next pipeline %d out of range", next)
-	}
+	return dec.Err()
+}
 
+// loadGlobalsLocked reads the live global sink states.
+func (ex *Executor) loadGlobalsLocked(dec *vector.Decoder) error {
 	nLive := int(dec.Uvarint())
 	for i := 0; i < nLive; i++ {
 		pi := int(dec.Uvarint())
 		if err := dec.Err(); err != nil {
 			return err
 		}
-		if pi < 0 || pi >= np {
+		if pi < 0 || pi >= len(ex.pp.Pipelines) {
 			return fmt.Errorf("engine: checkpoint live pipeline %d out of range", pi)
 		}
 		if err := ex.pp.Pipelines[pi].Sink.LoadGlobal(dec); err != nil {
 			return fmt.Errorf("engine: load global state of pipeline %d: %w", pi, err)
 		}
 	}
+	return dec.Err()
+}
 
-	ex.current = next
-	ex.cursor = 0
-	ex.locals = nil
+// loadStateV1Locked restores the pre-DAG single-in-flight format, translating
+// a process-level capture into a one-element in-flight set.
+func (ex *Executor) loadStateV1Locked(dec *vector.Decoder) error {
+	kind, err := ex.loadHeaderLocked(dec)
+	if err != nil {
+		return err
+	}
+	ex.elapsed = time.Duration(dec.Varint())
+	pipeElapsed := time.Duration(dec.Varint())
+	ex.acct.SetProcessed(dec.Varint())
+	if err := ex.loadDoneLocked(dec); err != nil {
+		return err
+	}
+	next := int(dec.Uvarint())
+	cursor := int64(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	np := len(ex.pp.Pipelines)
+	if next < 0 || next > np {
+		return fmt.Errorf("engine: checkpoint next pipeline %d out of range", next)
+	}
+	if err := ex.loadGlobalsLocked(dec); err != nil {
+		return err
+	}
+	ex.inflight = nil
 	if kind == KindProcess {
 		nl := int(dec.Uvarint())
 		if err := dec.Err(); err != nil {
@@ -177,6 +219,9 @@ func (ex *Executor) LoadState(dec *vector.Decoder) error {
 		}
 		if nl != ex.opts.Workers {
 			return fmt.Errorf("engine: checkpoint has %d worker locals, executor has %d workers", nl, ex.opts.Workers)
+		}
+		if next >= np {
+			return fmt.Errorf("engine: checkpoint in-flight pipeline %d out of range", next)
 		}
 		sink := ex.pp.Pipelines[next].Sink
 		locals := make([]LocalState, nl)
@@ -187,8 +232,76 @@ func (ex *Executor) LoadState(dec *vector.Decoder) error {
 			}
 			locals[w] = ls
 		}
-		ex.locals = locals
-		ex.cursor = cursor
+		ex.inflight = []*inflightPipe{{pi: next, cursor: cursor, locals: locals, elapsed: pipeElapsed}}
+	}
+	return dec.Err()
+}
+
+// loadStateV2Locked restores the DAG-era format with its in-flight set.
+func (ex *Executor) loadStateV2Locked(dec *vector.Decoder) error {
+	kind, err := ex.loadHeaderLocked(dec)
+	if err != nil {
+		return err
+	}
+	ex.elapsed = time.Duration(dec.Varint())
+	ex.acct.SetProcessed(dec.Varint())
+	if err := ex.loadDoneLocked(dec); err != nil {
+		return err
+	}
+	if err := ex.loadGlobalsLocked(dec); err != nil {
+		return err
+	}
+	ex.inflight = nil
+	if kind != KindProcess {
+		return dec.Err()
+	}
+	np := len(ex.pp.Pipelines)
+	nIn := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nIn < 0 || nIn > np {
+		return fmt.Errorf("engine: checkpoint in-flight count %d out of range", nIn)
+	}
+	totalLocals := 0
+	seen := make(map[int]bool, nIn)
+	for i := 0; i < nIn; i++ {
+		pi := int(dec.Uvarint())
+		cursor := int64(dec.Uvarint())
+		elapsed := time.Duration(dec.Varint())
+		nl := int(dec.Uvarint())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if pi < 0 || pi >= np || ex.done[pi] || seen[pi] {
+			return fmt.Errorf("engine: checkpoint in-flight pipeline %d invalid", pi)
+		}
+		seen[pi] = true
+		for _, dep := range ex.pp.Pipelines[pi].Deps {
+			if !ex.done[dep] {
+				return fmt.Errorf("engine: checkpoint in-flight pipeline %d has unfinished dep %d", pi, dep)
+			}
+		}
+		if nl < 1 {
+			return fmt.Errorf("engine: checkpoint in-flight pipeline %d has no worker locals", pi)
+		}
+		totalLocals += nl
+		if totalLocals > ex.opts.Workers {
+			return fmt.Errorf("engine: checkpoint worker locals exceed %d workers", ex.opts.Workers)
+		}
+		sink := ex.pp.Pipelines[pi].Sink
+		locals := make([]LocalState, nl)
+		for w := 0; w < nl; w++ {
+			ls, err := sink.LoadLocal(dec)
+			if err != nil {
+				return fmt.Errorf("engine: load local state %d of pipeline %d: %w", w, pi, err)
+			}
+			locals[w] = ls
+		}
+		if c := ex.pp.Pipelines[pi].Source.MorselCount(); cursor > c {
+			return fmt.Errorf("engine: checkpoint cursor %d exceeds %d morsels of pipeline %d", cursor, c, pi)
+		}
+		ex.inflight = append(ex.inflight, &inflightPipe{pi: pi, cursor: cursor, locals: locals, elapsed: elapsed})
 	}
 	return dec.Err()
 }
@@ -205,12 +318,12 @@ var _ io.Writer = (*countingWriter)(nil)
 
 // measureState serializes a hypothetical checkpoint of the given kind
 // to a counting writer and returns its size in bytes.
-func (ex *Executor) measureState(kind SuspendKind, next int) int64 {
+func (ex *Executor) measureState(kind SuspendKind) int64 {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	var cw countingWriter
 	enc := vector.NewEncoder(&cw)
-	_ = ex.saveStateLocked(enc, kind, next, ex.cursor, ex.locals)
+	_ = ex.saveStateLocked(enc, kind)
 	return cw.n
 }
 
@@ -223,7 +336,7 @@ func (ex *Executor) MeasureSuspendedStateBytes() int64 {
 	if s == nil {
 		return 0
 	}
-	return ex.measureState(s.Kind, s.Pipeline)
+	return ex.measureState(s.Kind)
 }
 
 // ProcessImagePadding returns the number of padding bytes a process-level

@@ -79,6 +79,9 @@ const (
 	// MetricLiveStateBytes gauges the live operator state at the last
 	// pipeline boundary.
 	MetricLiveStateBytes = "engine.live_state_bytes"
+	// MetricRunningPipelines gauges how many pipelines the DAG scheduler has
+	// in flight at once.
+	MetricRunningPipelines = "engine.running_pipelines"
 
 	// MetricDecisions counts cost-model decisions per chosen strategy.
 	MetricDecisions = "riveter.decision"

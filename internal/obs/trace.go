@@ -15,6 +15,14 @@ const (
 	// Attrs: pipeline, morsels (finish), duration (finish), workers.
 	EvPipelineStart  = "pipeline.start"
 	EvPipelineFinish = "pipeline.finish"
+	// EvPipelineScale records the DAG scheduler assigning an extra worker to
+	// a running pipeline. Attrs: pipeline, workers.
+	EvPipelineScale = "pipeline.scale"
+	// EvPipelineQuiesced records a pipeline stopping at a morsel boundary
+	// under a suspension barrier; captured says whether its mid-flight state
+	// was kept (process-level) or discarded (pipeline-level barrier).
+	// Attrs: pipeline, cursor, captured.
+	EvPipelineQuiesced = "pipeline.quiesced"
 	// EvBreaker marks a crossed pipeline breaker where a suspension
 	// decision could run. Attrs: pipeline, elapsed.
 	EvBreaker = "breaker.reached"

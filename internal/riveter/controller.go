@@ -503,6 +503,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		AvailableMemory:    c.AvailableMemory,
 		EstTotal:           spec.EstTotal,
 		NextBreakerEta:     prog.NextBreakerEta(),
+		PipelineDiscard:    prog.PipelineSuspendDiscard(),
 		Query:              spec.Info,
 	}
 	d := costmodel.Select(in, params, c.Estimator)
@@ -522,6 +523,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 			obs.A("ct", in.Ct),
 			obs.A("avg_pipeline_time", in.AvgPipelineTime),
 			obs.A("next_breaker_eta", in.NextBreakerEta),
+			obs.A("pipeline_discard", in.PipelineDiscard),
 			obs.A("pipeline_state_bytes", in.PipelineStateBytes),
 			obs.A("available_memory", in.AvailableMemory),
 			obs.A("est_total", in.EstTotal),

@@ -113,6 +113,10 @@ func PersistWith(ctx context.Context, ex *engine.Executor, path, query string, p
 		Query:           query,
 		PlanFingerprint: fmt.Sprintf("%016x", ex.Plan().Fingerprint),
 		Workers:         ex.Workers(),
+		StateVersion:    engine.StateFormatVersion,
+	}
+	for _, ip := range info.InFlight {
+		m.InFlightPipelines = append(m.InFlightPipelines, ip.Pipeline)
 	}
 	o := ex.Obs()
 	onRetry := func(attempt int, err error) {

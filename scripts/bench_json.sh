@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench_json.sh — run the engine micro-benchmarks and the TPC-H per-query
+# benchmarks and emit a machine-readable BENCH_engine.json: ns/op, B/op and
+# allocs/op per benchmark, plus per-query wall times. CI runs this with the
+# default single iteration as a smoke test (and archives the JSON as an
+# artifact); pass BENCHTIME=5x or similar for a real measurement.
+#
+# Usage: sh scripts/bench_json.sh [output.json]
+set -eu
+
+OUT=${1:-BENCH_engine.json}
+BENCHTIME=${BENCHTIME:-1x}
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+$GO test ./internal/engine -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+    | tee "$tmp/engine.txt"
+$GO test ./internal/tpch -run '^$' -bench 'BenchmarkTPCH/' -benchmem -benchtime "$BENCHTIME" \
+    | tee "$tmp/tpch.txt"
+
+awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" '
+function emit_bench(file, label,    line, n, parts, name, first) {
+    printf "  \"%s\": [", label
+    first = 1
+    while ((getline line < file) > 0) {
+        if (line !~ /^Benchmark/) continue
+        n = split(line, parts, /[ \t]+/)
+        # parts: name iters ns "ns/op" [bytes "B/op" allocs "allocs/op"]
+        name = parts[1]
+        sub(/^Benchmark/, "", name)
+        sub(/-[0-9]+$/, "", name)      # strip GOMAXPROCS suffix
+        if (label == "tpch") sub(/^TPCH\//, "", name)
+        if (!first) printf ","
+        first = 0
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, parts[3]
+        if (n >= 8 && parts[6] == "B/op")
+            printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", parts[5], parts[7]
+        printf "}"
+    }
+    close(file)
+    printf "\n  ]"
+}
+BEGIN {
+    goos = ""; goarch = ""; cpu = ""
+    while ((getline line < enginefile) > 0) {
+        if (line ~ /^goos: /)   { goos = substr(line, 7) }
+        if (line ~ /^goarch: /) { goarch = substr(line, 9) }
+        if (line ~ /^cpu: /)    { cpu = substr(line, 6) }
+    }
+    close(enginefile)
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    emit_bench(enginefile, "engine"); printf ",\n"
+    emit_bench(tpchfile, "tpch");     printf "\n"
+    printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
