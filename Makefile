@@ -5,14 +5,14 @@ GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
 # adaptive controller, serving layer, public API) — the -race job covers these.
-RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/...
+RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/...
 
 # Packages exercising the fault-injection matrix: the injectable
 # filesystem, checkpoint crash/verify tests, the server degradation
 # ladder, and the end-to-end crash matrix in the root package.
 FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/server/...
 
-.PHONY: all build test race vet fmt scheduler-suite bench-smoke bench serve-smoke fault-matrix ci
+.PHONY: all build test race vet fmt scheduler-suite blob-suite bench-smoke bench serve-smoke fault-matrix ci
 
 all: build
 
@@ -43,6 +43,16 @@ scheduler-suite:
 		-run 'DAG|Scheduler|MaxConcurrentPipelines|InFlight|StateFormatV1|MultipleSuspensions|QueriesDAGMatchesSerial' \
 		./internal/engine/... ./internal/tpch/... ./internal/server/...
 
+# The blob-store subsystem under the race detector, twice: the full
+# chunker/dedup/GC/claim unit suites, store-aware cost-model calibration,
+# store-backed persistence strategies, and the cross-instance migration
+# and delta-suspension acceptance tests in the server and root packages.
+blob-suite:
+	$(GO) test -race -count=2 ./internal/blobstore/... ./internal/costmodel/...
+	$(GO) test -race -count=2 \
+		-run 'Store|Blob|Claim|Migrat|Chunk' \
+		. ./internal/server/... ./internal/engine/...
+
 # One iteration of every engine benchmark plus the TPC-H per-query suite:
 # keeps benchmark code compiling and running without paying for a real
 # measurement, and emits BENCH_engine.json (ns/op, allocs/op, per-query
@@ -68,4 +78,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt test race scheduler-suite bench-smoke serve-smoke fault-matrix
+ci: build vet fmt test race scheduler-suite blob-suite bench-smoke serve-smoke fault-matrix

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/cloud"
 	"github.com/riveterdb/riveter/internal/obs"
 )
 
@@ -37,6 +38,10 @@ func main() {
 		window   = flag.String("window", "0.5,0.75", "termination window fractions (adaptive mode)")
 		maxRows  = flag.Int64("rows", 20, "result rows to print")
 		metrics  = flag.Bool("metrics", false, "dump execution trace and metrics (human-readable + JSON) at exit")
+		storeDir = flag.String("store", "", "checkpoint to a content-addressed blob store at this directory instead of a local file")
+		storeLat = flag.Duration("store-latency", 0, "simulated store round-trip latency per operation")
+		storeUp  = flag.Int64("store-upbw", 0, "simulated store upload bandwidth in bytes/sec (0 = unshaped)")
+		storeDn  = flag.Int64("store-downbw", 0, "simulated store download bandwidth in bytes/sec (0 = unshaped)")
 	)
 	flag.Parse()
 
@@ -44,7 +49,26 @@ func main() {
 	if *metrics {
 		dbOpts = append(dbOpts, riveter.WithTracing())
 	}
+	if *storeDir != "" {
+		dbOpts = append(dbOpts, riveter.WithBlobStore(riveter.StoreConfig{
+			Dir: *storeDir,
+			Net: cloud.NetProfile{
+				Latency:             *storeLat,
+				UploadBytesPerSec:   *storeUp,
+				DownloadBytesPerSec: *storeDn,
+			},
+		}))
+	}
 	db := riveter.Open(dbOpts...)
+	if *storeDir != "" {
+		if _, err := db.BlobStore(); err != nil {
+			fatal("%v", err)
+		}
+		prof := db.IOProfile()
+		fmt.Printf("store at %s: calibrated upload %.1f MB/s, download %.1f MB/s, fixed %v\n",
+			*storeDir, prof.UploadBytesPerSec/(1<<20), prof.DownloadBytesPerSec/(1<<20),
+			prof.UploadFixedLatency.Round(time.Microsecond))
+	}
 	if *metrics {
 		defer dumpMetrics(db)
 	}
@@ -118,6 +142,11 @@ func runWithSuspension(ctx context.Context, db *riveter.DB, q *riveter.Query, ki
 		fatal("%v", err)
 	}
 
+	if _, serr := db.BlobStore(); serr == nil {
+		runStoreRoundTrip(ctx, db, q, exec, maxRows)
+		return
+	}
+
 	path := db.NewCheckpointPath("run")
 	info, err := exec.Checkpoint(path)
 	if err != nil {
@@ -136,6 +165,36 @@ func runWithSuspension(ctx context.Context, db *riveter.DB, q *riveter.Query, ki
 	fmt.Printf("resumed and completed in %v, %d rows\n%s",
 		time.Since(resumeStart).Round(time.Millisecond), res.NumRows(), res.Format(maxRows))
 	dumpTrace(exec.Trace())
+}
+
+// runStoreRoundTrip persists the suspended state into the blob store —
+// twice, to demonstrate delta suspension: the second write deduplicates
+// every unchanged chunk — then resumes from the store to completion.
+func runStoreRoundTrip(ctx context.Context, db *riveter.DB, q *riveter.Query, exec *riveter.Execution, maxRows int64) {
+	info, err := exec.CheckpointToStore("run-demo")
+	if err != nil {
+		fatal("store checkpoint: %v", err)
+	}
+	fmt.Printf("suspended (%s): %d state bytes in %d chunks, %d deduplicated, %d bytes uploaded\n",
+		info.Kind, info.StateBytes, info.Chunks, info.DedupHits, info.UploadedBytes)
+	if again, err := exec.CheckpointToStore("run-demo-2"); err == nil {
+		fmt.Printf("re-suspension delta: %d/%d chunks deduplicated, %d bytes uploaded\n",
+			again.DedupHits, again.Chunks, again.UploadedBytes)
+	}
+
+	resumeStart := time.Now()
+	res, err := q.ResumeFromStore(ctx, "run-demo")
+	if err != nil {
+		fatal("store resume: %v", err)
+	}
+	fmt.Printf("resumed from store and completed in %v, %d rows\n%s",
+		time.Since(resumeStart).Round(time.Millisecond), res.NumRows(), res.Format(maxRows))
+	dumpTrace(exec.Trace())
+	st, _ := db.BlobStore()
+	if st != nil {
+		_ = st.DeleteCheckpoint("run-demo")
+		_ = st.DeleteCheckpoint("run-demo-2")
+	}
 }
 
 func runAdaptive(q *riveter.Query, prob float64, window string) {

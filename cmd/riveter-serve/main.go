@@ -17,6 +17,14 @@
 // their next pipeline breaker and checkpointed, and a state manifest is
 // written so the next riveter-serve on the same checkpoint directory
 // resumes them.
+//
+// With -store, checkpoints go to a content-addressed blob store instead
+// of local files, and the shutdown state document lands in the store
+// too — so a *different* instance pointed at the same -store directory
+// (riveter-serve -store /shared -instance b) claims and finishes the
+// suspended queries: cross-instance query migration. -store-latency and
+// -store-upbw/-store-downbw shape a simulated remote link, which the
+// cost model is calibrated against.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/cloud"
 	"github.com/riveterdb/riveter/internal/server"
 )
 
@@ -47,6 +56,11 @@ func main() {
 		grace        = flag.Duration("grace", 0, "minimum runtime before a query is preemptable")
 		ckdir        = flag.String("ckdir", "", "checkpoint directory (default: a fresh temp dir)")
 		drainTimeout = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		storeDir     = flag.String("store", "", "checkpoint blob-store directory; instances sharing it migrate suspended queries between each other")
+		instanceID   = flag.String("instance", "", "instance id inside the shared store (default: process-unique)")
+		storeLat     = flag.Duration("store-latency", 0, "simulated store round-trip latency per operation")
+		storeUpBW    = flag.Int64("store-upbw", 0, "simulated store upload bandwidth in bytes/sec (0 = unshaped)")
+		storeDownBW  = flag.Int64("store-downbw", 0, "simulated store download bandwidth in bytes/sec (0 = unshaped)")
 	)
 	flag.Parse()
 
@@ -54,7 +68,23 @@ func main() {
 	if *ckdir != "" {
 		opts = append(opts, riveter.WithCheckpointDir(*ckdir))
 	}
+	if *storeDir != "" {
+		opts = append(opts, riveter.WithBlobStore(riveter.StoreConfig{
+			Dir: *storeDir,
+			Net: cloud.NetProfile{
+				Latency:             *storeLat,
+				UploadBytesPerSec:   *storeUpBW,
+				DownloadBytesPerSec: *storeDownBW,
+			},
+		}))
+	}
 	db := riveter.Open(opts...)
+	if *storeDir != "" {
+		if _, err := db.BlobStore(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("checkpoint store at %s (instance %q)", *storeDir, *instanceID)
+	}
 	if *data != "" {
 		log.Printf("loading snapshot from %s ...", *data)
 		if err := db.LoadDir(*data); err != nil {
@@ -83,6 +113,7 @@ func main() {
 		QueueLimit:   *queueLimit,
 		MemoryBudget: *memBudget,
 		Policy:       policy,
+		InstanceID:   *instanceID,
 	})
 	if err != nil {
 		log.Fatal(err)

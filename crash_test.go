@@ -104,9 +104,12 @@ func TestCrashMatrixEndToEnd(t *testing.T) {
 			}
 		}
 		// The fresh process sweeps whatever the crash left in flight.
-		removed, serr := checkpoint.SweepTemp(faultfs.OS, dir)
+		removed, failed, serr := checkpoint.SweepTemp(faultfs.OS, dir)
 		if serr != nil {
 			t.Fatalf("crash@%d: sweep: %v", crashAt, serr)
+		}
+		if len(failed) != 0 {
+			t.Fatalf("crash@%d: sweep failures: %v", crashAt, failed)
 		}
 		for _, p := range removed {
 			if !strings.HasSuffix(p, checkpoint.TempSuffix) {

@@ -1,0 +1,288 @@
+package blobstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// StoreManifest describes a store-backed checkpoint: the same metadata a
+// file checkpoint carries, plus the ordered chunk list the payload was
+// split into and a CRC over the whole payload. The manifest is the
+// checkpoint's root object — restores and verifies walk it end to end,
+// and a chunk is live exactly when some manifest references its digest.
+type StoreManifest struct {
+	checkpoint.Manifest
+	// PayloadCRC32 covers state and padding in order, the cross-chunk
+	// integrity check (per-chunk digests cannot catch a reordered or
+	// dropped chunk; the CRC can).
+	PayloadCRC32 uint32 `json:"payload_crc32"`
+	// Chunks lists the payload's chunks in order.
+	Chunks []ChunkRef `json:"chunks"`
+}
+
+// WriteResult reports a completed store checkpoint write.
+type WriteResult struct {
+	Manifest StoreManifest
+	// Chunks is the payload's chunk count; DedupHits of those were already
+	// in the store and not uploaded.
+	Chunks    int
+	DedupHits int
+	// UploadedBytes is what actually crossed the wire: compressed new
+	// chunks plus the manifest. With dedup this is the delta, far below
+	// TotalBytes for a re-suspension.
+	UploadedBytes int64
+	// Duration is serialize + upload wall time (the store-backed L_s);
+	// SerializeDuration and UploadDuration are its halves.
+	Duration          time.Duration
+	SerializeDuration time.Duration
+	UploadDuration    time.Duration
+}
+
+// ReadResult reports a completed store checkpoint read.
+type ReadResult struct {
+	Manifest StoreManifest
+	// DownloadedBytes is the compressed bytes fetched (chunks + manifest).
+	DownloadedBytes int64
+	// Duration is download + decode wall time (the store-backed L_r).
+	Duration time.Duration
+}
+
+// WriteCheckpoint persists a checkpoint into the store: save serializes
+// the executor state, padding zero bytes model the process-image residue
+// (they chunk and compress to almost nothing, and dedup across
+// suspensions). Only chunks the store does not already hold are uploaded.
+func (s *Store) WriteCheckpoint(key string, m checkpoint.Manifest, save func(*vector.Encoder) error, padding int64, tr *obs.Trace) (*WriteResult, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var stateBuf bytes.Buffer
+	enc := vector.NewEncoder(&stateBuf)
+	if err := save(enc); err != nil {
+		return nil, fmt.Errorf("blobstore: serialize state: %w", err)
+	}
+	if enc.Err() != nil {
+		return nil, fmt.Errorf("blobstore: serialize state: %w", enc.Err())
+	}
+	serDur := time.Since(start)
+	res, err := s.writePayload(key, m, stateBuf.Bytes(), padding, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.SerializeDuration = serDur
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// WriteCheckpointBytes is WriteCheckpoint with the state already
+// serialized — the entry point for hand-encoded fixtures and for relaying
+// a file checkpoint's payload into the store unchanged.
+func (s *Store) WriteCheckpointBytes(key string, m checkpoint.Manifest, state []byte, padding int64, tr *obs.Trace) (*WriteResult, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.writePayload(key, m, state, padding, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// writePayload chunks state||padding, uploads the missing chunks, and
+// publishes the manifest last — a checkpoint becomes visible only once
+// every chunk it references is durably stored.
+func (s *Store) writePayload(key string, m checkpoint.Manifest, state []byte, padding int64, tr *obs.Trace) (*WriteResult, error) {
+	upStart := time.Now()
+	m.StateBytes = int64(len(state))
+	m.PaddingBytes = padding
+	m.CreatedUnixNano = nowUnixNano()
+
+	payload := state
+	if padding > 0 {
+		payload = make([]byte, 0, int64(len(state))+padding)
+		payload = append(payload, state...)
+		payload = append(payload, make([]byte, padding)...)
+	}
+
+	sm := StoreManifest{Manifest: m, PayloadCRC32: crc32.ChecksumIEEE(payload)}
+	res := &WriteResult{}
+	var chunkErr error
+	s.params.Chunks(payload, func(chunk []byte) {
+		if chunkErr != nil {
+			return
+		}
+		ref, uploaded, n, err := s.putChunk(chunk, tr)
+		if err != nil {
+			chunkErr = err
+			return
+		}
+		sm.Chunks = append(sm.Chunks, ref)
+		res.Chunks++
+		if uploaded {
+			res.UploadedBytes += n
+		} else {
+			res.DedupHits++
+		}
+	})
+	if chunkErr != nil {
+		return nil, chunkErr
+	}
+
+	mj, err := json.Marshal(sm)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: encode manifest: %w", err)
+	}
+	// Manifests are stored compressed: a chunk list is mostly repeated
+	// hex digests, which flate collapses — without this, fine-grained
+	// chunking would pay more manifest bytes than it saves in dedup.
+	packed, err := compress(mj)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: compress manifest: %w", err)
+	}
+	if err := s.backend.Put(manifestName(key), packed); err != nil {
+		return nil, fmt.Errorf("blobstore: put manifest %s: %w", key, err)
+	}
+	s.m.bytesUp.Add(int64(len(packed)))
+	res.UploadedBytes += int64(len(packed))
+	res.Manifest = sm
+	res.UploadDuration = time.Since(upStart)
+	tr.Event(obs.EvStorePersisted,
+		obs.A("key", key), obs.A("kind", m.Kind),
+		obs.A("chunks", res.Chunks), obs.A("dedup_hits", res.DedupHits),
+		obs.A("state_bytes", m.StateBytes), obs.A("uploaded_bytes", res.UploadedBytes),
+		obs.A("duration", res.UploadDuration))
+	return res, nil
+}
+
+// ReadStoreManifest fetches and decodes a checkpoint's manifest alone.
+func (s *Store) ReadStoreManifest(key string) (StoreManifest, error) {
+	var sm StoreManifest
+	if err := ValidateKey(key); err != nil {
+		return sm, err
+	}
+	packed, err := s.backend.Get(manifestName(key))
+	if err != nil {
+		return sm, fmt.Errorf("blobstore: get manifest %s: %w", key, err)
+	}
+	// Manifests are flate-compressed; bound decode at 64 MiB (≈ half a
+	// million chunk refs) so a corrupt object cannot balloon memory.
+	mj, err := decompress(packed, 1<<26)
+	if err != nil {
+		return sm, fmt.Errorf("blobstore: manifest %s: %w", key, err)
+	}
+	if err := json.Unmarshal(mj, &sm); err != nil {
+		return sm, fmt.Errorf("blobstore: manifest %s: %w", key, err)
+	}
+	if sm.StateBytes < 0 || sm.PaddingBytes < 0 {
+		return sm, fmt.Errorf("blobstore: manifest %s has negative sizes", key)
+	}
+	return sm, nil
+}
+
+// readPayload walks a manifest's chunk list, verifying every chunk and
+// the payload CRC and length, and returns the reassembled payload.
+func (s *Store) readPayload(key string, sm StoreManifest, tr *obs.Trace) ([]byte, int64, error) {
+	payload := make([]byte, 0, sm.TotalBytes())
+	var downloaded int64
+	for _, ref := range sm.Chunks {
+		data, n, err := s.getChunk(ref, tr)
+		if err != nil {
+			return nil, downloaded, fmt.Errorf("blobstore: checkpoint %s: %w", key, err)
+		}
+		payload = append(payload, data...)
+		downloaded += n
+	}
+	if int64(len(payload)) != sm.TotalBytes() {
+		return nil, downloaded, fmt.Errorf("blobstore: checkpoint %s: payload %d bytes, manifest says %d",
+			key, len(payload), sm.TotalBytes())
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != sm.PayloadCRC32 {
+		return nil, downloaded, fmt.Errorf("blobstore: checkpoint %s: payload checksum mismatch", key)
+	}
+	return payload, downloaded, nil
+}
+
+// ReadCheckpoint restores a checkpoint: the manifest is walked, every
+// chunk fetched and verified, and load is invoked with a decoder over the
+// reassembled state.
+func (s *Store) ReadCheckpoint(key string, load func(*vector.Decoder) error, tr *obs.Trace) (*ReadResult, error) {
+	start := time.Now()
+	sm, err := s.ReadStoreManifest(key)
+	if err != nil {
+		return nil, err
+	}
+	payload, downloaded, err := s.readPayload(key, sm, tr)
+	if err != nil {
+		return nil, err
+	}
+	dec := vector.NewDecoder(bytes.NewReader(payload[:sm.StateBytes]))
+	if err := load(dec); err != nil {
+		return nil, fmt.Errorf("blobstore: load state: %w", err)
+	}
+	res := &ReadResult{Manifest: sm, DownloadedBytes: downloaded, Duration: time.Since(start)}
+	tr.Event(obs.EvStoreRestore,
+		obs.A("key", key), obs.A("kind", sm.Kind), obs.A("chunks", len(sm.Chunks)),
+		obs.A("state_bytes", sm.StateBytes), obs.A("downloaded_bytes", downloaded),
+		obs.A("duration", res.Duration))
+	return res, nil
+}
+
+// VerifyCheckpoint walks a checkpoint end to end — manifest, every chunk
+// digest and size, payload length and CRC — without deserializing the
+// state. A nil error means a restore will find a complete, intact image.
+func (s *Store) VerifyCheckpoint(key string) (StoreManifest, error) {
+	sm, err := s.ReadStoreManifest(key)
+	if err != nil {
+		return sm, err
+	}
+	if _, _, err := s.readPayload(key, sm, nil); err != nil {
+		return sm, err
+	}
+	return sm, nil
+}
+
+// HasCheckpoint reports whether a checkpoint with this key exists.
+func (s *Store) HasCheckpoint(key string) (bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return false, err
+	}
+	return s.backend.Has(manifestName(key))
+}
+
+// ListCheckpoints returns the keys of every stored checkpoint.
+func (s *Store) ListCheckpoints() ([]string, error) {
+	names, err := s.backend.List(nsManifests + "/")
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: list checkpoints: %w", err)
+	}
+	keys := make([]string, 0, len(names))
+	for _, n := range names {
+		base := n[len(nsManifests)+1:]
+		if len(base) > len(".json") && base[len(base)-len(".json"):] == ".json" {
+			keys = append(keys, base[:len(base)-len(".json")])
+		}
+	}
+	return keys, nil
+}
+
+// DeleteCheckpoint removes a checkpoint's manifest. Chunks are shared
+// across checkpoints and are never deleted inline — GC reclaims the ones
+// no surviving manifest references.
+func (s *Store) DeleteCheckpoint(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	if err := s.backend.Delete(manifestName(key)); err != nil && !IsNotExist(err) {
+		return fmt.Errorf("blobstore: delete checkpoint %s: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package blobstore
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Claim is a resumption token: whichever instance creates the claim
+// object for a checkpoint key owns the right to resume that query.
+// Creation uses the backend's PutExcl (O_EXCL semantics), so under any
+// number of racing instances exactly one claim succeeds — double-resume
+// of a migrated query is structurally impossible, not just unlikely.
+type Claim struct {
+	// Owner is the claiming instance.
+	Owner string `json:"owner"`
+	// Source is the instance whose state document advertised the session
+	// (GC uses it to decide orphanhood: a claim outlives its usefulness
+	// once both the checkpoint and the source document are gone).
+	Source string `json:"source,omitempty"`
+	// CreatedUnixNano stamps the claim for debugging.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+}
+
+// Claim attempts to acquire the resumption claim for key. ok reports
+// whether this caller won; losing the race (some other instance already
+// holds the claim) is not an error.
+func (s *Store) Claim(key, owner, source string) (bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return false, err
+	}
+	data, err := json.Marshal(Claim{Owner: owner, Source: source, CreatedUnixNano: nowUnixNano()})
+	if err != nil {
+		return false, fmt.Errorf("blobstore: encode claim %s: %w", key, err)
+	}
+	if err := s.backend.PutExcl(claimName(key), data); err != nil {
+		if IsExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("blobstore: claim %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// ClaimInfo returns the claim for key, and whether one exists.
+func (s *Store) ClaimInfo(key string) (Claim, bool, error) {
+	var c Claim
+	if err := ValidateKey(key); err != nil {
+		return c, false, err
+	}
+	data, err := s.backend.Get(claimName(key))
+	if err != nil {
+		if IsNotExist(err) {
+			return c, false, nil
+		}
+		return c, false, fmt.Errorf("blobstore: read claim %s: %w", key, err)
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, false, fmt.Errorf("blobstore: claim %s: %w", key, err)
+	}
+	return c, true, nil
+}
+
+// ReleaseClaim removes a claim (idempotent: releasing an absent claim is
+// a no-op, since release races GC on orphaned claims).
+func (s *Store) ReleaseClaim(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	if err := s.backend.Delete(claimName(key)); err != nil && !IsNotExist(err) {
+		return fmt.Errorf("blobstore: release claim %s: %w", key, err)
+	}
+	return nil
+}
+
+// ListClaims returns the checkpoint keys with outstanding claims.
+func (s *Store) ListClaims() ([]string, error) {
+	names, err := s.backend.List(nsClaims + "/")
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: list claims: %w", err)
+	}
+	keys := make([]string, 0, len(names))
+	for _, n := range names {
+		base := n[len(nsClaims)+1:]
+		if len(base) > len(".json") && base[len(base)-len(".json"):] == ".json" {
+			keys = append(keys, base[:len(base)-len(".json")])
+		}
+	}
+	return keys, nil
+}

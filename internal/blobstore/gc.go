@@ -1,0 +1,129 @@
+package blobstore
+
+import (
+	"fmt"
+)
+
+// GCFailure reports one object the garbage collector could not process.
+type GCFailure struct {
+	Name string
+	Err  error
+}
+
+// GCResult reports one garbage-collection pass.
+type GCResult struct {
+	// ChunksRemoved counts unreferenced chunks deleted; ChunksKept counts
+	// chunks some manifest still references.
+	ChunksRemoved int
+	ChunksKept    int
+	// ClaimsRemoved counts orphaned claim tokens deleted.
+	ClaimsRemoved int
+	// Failed lists objects that could not be read or removed. Failures
+	// never abort the pass — the rest of the store is still collected —
+	// but an unreadable manifest disables chunk removal for the pass
+	// (its references are unknown, so nothing can safely be deleted).
+	Failed []GCFailure
+}
+
+// GC removes garbage the normal lifecycle cannot: chunks no manifest
+// references (left behind by DeleteCheckpoint and by delta uploads whose
+// older checkpoints were deleted) and claim tokens whose checkpoint and
+// source state document are both gone (a claimer that died after
+// claiming but before completing; once the source document disappears no
+// instance will ever look for that claim again).
+//
+// Correctness under concurrency: a chunk is deleted only when no
+// manifest listed at the start of the pass references it. A writer
+// uploading a new checkpoint concurrently could reference such a chunk
+// between the listing and the delete; callers therefore run GC only at
+// instance start, before serving traffic — the same quiet window the
+// temp-file sweep uses.
+func (s *Store) GC() (*GCResult, error) {
+	res := &GCResult{}
+
+	// Phase 1: collect the live digest set from every manifest.
+	live := map[string]bool{}
+	manifestsOK := true
+	keys, err := s.ListCheckpoints()
+	if err != nil {
+		return nil, err
+	}
+	liveKeys := map[string]bool{}
+	for _, key := range keys {
+		liveKeys[key] = true
+		sm, err := s.ReadStoreManifest(key)
+		if err != nil {
+			res.Failed = append(res.Failed, GCFailure{Name: manifestName(key), Err: err})
+			manifestsOK = false
+			continue
+		}
+		for _, ref := range sm.Chunks {
+			live[ref.Digest] = true
+		}
+	}
+
+	// Phase 2: sweep unreferenced chunks — only when every manifest was
+	// readable, else the live set is incomplete and deleting is unsafe.
+	chunks, err := s.backend.List(nsChunks + "/")
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: list chunks: %w", err)
+	}
+	for _, name := range chunks {
+		digest := name[len(nsChunks)+1:]
+		if live[digest] {
+			res.ChunksKept++
+			continue
+		}
+		if !manifestsOK {
+			res.ChunksKept++
+			continue
+		}
+		if err := s.backend.Delete(name); err != nil {
+			res.Failed = append(res.Failed, GCFailure{Name: name, Err: err})
+			continue
+		}
+		res.ChunksRemoved++
+	}
+
+	// Phase 3: sweep orphaned claims. A claim is an orphan only when the
+	// checkpoint is gone AND the source state document no longer
+	// advertises anything — while the source document exists, a claim on
+	// a queued (checkpoint-less) session is live migration state.
+	claimKeys, err := s.ListClaims()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range claimKeys {
+		if liveKeys[key] {
+			continue
+		}
+		c, ok, err := s.ClaimInfo(key)
+		if err != nil {
+			res.Failed = append(res.Failed, GCFailure{Name: claimName(key), Err: err})
+			continue
+		}
+		if !ok {
+			continue // released concurrently
+		}
+		if c.Source != "" {
+			has, err := s.backend.Has(docName(c.Source))
+			if err != nil {
+				res.Failed = append(res.Failed, GCFailure{Name: docName(c.Source), Err: err})
+				continue
+			}
+			if has {
+				continue // source doc still live; claim may yet matter
+			}
+		}
+		if err := s.backend.Delete(claimName(key)); err != nil && !IsNotExist(err) {
+			res.Failed = append(res.Failed, GCFailure{Name: claimName(key), Err: err})
+			continue
+		}
+		res.ClaimsRemoved++
+	}
+
+	s.m.gcChunks.Add(int64(res.ChunksRemoved))
+	s.m.gcClaims.Add(int64(res.ClaimsRemoved))
+	s.m.gcFailed.Add(int64(len(res.Failed)))
+	return res, nil
+}

@@ -445,27 +445,37 @@ func Quarantine(fsys faultfs.FS, path string) (string, error) {
 	return dst, nil
 }
 
+// SweepFailure reports one temp file the sweep could not remove.
+type SweepFailure struct {
+	Path string
+	Err  error
+}
+
 // SweepTemp removes orphaned in-flight temp files a crashed writer left in
 // dir, returning the removed paths. Complete checkpoints are never touched:
 // the atomic protocol guarantees anything named *.tmp was abandoned
-// mid-write.
-func SweepTemp(fsys faultfs.FS, dir string) ([]string, error) {
+// mid-write. An entry that cannot be removed does not abort the sweep — the
+// rest of the directory is still cleaned and the failure is reported, so a
+// single stuck file (EPERM, EBUSY, an injected fault) cannot silently leave
+// every other orphan behind. The error is non-nil only when the directory
+// itself cannot be read.
+func SweepTemp(fsys faultfs.FS, dir string) (removed []string, failed []SweepFailure, err error) {
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var removed []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), TempSuffix) {
 			continue
 		}
 		p := filepath.Join(dir, e.Name())
-		if err := fsys.Remove(p); err != nil {
-			return removed, err
+		if rerr := fsys.Remove(p); rerr != nil {
+			failed = append(failed, SweepFailure{Path: p, Err: rerr})
+			continue
 		}
 		removed = append(removed, p)
 	}
-	return removed, nil
+	return removed, failed, nil
 }
 
 // ReadManifest reads only the manifest of a checkpoint file.

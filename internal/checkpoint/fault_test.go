@@ -192,7 +192,7 @@ func TestCrashMatrix(t *testing.T) {
 			}
 		}
 		// Whatever the outcome, a fresh process's sweep leaves no .tmp.
-		if _, err := SweepTemp(faultfs.OS, dir); err != nil {
+		if _, _, err := SweepTemp(faultfs.OS, dir); err != nil {
 			t.Fatalf("crash@%d: sweep: %v", crashAt, err)
 		}
 		if _, err := os.Stat(path + TempSuffix); !os.IsNotExist(err) {

@@ -181,9 +181,12 @@ func TestSweepTemp(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	removed, err := SweepTemp(faultfs.OS, dir)
+	removed, failed, err := SweepTemp(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("sweep failures: %v", failed)
 	}
 	if len(removed) != len(orphans) {
 		t.Errorf("removed %v", removed)

@@ -98,6 +98,42 @@ func (s *SpotPriceTrace) Next() (time.Duration, float64) {
 	return t, price
 }
 
+// NetProfile characterizes the simulated network link between an instance
+// and a remote blob store: a fixed per-operation round-trip latency plus
+// direction-dependent bandwidth. The zero profile is an infinitely fast
+// link (every delay is zero), so a local-speed store needs no special case.
+type NetProfile struct {
+	// Latency is the per-operation round-trip time (control plane: every
+	// put/get/list/delete pays it once).
+	Latency time.Duration
+	// UploadBytesPerSec and DownloadBytesPerSec bound the data plane.
+	// Zero means unbounded.
+	UploadBytesPerSec   int64
+	DownloadBytesPerSec int64
+}
+
+// UploadDelay returns the simulated transfer time for uploading n bytes
+// (latency excluded; callers add Latency once per operation).
+func (p NetProfile) UploadDelay(n int) time.Duration {
+	if p.UploadBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.UploadBytesPerSec) * float64(time.Second))
+}
+
+// DownloadDelay returns the simulated transfer time for downloading n bytes.
+func (p NetProfile) DownloadDelay(n int) time.Duration {
+	if p.DownloadBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.DownloadBytesPerSec) * float64(time.Second))
+}
+
+// Zero reports whether the profile models an instantaneous link.
+func (p NetProfile) Zero() bool {
+	return p.Latency == 0 && p.UploadBytesPerSec == 0 && p.DownloadBytesPerSec == 0
+}
+
 // InstanceState is the lifecycle state of a simulated ephemeral instance.
 type InstanceState int
 

@@ -11,15 +11,35 @@ import (
 	"time"
 
 	"github.com/riveterdb/riveter/internal/faultfs"
+	"github.com/riveterdb/riveter/internal/obs"
 )
 
-// IOProfile characterizes the persistence device used for checkpoints.
+// IOProfile characterizes the persistence target used for checkpoints:
+// either a local device (write/read terms) or a blob store (upload/
+// download terms). When the store terms are set they take over the
+// latency estimates — Algorithm 1 then prices suspension against the
+// link the checkpoint will actually cross, not the local disk.
 type IOProfile struct {
-	// WriteBytesPerSec and ReadBytesPerSec are sustained bandwidths.
+	// WriteBytesPerSec and ReadBytesPerSec are sustained bandwidths of
+	// the local checkpoint device.
 	WriteBytesPerSec float64
 	ReadBytesPerSec  float64
 	// FixedLatency covers file creation, fsync, and manifest overhead.
 	FixedLatency time.Duration
+
+	// UploadBytesPerSec and DownloadBytesPerSec are the measured
+	// bandwidths to the configured blob-store backend (0 = no store).
+	UploadBytesPerSec   float64
+	DownloadBytesPerSec float64
+	// UploadFixedLatency is the store's per-checkpoint fixed cost
+	// (round trips, chunk probes, manifest publish).
+	UploadFixedLatency time.Duration
+}
+
+// StoreBacked reports whether checkpoints target a blob store, making
+// the upload/download terms govern the latency estimates.
+func (p IOProfile) StoreBacked() bool {
+	return p.UploadBytesPerSec > 0 || p.DownloadBytesPerSec > 0 || p.UploadFixedLatency > 0
 }
 
 // DefaultIOProfile is a conservative local-SSD profile used when
@@ -32,8 +52,16 @@ func DefaultIOProfile() IOProfile {
 	}
 }
 
-// SuspendLatency estimates L_s for a payload of the given size.
+// SuspendLatency estimates L_s for a payload of the given size against
+// the configured target (store upload when store-backed, local write
+// otherwise).
 func (p IOProfile) SuspendLatency(bytes int64) time.Duration {
+	if p.StoreBacked() {
+		if p.UploadBytesPerSec <= 0 {
+			return p.UploadFixedLatency
+		}
+		return p.UploadFixedLatency + time.Duration(float64(bytes)/p.UploadBytesPerSec*float64(time.Second))
+	}
 	if p.WriteBytesPerSec <= 0 {
 		return p.FixedLatency
 	}
@@ -42,6 +70,12 @@ func (p IOProfile) SuspendLatency(bytes int64) time.Duration {
 
 // ResumeLatency estimates L_r for a payload of the given size.
 func (p IOProfile) ResumeLatency(bytes int64) time.Duration {
+	if p.StoreBacked() {
+		if p.DownloadBytesPerSec <= 0 {
+			return p.UploadFixedLatency
+		}
+		return p.UploadFixedLatency + time.Duration(float64(bytes)/p.DownloadBytesPerSec*float64(time.Second))
+	}
 	if p.ReadBytesPerSec <= 0 {
 		return p.FixedLatency
 	}
@@ -112,4 +146,80 @@ func CalibrateIOFS(fsys faultfs.FS, dir string) (IOProfile, error) {
 		return DefaultIOProfile(), nil
 	}
 	return prof, nil
+}
+
+// StoreProber is the slice of a blob-store backend the calibration
+// needs (satisfied by blobstore.Backend). Probing the backend — not the
+// local checkpoint device — is the point: with a simulated remote the
+// measured numbers include its latency and bandwidth shaping, so the
+// cost model prices suspension against the link checkpoints will
+// actually cross.
+type StoreProber interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	Delete(name string) error
+}
+
+// CalibrateStore measures the configured store backend and fills the
+// profile's upload terms, leaving base's local-device terms intact. The
+// probe object lives in the chunk namespace under a non-digest name, so
+// even a leaked probe (crash mid-calibration) is swept by the next GC
+// pass as an unreferenced chunk.
+func CalibrateStore(base IOProfile, be StoreProber) (IOProfile, error) {
+	const probeBytes = 4 << 20
+	const name = "chunks/.riveter-store-probe"
+	defer be.Delete(name)
+
+	// A tiny object measures the per-operation fixed cost (round trips,
+	// create+fsync) without meaningful transfer time.
+	small := make([]byte, 64)
+	fixedStart := time.Now()
+	if err := be.Put(name, small); err != nil {
+		return base, fmt.Errorf("costmodel: store probe: %w", err)
+	}
+	fixed := time.Since(fixedStart)
+
+	buf := make([]byte, probeBytes)
+	for i := range buf {
+		buf[i] = byte(i * 131)
+	}
+	wStart := time.Now()
+	if err := be.Put(name, buf); err != nil {
+		return base, fmt.Errorf("costmodel: store probe: %w", err)
+	}
+	wDur := time.Since(wStart) - fixed
+	if wDur <= 0 {
+		wDur = time.Since(wStart)
+	}
+	rStart := time.Now()
+	got, err := be.Get(name)
+	if err != nil {
+		return base, fmt.Errorf("costmodel: store probe: %w", err)
+	}
+	if len(got) != probeBytes {
+		return base, fmt.Errorf("costmodel: store probe read %d of %d bytes", len(got), probeBytes)
+	}
+	rDur := time.Since(rStart) - fixed
+	if rDur <= 0 {
+		rDur = time.Since(rStart)
+	}
+
+	p := base
+	p.UploadFixedLatency = fixed
+	p.UploadBytesPerSec = probeBytes / wDur.Seconds()
+	p.DownloadBytesPerSec = probeBytes / rDur.Seconds()
+	return p, nil
+}
+
+// Publish surfaces the calibrated profile as gauges, so /metrics shows
+// the exact numbers Algorithm 1's latency terms are computed from.
+func (p IOProfile) Publish(r *obs.Registry) {
+	r.Gauge(obs.MetricIOWriteBps).Set(int64(p.WriteBytesPerSec))
+	r.Gauge(obs.MetricIOReadBps).Set(int64(p.ReadBytesPerSec))
+	r.Gauge(obs.MetricIOFixedLatency).Set(int64(p.FixedLatency))
+	if p.StoreBacked() {
+		r.Gauge(obs.MetricIOUploadBps).Set(int64(p.UploadBytesPerSec))
+		r.Gauge(obs.MetricIODownloadBps).Set(int64(p.DownloadBytesPerSec))
+		r.Gauge(obs.MetricIOUploadLatency).Set(int64(p.UploadFixedLatency))
+	}
 }

@@ -1,0 +1,149 @@
+package costmodel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// memProber is an in-memory StoreProber with an artificial per-operation
+// delay, so calibration measures a controlled link instead of map speed.
+type memProber struct {
+	objects map[string][]byte
+	perOp   time.Duration
+	perByte time.Duration
+	deleted []string
+}
+
+func (p *memProber) charge(n int) { time.Sleep(p.perOp + time.Duration(n)*p.perByte) }
+
+func (p *memProber) Put(name string, data []byte) error {
+	p.charge(len(data))
+	p.objects[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (p *memProber) Get(name string) ([]byte, error) {
+	data, ok := p.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("no object %q", name)
+	}
+	p.charge(len(data))
+	return data, nil
+}
+
+func (p *memProber) Delete(name string) error {
+	p.deleted = append(p.deleted, name)
+	delete(p.objects, name)
+	return nil
+}
+
+func TestCalibrateStore(t *testing.T) {
+	base := DefaultIOProfile()
+	// ~1ms per op, ~4GB/s transfer: the 4MB probe takes ~1ms of transfer,
+	// comfortably measurable without slowing the suite.
+	pr := &memProber{objects: map[string][]byte{}, perOp: time.Millisecond, perByte: time.Nanosecond / 4}
+	prof, err := CalibrateStore(base, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.StoreBacked() {
+		t.Fatal("calibrated profile not store-backed")
+	}
+	if prof.UploadBytesPerSec <= 0 || prof.DownloadBytesPerSec <= 0 {
+		t.Fatalf("bandwidths not measured: %+v", prof)
+	}
+	if prof.UploadFixedLatency < time.Millisecond/2 {
+		t.Errorf("fixed latency %v misses the ~1ms per-op cost", prof.UploadFixedLatency)
+	}
+	// Local-device terms must survive untouched.
+	if prof.WriteBytesPerSec != base.WriteBytesPerSec || prof.FixedLatency != base.FixedLatency {
+		t.Error("calibration clobbered the local-device terms")
+	}
+	// The probe object must not leak.
+	if len(pr.objects) != 0 {
+		t.Errorf("probe left objects behind: %v", pr.objects)
+	}
+	if len(pr.deleted) == 0 {
+		t.Error("probe never deleted")
+	}
+}
+
+func TestCalibrateStoreFailure(t *testing.T) {
+	base := DefaultIOProfile()
+	prof, err := CalibrateStore(base, failProber{})
+	if err == nil {
+		t.Fatal("calibration against a broken backend must error")
+	}
+	if prof.StoreBacked() {
+		t.Error("failed calibration must return the base profile unchanged")
+	}
+}
+
+type failProber struct{}
+
+func (failProber) Put(string, []byte) error   { return fmt.Errorf("backend down") }
+func (failProber) Get(string) ([]byte, error) { return nil, fmt.Errorf("backend down") }
+func (failProber) Delete(string) error        { return nil }
+
+// TestStoreBackedLatencies checks the estimate branch: once store terms
+// are set, SuspendLatency/ResumeLatency price against the link, not the
+// local device, and Algorithm 1's inputs shift accordingly.
+func TestStoreBackedLatencies(t *testing.T) {
+	local := IOProfile{
+		WriteBytesPerSec: 1 << 30,
+		ReadBytesPerSec:  1 << 30,
+		FixedLatency:     time.Millisecond,
+	}
+	stored := local
+	stored.UploadBytesPerSec = 1 << 20 // 1 MB/s link
+	stored.DownloadBytesPerSec = 2 << 20
+	stored.UploadFixedLatency = 20 * time.Millisecond
+
+	const payload = 10 << 20
+	if fast, slow := local.SuspendLatency(payload), stored.SuspendLatency(payload); slow < 100*fast {
+		t.Errorf("store-backed suspend %v not priced against the slow link (local %v)", slow, fast)
+	}
+	if got, want := stored.SuspendLatency(payload), 20*time.Millisecond+10*time.Second; got < want/2 || got > want*2 {
+		t.Errorf("SuspendLatency = %v, want ~%v", got, want)
+	}
+	if got, want := stored.ResumeLatency(payload), 20*time.Millisecond+5*time.Second; got < want/2 || got > want*2 {
+		t.Errorf("ResumeLatency = %v, want ~%v", got, want)
+	}
+}
+
+func TestIOProfilePublish(t *testing.T) {
+	r := obs.NewRegistry()
+	p := IOProfile{
+		WriteBytesPerSec:    100,
+		ReadBytesPerSec:     200,
+		FixedLatency:        time.Millisecond,
+		UploadBytesPerSec:   300,
+		DownloadBytesPerSec: 400,
+		UploadFixedLatency:  2 * time.Millisecond,
+	}
+	p.Publish(r)
+	snap := r.Snapshot()
+	checks := map[string]int64{
+		obs.MetricIOWriteBps:      100,
+		obs.MetricIOReadBps:       200,
+		obs.MetricIOFixedLatency:  int64(time.Millisecond),
+		obs.MetricIOUploadBps:     300,
+		obs.MetricIODownloadBps:   400,
+		obs.MetricIOUploadLatency: int64(2 * time.Millisecond),
+	}
+	for name, want := range checks {
+		if got := snap.Gauges[name]; got != want {
+			t.Errorf("gauge %s = %d, want %d", name, got, want)
+		}
+	}
+
+	// A local-only profile must not publish store gauges.
+	r2 := obs.NewRegistry()
+	DefaultIOProfile().Publish(r2)
+	if _, ok := r2.Snapshot().Gauges[obs.MetricIOUploadBps]; ok {
+		t.Error("local-only profile published store gauges")
+	}
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/blobstore"
+	"github.com/riveterdb/riveter/internal/checkpoint"
+)
+
+// compatStore builds a blob store over a temp directory with chunk bounds
+// small enough that engine-sized fixtures split into several chunks.
+func compatStore(t *testing.T) *blobstore.Store {
+	t.Helper()
+	local, err := blobstore.NewLocal(nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := blobstore.New(blobstore.Config{
+		Backend:  local,
+		Chunking: blobstore.ChunkParams{Min: 64, Avg: 256, Max: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeCompatManifest describes a hand-encoded fixture's state.
+func storeCompatManifest(kind string, ex *Executor, stateVersion int) checkpoint.Manifest {
+	return checkpoint.Manifest{
+		Kind:            kind,
+		Query:           "compat",
+		PlanFingerprint: fmt.Sprintf("%016x", ex.pp.Fingerprint),
+		Workers:         ex.opts.Workers,
+		StateVersion:    stateVersion,
+	}
+}
+
+// restoreFromStore loads checkpoint key into a fresh executor over a
+// recompiled plan and runs it to completion.
+func restoreFromStore(t *testing.T, st *blobstore.Store, key string, ex2 *Executor) *ResultSet {
+	t.Helper()
+	if _, err := st.ReadCheckpoint(key, ex2.LoadState, nil); err != nil {
+		t.Fatalf("ReadCheckpoint(%s): %v", key, err)
+	}
+	res, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStoreRestoresV1Checkpoint: a hand-encoded v1 (pre-DAG) state — what
+// an older build would have persisted — pushed through the blob store's
+// chunk/manifest path restores into the current executor and resumes to
+// the correct result. The store layer must be format-agnostic: it moves
+// bytes, the engine's LoadState handles the version fork.
+func TestStoreRestoresV1Checkpoint(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers: 2,
+		OnBreaker: func(ev *BreakerEvent) BreakerAction {
+			if ev.PipelineIdx == 0 {
+				return ActionSuspend
+			}
+			return ActionContinue
+		},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	v1 := encodeStateV1(t, ex)
+
+	st := compatStore(t)
+	m := storeCompatManifest("pipeline", ex, 1)
+	wres, err := st.WriteCheckpointBytes("compat-v1", m, v1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Manifest.StateVersion != 1 {
+		t.Errorf("manifest state version = %d, want 1", wres.Manifest.StateVersion)
+	}
+	if _, err := st.VerifyCheckpoint("compat-v1"); err != nil {
+		t.Fatalf("verify v1 fixture: %v", err)
+	}
+
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 3}) // pipeline resumes are worker-flexible
+	if got := restoreFromStore(t, st, "compat-v1", ex2).SortedKey(); got != ref {
+		t.Error("result after v1 store restore differs")
+	}
+}
+
+// TestStoreRestoresV2Checkpoint: the current (v2) format written as raw
+// bytes — the same path a foreign instance uses when it serialized state
+// itself — round-trips through the store, including a process-level
+// capture with in-flight pipeline state.
+func TestStoreRestoresV2Checkpoint(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	pp := mustCompile(t, node, cat)
+	ex := NewExecutor(pp, Options{
+		Workers:     2,
+		AutoSuspend: AutoSuspend{Kind: KindProcess, AtProcessedBytes: 200_000},
+	})
+	if _, err := ex.Run(context.Background()); !errors.Is(err, ErrSuspended) {
+		t.Fatal(err)
+	}
+	info := ex.Suspended()
+	if info == nil || info.Kind != KindProcess {
+		t.Skipf("no process-level suspension landed: %+v", info)
+	}
+	v2 := saveState(t, ex)
+
+	st := compatStore(t)
+	m := storeCompatManifest("process", ex, StateFormatVersion)
+	for _, ip := range info.InFlight {
+		m.InFlightPipelines = append(m.InFlightPipelines, ip.Pipeline)
+	}
+	if _, err := st.WriteCheckpointBytes("compat-v2", m, v2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := st.ReadStoreManifest("compat-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.StateVersion != StateFormatVersion {
+		t.Errorf("manifest state version = %d, want %d", sm.StateVersion, StateFormatVersion)
+	}
+
+	// Process-level restores need the captured worker count.
+	pp2 := mustCompile(t, node, cat)
+	ex2 := NewExecutor(pp2, Options{Workers: 2})
+	if got := restoreFromStore(t, st, "compat-v2", ex2).SortedKey(); got != ref {
+		t.Error("result after v2 store restore differs")
+	}
+}

@@ -34,6 +34,11 @@ type File interface {
 // protocol. All implementations must be safe for concurrent use.
 type FS interface {
 	Create(path string) (File, error)
+	// CreateExcl creates a file that must not already exist (O_EXCL): the
+	// blob store's claim tokens turn "who resumes this query" into a single
+	// atomic filesystem operation. A pre-existing path fails with an error
+	// satisfying errors.Is(err, os.ErrExist).
+	CreateExcl(path string) (File, error)
 	Open(path string) (File, error)
 	Rename(oldPath, newPath string) error
 	Remove(path string) error
@@ -47,7 +52,10 @@ var OS FS = osFS{}
 
 type osFS struct{}
 
-func (osFS) Create(path string) (File, error)          { return os.Create(path) }
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+func (osFS) CreateExcl(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
 func (osFS) Open(path string) (File, error)            { return os.Open(path) }
 func (osFS) Rename(oldPath, newPath string) error      { return os.Rename(oldPath, newPath) }
 func (osFS) Remove(path string) error                  { return os.Remove(path) }
@@ -296,6 +304,19 @@ func (i *Injector) Create(path string) (File, error) {
 		return nil, fmt.Errorf("create %s: %w", path, err)
 	}
 	f, err := i.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inj: i, path: path, f: f}, nil
+}
+
+// CreateExcl implements FS. Fault rules for OpCreate apply to exclusive
+// creates too, so a claim-token write is injectable like any other create.
+func (i *Injector) CreateExcl(path string) (File, error) {
+	if _, err := i.check(OpCreate, path, 0); err != nil {
+		return nil, fmt.Errorf("create-excl %s: %w", path, err)
+	}
+	f, err := i.base.CreateExcl(path)
 	if err != nil {
 		return nil, err
 	}

@@ -110,6 +110,44 @@ const (
 	// checkpoint could be persisted at any level; the victim resumed in
 	// place with its work preserved.
 	MetricServerPreemptAbandoned = "server.preempt_abandoned"
+
+	// MetricCheckpointSweepFailed counts startup-sweep entries (orphaned
+	// .tmp files) that could not be removed and were reported instead of
+	// silently skipped.
+	MetricCheckpointSweepFailed = "checkpoint.sweep_failed"
+
+	// MetricBlobPut counts chunks actually uploaded to the blob store
+	// (dedup hits are counted separately, not here).
+	MetricBlobPut = "blobstore.put"
+	// MetricBlobGet counts chunks downloaded from the blob store.
+	MetricBlobGet = "blobstore.get"
+	// MetricBlobDedupHit counts chunks a checkpoint write skipped because an
+	// identical chunk (same content digest) was already stored.
+	MetricBlobDedupHit = "blobstore.dedup_hit"
+	// MetricBlobBytesUploaded counts compressed bytes actually uploaded;
+	// with dedup this is the delta, not the full state size.
+	MetricBlobBytesUploaded = "blobstore.bytes_uploaded"
+	// MetricBlobBytesDownloaded counts compressed bytes downloaded on
+	// restores and verifies.
+	MetricBlobBytesDownloaded = "blobstore.bytes_downloaded"
+	// MetricBlobGCChunks / MetricBlobGCClaims count entries the blob-store
+	// garbage collector removed (unreferenced chunks, orphaned claims);
+	// MetricBlobGCFailed counts entries it could not remove.
+	MetricBlobGCChunks = "blobstore.gc.chunks_removed"
+	MetricBlobGCClaims = "blobstore.gc.claims_removed"
+	MetricBlobGCFailed = "blobstore.gc.failed"
+	// MetricServerMigrated counts sessions this instance claimed from
+	// another instance's state document in the shared store.
+	MetricServerMigrated = "server.migrated"
+
+	// Calibrated I/O profile gauges (bytes/sec and nanoseconds), surfaced so
+	// /metrics shows the numbers Algorithm 1's latency terms are using.
+	MetricIOWriteBps      = "costmodel.io.write_bytes_per_sec"
+	MetricIOReadBps       = "costmodel.io.read_bytes_per_sec"
+	MetricIOUploadBps     = "costmodel.io.upload_bytes_per_sec"
+	MetricIODownloadBps   = "costmodel.io.download_bytes_per_sec"
+	MetricIOFixedLatency  = "costmodel.io.fixed_latency_ns"
+	MetricIOUploadLatency = "costmodel.io.upload_latency_ns"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

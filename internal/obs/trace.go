@@ -59,6 +59,19 @@ const (
 	// degradation ladder failed; the victim kept its slot.
 	// Attrs: query, error.
 	EvPreemptAbandoned = "preempt.abandoned"
+	// EvChunkPut records one chunk of a store-backed checkpoint write.
+	// Attrs: digest (truncated hex), size, compressed, deduped.
+	EvChunkPut = "blobstore.chunk.put"
+	// EvChunkGet records one chunk downloaded during a store-backed restore.
+	// Attrs: digest (truncated hex), size, compressed.
+	EvChunkGet = "blobstore.chunk.get"
+	// EvStorePersisted summarizes one store-backed checkpoint write.
+	// Attrs: key, kind, chunks, dedup_hits, state_bytes, uploaded_bytes,
+	// duration (L_s against the store).
+	EvStorePersisted = "blobstore.checkpoint.persisted"
+	// EvStoreRestore records a store-backed checkpoint restore.
+	// Attrs: key, kind, chunks, state_bytes, downloaded_bytes, duration.
+	EvStoreRestore = "blobstore.checkpoint.restore"
 	// EvDecision records one Algorithm 1 run with its cost-model inputs and
 	// outputs. Attrs: strategy, cost_redo, cost_pipeline, cost_process,
 	// ct, avg_pipeline_time, next_breaker_eta, pipeline_state_bytes,

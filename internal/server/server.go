@@ -7,16 +7,51 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/riveterdb/riveter"
+	"github.com/riveterdb/riveter/internal/blobstore"
 	"github.com/riveterdb/riveter/internal/checkpoint"
 	"github.com/riveterdb/riveter/internal/faultfs"
 	"github.com/riveterdb/riveter/internal/obs"
 )
+
+// instanceSeq distinguishes default instance ids of servers sharing one
+// process (tests routinely run several).
+var instanceSeq atomic.Uint64
+
+// sanitizeInstanceID maps an instance name into the store's key alphabet
+// and defaults empty ids to a process-unique name.
+func sanitizeInstanceID(id string) string {
+	if id == "" {
+		return fmt.Sprintf("inst-%d-%d", os.Getpid(), instanceSeq.Add(1))
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, id)
+}
+
+// sessionStoreKey is the store checkpoint (and claim) key for a session
+// owned by the given instance.
+func sessionStoreKey(instance, sid string) string {
+	return "session-" + instance + "-" + sid
+}
+
+// stateDocPrefix prefixes every server state document in the store.
+const stateDocPrefix = "serve-"
+
+// stateDocName names this instance's state document.
+func (s *Server) stateDocName() string { return stateDocPrefix + s.instanceID }
 
 // ErrClosed is returned by Submit after Shutdown has begun.
 var ErrClosed = errors.New("server: closed")
@@ -57,6 +92,12 @@ type Config struct {
 	// preemption is exempt from being re-chosen as a victim, so a broken
 	// checkpoint device cannot spin the scheduler (default 500ms).
 	AbandonCooldown time.Duration
+	// InstanceID names this server instance inside a shared blob store:
+	// it prefixes store checkpoint keys, owns claim tokens, and names the
+	// instance's state document. Only meaningful when the DB was opened
+	// riveter.WithBlobStore; defaults to a process-unique id. Instances
+	// sharing one store must use distinct ids.
+	InstanceID string
 }
 
 // serverMetrics holds the serving-layer metric handles, resolved once.
@@ -71,6 +112,8 @@ type serverMetrics struct {
 	fallback    *obs.Counter
 	quarantined *obs.Counter
 	abandoned   *obs.Counter
+	sweepFailed *obs.Counter
+	migrated    *obs.Counter
 }
 
 func resolveServerMetrics(r *obs.Registry) serverMetrics {
@@ -89,6 +132,8 @@ func resolveServerMetrics(r *obs.Registry) serverMetrics {
 		fallback:    r.Counter(obs.MetricCheckpointFallback),
 		quarantined: r.Counter(obs.MetricCheckpointQuarantined),
 		abandoned:   r.Counter(obs.MetricServerPreemptAbandoned),
+		sweepFailed: r.Counter(obs.MetricCheckpointSweepFailed),
+		migrated:    r.Counter(obs.MetricServerMigrated),
 	}
 }
 
@@ -101,6 +146,13 @@ type Server struct {
 	adm  admission
 	met  serverMetrics
 	wg   sync.WaitGroup
+
+	// store is non-nil when the DB carries a blob store; the server then
+	// runs in store mode: preemption checkpoints and the shutdown state
+	// document go to the shared store, and startup adopts claimable
+	// sessions other instances left behind (cross-instance migration).
+	store      *blobstore.Store
+	instanceID string
 
 	// ctx parents every execution and checkpoint retry loop; cancel fires
 	// when a shutdown deadline expires, so a failing disk's backoff sleeps
@@ -163,6 +215,10 @@ func New(cfg Config) (*Server, error) {
 		sessions: map[string]*Session{},
 		running:  map[string]*Session{},
 		free:     cfg.Slots,
+	}
+	if st, serr := cfg.DB.BlobStore(); serr == nil {
+		s.store = st
+		s.instanceID = sanitizeInstanceID(cfg.InstanceID)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.cond = sync.NewCond(&s.mu)
@@ -417,23 +473,35 @@ func (s *Server) dispatchLocked(sess *Session) {
 	s.running[sess.id] = sess
 	s.free--
 	s.wg.Add(1)
-	go s.run(sess, sess.checkpoint)
+	go s.run(sess, sess.checkpoint, sess.storeKey)
 }
 
-// run executes one dispatch of a session: start (or resume from ckpt),
-// wait, and route the outcome — completion, preemption (checkpoint and
-// re-queue), or failure. A checkpoint that cannot be persisted walks the
-// degradation ladder (retry → pipeline-level fallback → resume in place)
+// run executes one dispatch of a session: start (or resume from a file
+// checkpoint or a store key), wait, and route the outcome — completion,
+// preemption (checkpoint and re-queue), or failure. A checkpoint that
+// cannot be persisted walks the degradation ladder (store → store
+// degraded → local retry → pipeline-level fallback → resume in place)
 // instead of failing the session: the victim's work is never the casualty
 // of a broken checkpoint device.
-func (s *Server) run(sess *Session, ckpt string) {
+func (s *Server) run(sess *Session, ckpt, storeKey string) {
 	defer s.wg.Done()
 	ctx := s.ctx
 	var (
 		exec *riveter.Execution
 		err  error
 	)
-	if ckpt != "" {
+	switch {
+	case storeKey != "":
+		exec, err = sess.q.StartFromStore(ctx, storeKey)
+		if err != nil {
+			// An unusable store checkpoint is dropped (its chunks are
+			// reclaimed by the next GC pass), not fatal: the session reruns
+			// from scratch, losing progress but not the query.
+			s.quarantineStore(sess, storeKey, err)
+			storeKey = ""
+			exec, err = sess.q.Start(ctx)
+		}
+	case ckpt != "":
 		exec, err = sess.q.StartFromCheckpoint(ctx, ckpt)
 		if err != nil {
 			// A torn or unreadable checkpoint is quarantined, not fatal: the
@@ -442,7 +510,7 @@ func (s *Server) run(sess *Session, ckpt string) {
 			ckpt = ""
 			exec, err = sess.q.Start(ctx)
 		}
-	} else {
+	default:
 		exec, err = sess.q.Start(ctx)
 	}
 	if err != nil {
@@ -463,10 +531,20 @@ func (s *Server) run(sess *Session, ckpt string) {
 			if ckpt != "" {
 				s.fsys.Remove(ckpt)
 			}
+			s.releaseStoreCheckpoint(storeKey)
 			s.finish(sess, res, rerr)
 			return
 		case errors.Is(werr, riveter.ErrSuspended):
-			path, cerr := s.persistPreemption(sess, exec)
+			var (
+				path, key string
+				cerr      error
+			)
+			if s.store != nil {
+				key, cerr = s.persistPreemptionStore(sess, exec)
+			}
+			if s.store == nil || cerr != nil {
+				path, cerr = s.persistPreemption(sess, exec)
+			}
 			if cerr != nil {
 				// The whole ladder failed on disk; resume the victim in place.
 				// Its work is preserved and the preemption is abandoned.
@@ -494,10 +572,16 @@ func (s *Server) run(sess *Session, ckpt string) {
 			if ckpt != "" {
 				s.fsys.Remove(ckpt)
 			}
+			// An adopted session re-suspends under this instance's key; the
+			// foreign original is no longer the resume point.
+			if storeKey != "" && storeKey != key {
+				s.releaseStoreCheckpoint(storeKey)
+			}
 			s.mu.Lock()
 			sess.ran += time.Since(sess.started)
 			sess.trace = exec.Trace()
 			sess.checkpoint = path
+			sess.storeKey = key
 			sess.state = StateSuspended
 			sess.lastQueued = time.Now()
 			sess.preemptions++
@@ -539,6 +623,63 @@ func (s *Server) persistPreemption(sess *Session, exec *riveter.Execution) (stri
 		}
 	}
 	return "", cerr
+}
+
+// persistPreemptionStore walks the store rungs of the degradation
+// ladder: a checkpoint write into the shared store under this instance's
+// session key, then — for process-level suspensions — a degraded
+// pipeline-kind write without the image padding. Re-suspensions reuse
+// the same key, so unchanged chunks deduplicate and each preemption
+// round trip uploads only the state delta. No retry rung exists: store
+// writes are idempotent, and the failure path falls through to the local
+// file ladder, which retries.
+func (s *Server) persistPreemptionStore(sess *Session, exec *riveter.Execution) (string, error) {
+	key := sessionStoreKey(s.instanceID, sess.id)
+	_, cerr := exec.CheckpointToStore(key)
+	if cerr == nil {
+		return key, nil
+	}
+	if s.cfg.PreemptLevel == riveter.ProcessLevel {
+		if _, fberr := exec.CheckpointToStoreDegraded(key); fberr == nil {
+			s.met.fallback.Inc()
+			if tr := exec.Trace(); tr != nil {
+				tr.Event(obs.EvCheckpointFallback,
+					obs.A("from", "process"),
+					obs.A("to", "pipeline"),
+					obs.A("error", cerr.Error()))
+			}
+			return key, nil
+		}
+	}
+	return "", cerr
+}
+
+// releaseStoreCheckpoint drops a consumed store checkpoint: the manifest
+// goes now, the claim token with it, and the chunks are reclaimed by the
+// next GC pass (they may be shared with live checkpoints).
+func (s *Server) releaseStoreCheckpoint(key string) {
+	if key == "" || s.store == nil {
+		return
+	}
+	_ = s.store.DeleteCheckpoint(key)
+	_ = s.store.ReleaseClaim(key)
+}
+
+// quarantineStore records an unusable store checkpoint and drops it so
+// no instance dispatches into it again.
+func (s *Server) quarantineStore(sess *Session, key string, cause error) {
+	s.met.quarantined.Inc()
+	s.releaseStoreCheckpoint(key)
+	if tr := sess.trace; tr != nil {
+		tr.Event(obs.EvCheckpointQuarantined,
+			obs.A("store_key", key),
+			obs.A("error", cause.Error()))
+	}
+	s.mu.Lock()
+	if sess.storeKey == key {
+		sess.storeKey = ""
+	}
+	s.mu.Unlock()
 }
 
 // quarantine renames an unusable checkpoint aside and records it.
@@ -642,6 +783,8 @@ type persistedSession struct {
 	TPCH       int    `json:"tpch,omitempty"`
 	Priority   int    `json:"priority"`
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// StoreKey is the session's blob-store checkpoint key (store mode).
+	StoreKey string `json:"store_key,omitempty"`
 }
 
 // stateManifest is the JSON document graceful shutdown leaves behind.
@@ -651,6 +794,9 @@ type stateManifest struct {
 
 // persistState writes the resume manifest (or removes a stale one when
 // nothing is pending). Runs after the scheduler and all runners exited.
+// In store mode the manifest is a state document in the shared store —
+// visible to every instance, so a peer can adopt the sessions if this
+// instance never comes back.
 func (s *Server) persistState() error {
 	s.mu.Lock()
 	var m stateManifest
@@ -664,9 +810,16 @@ func (s *Server) persistState() error {
 			TPCH:       sess.tpch,
 			Priority:   int(sess.priority),
 			Checkpoint: sess.checkpoint,
+			StoreKey:   sess.storeKey,
 		})
 	}
 	s.mu.Unlock()
+	if s.store != nil {
+		if len(m.Sessions) == 0 {
+			return s.store.DeleteDoc(s.stateDocName())
+		}
+		return s.store.PutDoc(s.stateDocName(), m)
+	}
 	if len(m.Sessions) == 0 {
 		s.fsys.Remove(s.cfg.StatePath)
 		return nil
@@ -716,6 +869,9 @@ func writeFileAtomic(fsys faultfs.FS, path string, data []byte) error {
 // scratch.
 func (s *Server) restoreState() error {
 	s.sweepTempDirs()
+	if s.store != nil {
+		return s.restoreStoreState()
+	}
 	data, err := os.ReadFile(s.cfg.StatePath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -788,15 +944,159 @@ func (s *Server) restoreState() error {
 	return nil
 }
 
+// restoreStoreState is restoreState in store mode: a garbage-collection
+// pass over the shared store (startup is the quiet window — this
+// instance serves no traffic yet), then adoption of every claimable
+// session from every instance's state document. The claim token makes
+// adoption exclusive: two instances starting against the same store
+// split the sessions between them, never double-resuming one. Sessions
+// adopted from a foreign instance's document count as migrations.
+func (s *Server) restoreStoreState() error {
+	// GC failures are counted in blobstore.gc.failed, not fatal: a store
+	// that cannot even be listed will fail the document scan below.
+	_, _ = s.store.GC()
+	docs, err := s.store.ListDocs()
+	if err != nil {
+		return err
+	}
+	// Own document first — an instance restarting reclaims its own
+	// sessions before looking at anyone else's leftovers.
+	sort.Slice(docs, func(i, j int) bool {
+		if own := docs[i] == s.stateDocName(); own != (docs[j] == s.stateDocName()) {
+			return own
+		}
+		return docs[i] < docs[j]
+	})
+	now := time.Now()
+	for _, doc := range docs {
+		if !strings.HasPrefix(doc, stateDocPrefix) {
+			continue
+		}
+		own := doc == s.stateDocName()
+		var m stateManifest
+		if err := s.store.GetDoc(doc, &m); err != nil {
+			// A torn document is consumed (own) or left for its writer;
+			// either way its sessions cannot be recovered from here.
+			s.met.quarantined.Inc()
+			if own {
+				_ = s.store.DeleteDoc(doc)
+			}
+			continue
+		}
+		docInstance := strings.TrimPrefix(doc, stateDocPrefix)
+		allClaimed := true
+		for _, p := range m.Sessions {
+			claimKey := p.StoreKey
+			if claimKey == "" {
+				// Queued sessions carry no checkpoint; claim under the key
+				// a suspension would have used, so the adoption lock still
+				// has a well-known name.
+				claimKey = sessionStoreKey(docInstance, p.ID)
+			}
+			ok, cerr := s.store.Claim(claimKey, s.instanceID, doc)
+			if cerr != nil {
+				allClaimed = false
+				continue
+			}
+			if !ok {
+				continue // a peer instance owns this session now
+			}
+			s.adoptPersistedSession(p, own, now)
+		}
+		// The document is consumed once every session found a home: ours
+		// unconditionally (unclaimable entries were processed above), a
+		// foreign one only when all its entries are claimed by someone.
+		if own || allClaimed {
+			_ = s.store.DeleteDoc(doc)
+		}
+	}
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	return nil
+}
+
+// adoptPersistedSession re-admits one claimed state-document entry. The
+// original session id is kept when free (so clients polling a session of
+// a dead instance find it on the survivor); colliding ids get a fresh
+// one. Called from New, before the scheduler starts.
+func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Time) {
+	var (
+		q       *riveter.Query
+		display string
+		qerr    error
+	)
+	if p.TPCH != 0 {
+		q, qerr = s.db.PrepareTPCH(p.TPCH)
+		display = fmt.Sprintf("tpch:%d", p.TPCH)
+	} else {
+		q, qerr = s.db.Prepare(p.SQL)
+		display = p.SQL
+	}
+	id := p.ID
+	if _, taken := s.sessions[id]; taken || sessionSeq(id) == 0 {
+		s.seq++
+		id = fmt.Sprintf("s-%d", s.seq)
+	} else if n := sessionSeq(id); n > s.seq {
+		s.seq = n
+	}
+	sess := &Session{
+		id:         id,
+		display:    display,
+		sql:        p.SQL,
+		tpch:       p.TPCH,
+		priority:   Priority(p.Priority),
+		seq:        sessionSeq(id),
+		q:          q,
+		state:      StateQueued,
+		submitted:  now,
+		lastQueued: now,
+		checkpoint: p.Checkpoint,
+		storeKey:   p.StoreKey,
+		done:       make(chan struct{}),
+	}
+	if p.StoreKey != "" {
+		// A checkpoint another instance wrote is verified chunk by chunk
+		// before this one dispatches into it.
+		if _, verr := s.store.VerifyCheckpoint(p.StoreKey); verr != nil {
+			s.quarantineStore(sess, p.StoreKey, verr)
+			sess.storeKey = ""
+		} else {
+			sess.state = StateSuspended
+		}
+	} else if p.Checkpoint != "" {
+		if _, verr := checkpoint.VerifyFS(s.fsys, p.Checkpoint); verr != nil {
+			s.quarantine(sess, p.Checkpoint, verr)
+			sess.checkpoint = ""
+		} else {
+			sess.state = StateSuspended
+		}
+	}
+	if qerr != nil {
+		sess.state = StateFailed
+		sess.err = qerr
+		close(sess.done)
+		s.sessions[sess.id] = sess
+		return
+	}
+	sess.est = q.Estimate()
+	s.sessions[sess.id] = sess
+	s.queue.Enqueue(sess)
+	if !own {
+		s.met.migrated.Inc()
+	}
+}
+
 // sweepTempDirs removes orphaned in-flight .tmp files a crashed
 // predecessor left behind — the atomic-write protocol guarantees anything
-// still named *.tmp was abandoned mid-write.
+// still named *.tmp was abandoned mid-write. Entries the sweep cannot
+// remove are counted (checkpoint.sweep_failed) rather than silently
+// skipped: a stuck orphan is leaked disk an operator should hear about.
 func (s *Server) sweepTempDirs() {
 	dirs := map[string]struct{}{
 		s.db.CheckpointDir():          {},
 		filepath.Dir(s.cfg.StatePath): {},
 	}
 	for dir := range dirs {
-		_, _ = checkpoint.SweepTemp(s.fsys, dir)
+		_, failed, _ := checkpoint.SweepTemp(s.fsys, dir)
+		s.met.sweepFailed.Add(int64(len(failed)))
 	}
 }

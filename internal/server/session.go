@@ -123,7 +123,8 @@ type Session struct {
 	ran         time.Duration // accumulated slot time
 	preemptions int
 	abandoned   int    // preemptions given up because no checkpoint would persist
-	checkpoint  string // resume point while StateSuspended
+	checkpoint  string // file resume point while StateSuspended
+	storeKey    string // blob-store resume point while StateSuspended (store mode)
 	exec        *riveter.Execution
 	res         *riveter.Result
 	err         error
@@ -152,6 +153,7 @@ type Info struct {
 	Waited      time.Duration `json:"waited_ns"`
 	Ran         time.Duration `json:"ran_ns"`
 	Checkpoint  string        `json:"checkpoint,omitempty"`
+	StoreKey    string        `json:"store_key,omitempty"`
 	NumRows     int64         `json:"num_rows,omitempty"`
 	Error       string        `json:"error,omitempty"`
 	// EstInputBytes and EstStateBytes echo the admission inputs.
@@ -171,6 +173,7 @@ func (s *Session) infoLocked() Info {
 		Waited:        s.waited,
 		Ran:           s.ran,
 		Checkpoint:    s.checkpoint,
+		StoreKey:      s.storeKey,
 		EstInputBytes: s.est.InputBytes,
 		EstStateBytes: s.est.StateBytes,
 	}

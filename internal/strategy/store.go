@@ -1,0 +1,88 @@
+package strategy
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/blobstore"
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/checkpoint"
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/plan"
+)
+
+// PersistStore writes the suspended executor's state into the blob store
+// under key — the store-backed counterpart of PersistWith. The state is
+// content-chunked and deduplicated against everything already stored, so
+// re-suspending a query whose state barely moved uploads only the delta;
+// process-image padding chunks to compressed zero runs that cost almost
+// nothing. The same per-kind suspend metrics are recorded as for file
+// checkpoints (L_s is now serialize + upload), keeping the paper's
+// measurements backend-agnostic.
+//
+// There is no retry policy here: a store write is naturally idempotent —
+// chunks that landed before a failure dedup on the next attempt, so
+// callers retry by simply calling PersistStore again, and each retry
+// uploads strictly less than the last.
+func PersistStore(ex *engine.Executor, st *blobstore.Store, key, query string, degraded bool) (*blobstore.WriteResult, error) {
+	info := ex.Suspended()
+	if info == nil {
+		return nil, fmt.Errorf("strategy: executor is not suspended")
+	}
+	kind := "pipeline"
+	var padding int64
+	if info.Kind == engine.KindProcess && !degraded {
+		kind = "process"
+		padding = ex.ProcessImagePadding(ex.MeasureSuspendedStateBytes())
+	}
+	m := checkpoint.Manifest{
+		Kind:            kind,
+		Query:           query,
+		PlanFingerprint: fmt.Sprintf("%016x", ex.Plan().Fingerprint),
+		Workers:         ex.Workers(),
+		StateVersion:    engine.StateFormatVersion,
+	}
+	for _, ip := range info.InFlight {
+		m.InFlightPipelines = append(m.InFlightPipelines, ip.Pipeline)
+	}
+	o := ex.Obs()
+	wres, err := st.WriteCheckpoint(key, m, ex.SaveState, padding, o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if r := o.Metrics; r != nil {
+		r.DurationHistogram(obs.Kinded(obs.MetricSuspendLatency, kind)).ObserveDuration(wres.Duration)
+		r.SizeHistogram(obs.Kinded(obs.MetricCheckpointBytes, kind)).Observe(wres.Manifest.TotalBytes())
+		r.SizeHistogram(obs.MetricCheckpointStateBytes).Observe(wres.Manifest.StateBytes)
+		r.DurationHistogram(obs.MetricCheckpointSerialize).ObserveDuration(wres.SerializeDuration)
+		r.DurationHistogram(obs.MetricCheckpointWrite).ObserveDuration(wres.UploadDuration)
+	}
+	return wres, nil
+}
+
+// RestoreStore compiles the plan, loads checkpoint key from the store
+// into a fresh executor, and returns it ready to Run — the store-backed
+// counterpart of RestoreFS. Every chunk digest and the payload CRC are
+// verified on the way through; the read result's Duration is the
+// measured L_r against the store.
+func RestoreStore(cat *catalog.Catalog, node plan.Node, st *blobstore.Store, key string, opts engine.Options) (*engine.Executor, *blobstore.ReadResult, error) {
+	pp, err := engine.Compile(node, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := engine.NewExecutor(pp, opts)
+	res, err := st.ReadCheckpoint(key, ex.LoadState, opts.Obs.Trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r := opts.Obs.Metrics; r != nil {
+		r.DurationHistogram(obs.Kinded(obs.MetricResumeLatency, res.Manifest.Kind)).ObserveDuration(res.Duration)
+	}
+	if t := opts.Obs.Trace; t != nil {
+		t.Event(obs.EvResumeRestore,
+			obs.A("kind", res.Manifest.Kind),
+			obs.A("total_bytes", res.Manifest.TotalBytes()),
+			obs.A("duration", res.Duration))
+	}
+	return ex, res, nil
+}

@@ -313,6 +313,127 @@ func (e *Execution) Resume(ctx context.Context, path string) (*Result, error) {
 	return e.q.resume(ctx, path, e.ex.Obs())
 }
 
+// StoreCheckpointInfo describes a checkpoint persisted into the blob
+// store, including what the content-addressed write actually cost: how
+// many chunks the state split into, how many deduplicated against chunks
+// already stored, and how many bytes crossed the wire. A re-suspension
+// whose state barely moved shows DedupHits near Chunks and UploadedBytes
+// near zero.
+type StoreCheckpointInfo struct {
+	Key string
+	// Kind is "pipeline" or "process".
+	Kind string
+	// StateBytes is the serialized operator state; TotalBytes additionally
+	// counts the process-image padding.
+	StateBytes, TotalBytes int64
+	// Chunks is the checkpoint's chunk count; DedupHits of them were
+	// already stored and skipped the upload.
+	Chunks    int
+	DedupHits int
+	// UploadedBytes is the compressed bytes actually sent to the backend
+	// (new chunks plus the manifest).
+	UploadedBytes int64
+}
+
+// CheckpointToStore persists the suspended execution's state into the
+// DB's blob store under key. Valid only after Wait returned ErrSuspended
+// and only on a DB opened WithBlobStore. The manifest is published last,
+// so the key becomes visible only once every chunk is durable; no retry
+// policy exists or is needed — chunks that landed before a failure dedup
+// on the next call, so retrying is just calling again.
+func (e *Execution) CheckpointToStore(key string) (*StoreCheckpointInfo, error) {
+	return e.persistStore(key, false)
+}
+
+// CheckpointToStoreDegraded persists a process-level suspension into the
+// store as a pipeline-kind checkpoint (no process-image padding) — the
+// same degradation rung as CheckpointDegraded, for store targets.
+func (e *Execution) CheckpointToStoreDegraded(key string) (*StoreCheckpointInfo, error) {
+	return e.persistStore(key, true)
+}
+
+func (e *Execution) persistStore(key string, degraded bool) (*StoreCheckpointInfo, error) {
+	st, err := e.q.db.BlobStore()
+	if err != nil {
+		return nil, err
+	}
+	<-e.done
+	if !errors.Is(e.err, ErrSuspended) {
+		return nil, fmt.Errorf("riveter: execution is not suspended (err=%v)", e.err)
+	}
+	wres, err := strategy.PersistStore(e.ex, st, key, e.q.name, degraded)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreCheckpointInfo{
+		Key:           key,
+		Kind:          wres.Manifest.Kind,
+		StateBytes:    wres.Manifest.StateBytes,
+		TotalBytes:    wres.Manifest.TotalBytes(),
+		Chunks:        wres.Chunks,
+		DedupHits:     wres.DedupHits,
+		UploadedBytes: wres.UploadedBytes,
+	}, nil
+}
+
+// StartFromStore loads checkpoint key from the DB's blob store and
+// continues the query asynchronously — the store-backed counterpart of
+// StartFromCheckpoint. The returned Execution is first-class: it can be
+// suspended and checkpointed (to file or store) again.
+func (q *Query) StartFromStore(ctx context.Context, key string) (*Execution, error) {
+	st, err := q.db.BlobStore()
+	if err != nil {
+		return nil, err
+	}
+	o := q.db.obsFor(q.db.newTrace(q.name))
+	ex, _, err := strategy.RestoreStore(q.db.cat, q.node, st, key, engine.Options{Workers: q.db.workers, Obs: o})
+	if err != nil {
+		return nil, err
+	}
+	e := &Execution{q: q, ex: ex, done: make(chan struct{})}
+	go func() {
+		defer close(e.done)
+		e.res, e.err = e.ex.Run(ctx)
+	}()
+	return e, nil
+}
+
+// ResumeFromStore loads checkpoint key from the DB's blob store and runs
+// the query to completion. The key may have been written by a different
+// instance sharing the same store — this is the resumption half of
+// cross-instance migration.
+func (q *Query) ResumeFromStore(ctx context.Context, key string) (*Result, error) {
+	e, err := q.StartFromStore(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Wait(); err != nil {
+		return nil, err
+	}
+	return e.Result()
+}
+
+// VerifyStoreCheckpoint walks a store checkpoint end to end — manifest,
+// every chunk's size and digest, the payload checksum — without
+// deserializing its state.
+func (db *DB) VerifyStoreCheckpoint(key string) (*StoreCheckpointInfo, error) {
+	st, err := db.BlobStore()
+	if err != nil {
+		return nil, err
+	}
+	sm, err := st.VerifyCheckpoint(key)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreCheckpointInfo{
+		Key:        key,
+		Kind:       sm.Kind,
+		StateBytes: sm.StateBytes,
+		TotalBytes: sm.TotalBytes(),
+		Chunks:     len(sm.Chunks),
+	}, nil
+}
+
 // ReadCheckpointInfo inspects a checkpoint file without loading its state.
 func ReadCheckpointInfo(path string) (*CheckpointInfo, error) {
 	m, err := checkpoint.ReadManifest(path)

@@ -37,7 +37,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"github.com/riveterdb/riveter/internal/blobstore"
 	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/cloud"
 	"github.com/riveterdb/riveter/internal/colfile"
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
@@ -79,6 +81,9 @@ type DB struct {
 	tracing       bool
 	fsys          faultfs.FS
 	ckptSeq       atomic.Uint64
+	storeCfg      *StoreConfig
+	store         *blobstore.Store
+	storeErr      error
 }
 
 // Option configures Open.
@@ -109,6 +114,31 @@ func WithFS(fs faultfs.FS) Option {
 			db.fsys = fs
 		}
 	}
+}
+
+// StoreConfig configures a checkpoint blob store: a content-addressed
+// chunk store (see internal/blobstore) that checkpoints can be persisted
+// into instead of (or alongside) local files. Pointing several instances
+// at the same Dir gives them a shared durability tier — the substrate of
+// cross-instance query migration.
+type StoreConfig struct {
+	// Dir is the store's root directory, shared between instances.
+	Dir string
+	// Net, when non-zero, simulates a remote object store: every store
+	// operation pays the profile's round-trip latency, and transfers pay
+	// its bandwidth. The cost model is calibrated against this link.
+	Net cloud.NetProfile
+	// Chunking overrides the content-defined chunker's bounds (zero =
+	// 4 KiB / 16 KiB / 64 KiB defaults).
+	Chunking blobstore.ChunkParams
+}
+
+// WithBlobStore attaches a checkpoint blob store. Open initializes the
+// backend, threads checkpoint I/O faults through the DB's filesystem
+// (WithFS), and calibrates the cost model's upload terms against the
+// configured link, so Algorithm 1 prices suspensions at store speed.
+func WithBlobStore(cfg StoreConfig) Option {
+	return func(db *DB) { db.storeCfg = &cfg }
 }
 
 // WithTracing enables per-execution traces: executions created by
@@ -147,8 +177,56 @@ func Open(opts ...Option) *DB {
 	if prof, err := costmodel.CalibrateIOFS(db.fsys, db.checkpointDir); err == nil {
 		db.io = prof
 	}
+	if db.storeCfg != nil {
+		db.initStore()
+	}
+	db.io.Publish(db.metrics)
 	return db
 }
+
+// initStore builds the configured blob store and calibrates the cost
+// model's upload terms against its backend — the probe runs through the
+// remote wrapper, so a simulated slow link shows up in the measured
+// numbers exactly as it will in checkpoint uploads.
+func (db *DB) initStore() {
+	local, err := blobstore.NewLocal(db.fsys, db.storeCfg.Dir)
+	if err != nil {
+		db.storeErr = err
+		return
+	}
+	var backend blobstore.Backend = local
+	if !db.storeCfg.Net.Zero() {
+		backend = blobstore.NewRemote(local, db.storeCfg.Net)
+	}
+	st, err := blobstore.New(blobstore.Config{
+		Backend:  backend,
+		Chunking: db.storeCfg.Chunking,
+		Metrics:  db.metrics,
+	})
+	if err != nil {
+		db.storeErr = err
+		return
+	}
+	db.store = st
+	if prof, err := costmodel.CalibrateStore(db.io, backend); err == nil {
+		db.io = prof
+	}
+}
+
+// BlobStore returns the attached checkpoint store, or an error when none
+// was configured (or its initialization failed).
+func (db *DB) BlobStore() (*blobstore.Store, error) {
+	if db.store == nil {
+		if db.storeErr != nil {
+			return nil, fmt.Errorf("riveter: blob store: %w", db.storeErr)
+		}
+		return nil, fmt.Errorf("riveter: no blob store configured (use WithBlobStore)")
+	}
+	return db.store, nil
+}
+
+// IOProfile returns the calibrated I/O profile the cost model uses.
+func (db *DB) IOProfile() costmodel.IOProfile { return db.io }
 
 // FS returns the filesystem checkpoint I/O goes through.
 func (db *DB) FS() faultfs.FS { return db.fsys }

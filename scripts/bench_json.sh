@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench_json.sh — run the engine micro-benchmarks and the TPC-H per-query
-# benchmarks and emit a machine-readable BENCH_engine.json: ns/op, B/op and
-# allocs/op per benchmark, plus per-query wall times. CI runs this with the
+# bench_json.sh — run the engine micro-benchmarks, the TPC-H per-query
+# benchmarks, and the checkpoint/blobstore persistence benchmarks, and emit
+# a machine-readable BENCH_engine.json: ns/op, B/op and allocs/op per
+# benchmark, plus per-query wall times. CI runs this with the
 # default single iteration as a smoke test (and archives the JSON as an
 # artifact); pass BENCHTIME=5x or similar for a real measurement.
 #
@@ -19,8 +20,13 @@ $GO test ./internal/engine -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" 
     | tee "$tmp/engine.txt"
 $GO test ./internal/tpch -run '^$' -bench 'BenchmarkTPCH/' -benchmem -benchtime "$BENCHTIME" \
     | tee "$tmp/tpch.txt"
+$GO test ./internal/checkpoint -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+    | tee "$tmp/checkpoint.txt"
+$GO test ./internal/blobstore -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+    | tee "$tmp/blobstore.txt"
 
-awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" '
+awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" \
+    -v ckptfile="$tmp/checkpoint.txt" -v blobfile="$tmp/blobstore.txt" '
 function emit_bench(file, label,    line, n, parts, name, first) {
     printf "  \"%s\": [", label
     first = 1
@@ -55,8 +61,10 @@ BEGIN {
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
-    emit_bench(enginefile, "engine"); printf ",\n"
-    emit_bench(tpchfile, "tpch");     printf "\n"
+    emit_bench(enginefile, "engine");     printf ",\n"
+    emit_bench(tpchfile, "tpch");         printf ",\n"
+    emit_bench(ckptfile, "checkpoint");   printf ",\n"
+    emit_bench(blobfile, "blobstore");    printf "\n"
     printf "}\n"
 }' > "$OUT"
 

@@ -4,9 +4,13 @@
 # shorts), and check the responses and serving metrics. Then restart the
 # server mid-load: SIGTERM with batch work in flight, boot a fresh
 # process on the same checkpoint dir, and check the same session ids
-# resume to completion. Exercises the whole serving stack — admission,
-# priority scheduling, preemption, graceful shutdown, crash-safe state
-# restore, and the HTTP API — in a few seconds. Requires curl.
+# resume to completion. Finally, migrate across instances: instance A
+# suspends a burst into a shared blob store on SIGTERM, and instance B
+# (a different -instance id sharing only -store) claims and finishes the
+# same sessions. Exercises the whole serving stack — admission, priority
+# scheduling, preemption, graceful shutdown, crash-safe state restore,
+# cross-instance migration, and the HTTP API — in a few seconds.
+# Requires curl.
 set -eu
 
 PORT="${PORT:-18091}"
@@ -149,5 +153,54 @@ for SID in $MID_IDS; do
         sleep 0.2
     done
 done
+
+echo "== cross-instance migration: instance A with a shared blob store"
+stop_server TERM
+STORE="$WORK/store"
+"$BIN" -addr "127.0.0.1:$PORT" -sf 0.02 -workers 1 -slots 1 \
+    -ckdir "$WORK/ckpt-a" -store "$STORE" -instance a &
+PID=$!
+wait_healthy "instance A"
+
+echo "== submitting a burst of long batch queries to instance A"
+MIG_IDS=""
+n=0
+while [ "$n" -lt 3 ]; do
+    SID=$(curl -fsS "$BASE/query" -d '{"tpch":21,"priority":"batch"}' |
+        sed -n 's/.*"id": "\(s-[0-9]*\)".*/\1/p' | head -n 1)
+    [ -n "$SID" ] || { echo "no session id in migration submit response" >&2; exit 1; }
+    MIG_IDS="$MIG_IDS $SID"
+    n=$((n + 1))
+done
+
+echo "== SIGTERM instance A mid-load: suspend into the shared store"
+stop_server TERM
+[ -n "$(ls -A "$STORE/chunks" 2>/dev/null)" ] ||
+    { echo "instance A uploaded nothing to the shared store" >&2; exit 1; }
+
+echo "== booting instance B on the same store (different instance id)"
+"$BIN" -addr "127.0.0.1:$PORT" -sf 0.02 -workers 1 -slots 1 \
+    -ckdir "$WORK/ckpt-b" -store "$STORE" -instance b &
+PID=$!
+wait_healthy "instance B"
+
+echo "== instance A's sessions complete on instance B"
+for SID in $MIG_IDS; do
+    i=0
+    until curl -fsS "$BASE/sessions/$SID" | grep -q '"state": "done"'; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "session $SID never finished on instance B:" >&2
+            curl -fsS "$BASE/sessions/$SID" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+curl -fsS "$BASE/metrics" | grep -q '"server.migrated": [1-9]' || {
+    echo "instance B adopted no foreign sessions:" >&2
+    curl -fsS "$BASE/metrics?format=text" >&2 || true
+    exit 1
+}
 
 echo "serve-smoke OK"
