@@ -8,11 +8,17 @@ GO ?= go
 RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/...
 
 # Packages exercising the fault-injection matrix: the injectable
-# filesystem, checkpoint crash/verify tests, the server degradation
-# ladder, and the end-to-end crash matrix in the root package.
-FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/server/...
+# filesystem, checkpoint crash/verify tests, the lineage-log crash matrix,
+# the server degradation ladder, and the end-to-end crash matrix in the
+# root package.
+FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/strategy/... ./internal/server/...
 
-.PHONY: all build test race vet fmt scheduler-suite blob-suite bench-smoke bench serve-smoke fault-matrix ci
+# Pinned linter/scanner versions so CI and local runs agree; bump
+# deliberately, not via @latest drift.
+STATICCHECK_VERSION := 2025.1
+GOVULNCHECK_VERSION := v1.1.4
+
+.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fault-matrix ci
 
 all: build
 
@@ -34,6 +40,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Static analysis (staticcheck) and known-vulnerability scan (govulncheck).
+# CI installs the pinned versions; locally, missing binaries are skipped
+# with a notice rather than failing the build — the container may not have
+# network access to install them.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
 # The DAG scheduler suites under the race detector, twice: DAG-vs-serial
 # schedule equivalence (engine plans and all 22 TPC-H queries),
 # multi-pipeline mid-DAG suspend/resume, v1 checkpoint-format loading,
@@ -53,6 +75,14 @@ blob-suite:
 		-run 'Store|Blob|Claim|Migrat|Chunk' \
 		. ./internal/server/... ./internal/engine/...
 
+# The write-ahead-lineage strategy under the race detector, twice: the
+# log's unit and property tests, the every-byte crash matrix, the cost
+# model's lineage terms, the server's lineage preemption/fallback/restore
+# paths, and the 22-query strategy-equivalence suite in the root package.
+lineage-suite:
+	$(GO) test -race -count=2 -run 'Lineage' \
+		. ./internal/strategy/... ./internal/costmodel/... ./internal/riveter/... ./internal/server/...
+
 # One iteration of every engine benchmark plus the TPC-H per-query suite:
 # keeps benchmark code compiling and running without paying for a real
 # measurement, and emits BENCH_engine.json (ns/op, allocs/op, per-query
@@ -63,6 +93,17 @@ bench-smoke:
 # Real engine microbenchmarks (compare against bench_results.txt).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/engine/...
+
+# Regression gate: diff the fresh bench-smoke JSON against the committed
+# baseline. >25% ns/op regression on any engine or TPC-H benchmark fails;
+# 10-25% (and regressions in the other sections) warn. Also enforces the
+# lineage acceptance ratio (LineageSuspend <= 10% of ProcessSuspendResume).
+# Runs after bench-smoke, which leaves BENCH_engine.json in the work tree.
+bench-gate:
+	@git show HEAD:BENCH_engine.json > BENCH_baseline.json 2>/dev/null \
+		|| { echo "no committed BENCH_engine.json baseline; skipping gate"; exit 0; }
+	sh scripts/bench_compare.sh BENCH_baseline.json BENCH_engine.json; \
+		status=$$?; rm -f BENCH_baseline.json; exit $$status
 
 # End-to-end check of riveter-serve: boot on a tiny TPC-H dataset, submit
 # concurrent HTTP queries, verify responses and serving metrics, then
@@ -78,4 +119,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt test race scheduler-suite blob-suite bench-smoke serve-smoke fault-matrix
+ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fault-matrix

@@ -7,6 +7,7 @@
 //	riveter-serve -sf 0.01                       # generate data, listen on :8080
 //	riveter-serve -data ./snapshot -addr :9000   # serve a tpchgen snapshot
 //	riveter-serve -policy fifo                   # baseline scheduling, no preemption
+//	riveter-serve -preempt lineage               # write-ahead-lineage preemption
 //
 //	curl -s localhost:8080/query -d '{"sql":"SELECT count(*) FROM orders","wait":true}'
 //	curl -s localhost:8080/query -d '{"tpch":21,"priority":"batch"}'
@@ -53,6 +54,7 @@ func main() {
 		queueLimit   = flag.Int("queue", 64, "max queued sessions (0 = unbounded)")
 		memBudget    = flag.Int64("mem", 0, "admission memory budget in bytes (0 = unlimited)")
 		policyName   = flag.String("policy", "suspend", "scheduling policy: suspend or fifo")
+		preemptLevel = flag.String("preempt", "pipeline", "preemption suspension strategy: pipeline, process, or lineage")
 		grace        = flag.Duration("grace", 0, "minimum runtime before a query is preemptable")
 		ckdir        = flag.String("ckdir", "", "checkpoint directory (default: a fresh temp dir)")
 		drainTimeout = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
@@ -107,12 +109,25 @@ func main() {
 		log.Fatalf("unknown -policy %q (want suspend or fifo)", *policyName)
 	}
 
+	var level riveter.Strategy
+	switch *preemptLevel {
+	case "pipeline":
+		level = riveter.PipelineLevel
+	case "process":
+		level = riveter.ProcessLevel
+	case "lineage":
+		level = riveter.LineageLevel
+	default:
+		log.Fatalf("unknown -preempt %q (want pipeline, process, or lineage)", *preemptLevel)
+	}
+
 	srv, err := server.New(server.Config{
 		DB:           db,
 		Slots:        *slots,
 		QueueLimit:   *queueLimit,
 		MemoryBudget: *memBudget,
 		Policy:       policy,
+		PreemptLevel: level,
 		InstanceID:   *instanceID,
 	})
 	if err != nil {

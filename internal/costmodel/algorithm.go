@@ -8,14 +8,18 @@ import (
 // Strategy enumerates the suspension/resumption strategies.
 type Strategy int
 
-// The three strategies of §II-A.
+// The three strategies of §II-A, plus the write-ahead-lineage strategy
+// (arXiv 2403.08062): continuously log tiny lineage records during
+// execution so a suspension only seals the log tail, paying a bounded
+// replay on resume instead of checkpoint-sized I/O at suspend time.
 const (
 	StrategyRedo Strategy = iota
 	StrategyPipeline
 	StrategyProcess
+	StrategyLineage
 )
 
-var strategyNames = [...]string{"redo", "pipeline", "process"}
+var strategyNames = [...]string{"redo", "pipeline", "process", "lineage"}
 
 // String returns the strategy name.
 func (s Strategy) String() string { return strategyNames[s] }
@@ -32,6 +36,10 @@ type Params struct {
 	// probes within one average pipeline time ("advancing suspension time
 	// points by each time unit"). Default 10.
 	ProbeSteps int
+	// Lineage holds the calibrated log-rate and replay-rate terms the
+	// lineage strategy's cost estimate is computed from. The zero profile
+	// falls back to DefaultLineageProfile's conservative constants.
+	Lineage LineageProfile
 }
 
 // Input is the state observed at a pipeline breaker (Algorithm 1 lines 3-7).
@@ -56,6 +64,22 @@ type Input struct {
 	// deferred until the current pipeline completes, so its termination
 	// exposure starts that much later (the Fig. 9 / Fig. 12 lag).
 	NextBreakerEta time.Duration
+	// LineageEnabled reports whether a write-ahead lineage log is attached
+	// to the execution (and healthy). Without one the lineage strategy is
+	// infeasible — there is nothing to seal or replay.
+	LineageEnabled bool
+	// LineageTailBytes is the unsealed tail of the lineage log: the bytes a
+	// lineage suspension must still flush and fsync. This is what makes the
+	// strategy near-free — the tail is a handful of records, not a
+	// checkpoint image.
+	LineageTailBytes int64
+	// LineageStateBytes is the size of the last sealed breaker-state record,
+	// read back (or fetched from the store) at resume.
+	LineageStateBytes int64
+	// LineageReplay is the estimated re-execution time from the last sealed
+	// record to the suspension point — the work a resume replays. Bounded by
+	// the configured log-seal interval.
+	LineageReplay time.Duration
 	// PipelineDiscard is the in-flight sibling work a pipeline-level
 	// suspension would discard. Under DAG scheduling several pipelines run
 	// concurrently, but a pipeline-level checkpoint carries only finalized
@@ -72,7 +96,7 @@ type Input struct {
 type Decision struct {
 	Strategy Strategy
 	// Expected costs of each strategy (infinite = infeasible).
-	CostRedo, CostPipeline, CostProcess time.Duration
+	CostRedo, CostPipeline, CostProcess, CostLineage time.Duration
 	// ProcessSuspendAt is the probed suspension instant minimizing the
 	// process-level cost (valid when Strategy == StrategyProcess).
 	ProcessSuspendAt time.Duration
@@ -107,6 +131,7 @@ func Select(in Input, p Params, est SizeEstimator) Decision {
 	d := Decision{
 		CostRedo:     costEstRedo(in, p),
 		CostPipeline: costEstPpl(in, p),
+		CostLineage:  costEstLineage(in, p),
 	}
 	d.CostProcess, d.ProcessSuspendAt = costEstProc(in, p, est)
 
@@ -117,6 +142,9 @@ func Select(in Input, p Params, est SizeEstimator) Decision {
 	}
 	if d.CostProcess < best {
 		d.Strategy, best = StrategyProcess, d.CostProcess
+	}
+	if d.CostLineage < best {
+		d.Strategy, best = StrategyLineage, d.CostLineage
 	}
 	d.ModelTime = time.Since(start)
 	return d
@@ -199,4 +227,26 @@ func costEstProc(in Input, p Params, est SizeEstimator) (time.Duration, time.Dur
 		}
 	}
 	return bestCost, bestAt
+}
+
+// costEstLineage prices the write-ahead-lineage strategy: the suspension
+// itself only seals the log tail (flush + fsync of the unsealed records,
+// which happens at the next morsel boundary, like a process-level barrier),
+// and the resume pays a restore of the last sealed breaker-state record
+// plus the bounded replay of work done since that seal. A termination
+// landing before the seal completes loses only the unsealed replay window,
+// never the whole progress C_t — that asymmetry is what makes lineage win
+// under tight termination-warning deadlines.
+func costEstLineage(in Input, p Params) time.Duration {
+	if !in.LineageEnabled {
+		return infCost
+	}
+	prof := p.Lineage
+	if !prof.Enabled() {
+		prof = DefaultLineageProfile()
+	}
+	ls := prof.SealLatency(in.LineageTailBytes)
+	lr := p.IO.ResumeLatency(in.LineageStateBytes) + in.LineageReplay
+	prob := overlapProbability(in.Ct+ls, p)
+	return ls + lr + time.Duration(prob*float64(in.LineageReplay))
 }

@@ -1,0 +1,145 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/faultfs"
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+func TestLineageProfileSealLatency(t *testing.T) {
+	p := LineageProfile{AppendLatency: time.Millisecond, LogBytesPerSec: 100 << 20, ReplayBytesPerSec: 100 << 20}
+	if got := p.SealLatency(0); got != time.Millisecond {
+		t.Errorf("zero-tail seal = %v, want the append latency floor", got)
+	}
+	if got := p.SealLatency(100 << 20); got != time.Millisecond+time.Second {
+		t.Errorf("seal(100MB) = %v", got)
+	}
+	if p.SealLatency(1) > p.SealLatency(1<<30) {
+		t.Error("seal latency must be monotone in tail size")
+	}
+	if got := p.ReplayTime(100 << 20); got != time.Second {
+		t.Errorf("replay(100MB) = %v", got)
+	}
+	var zero LineageProfile
+	if zero.Enabled() {
+		t.Error("zero profile must not report enabled")
+	}
+	if zero.SealLatency(0) <= 0 {
+		t.Error("zero profile must still price a seal above zero")
+	}
+	if !DefaultLineageProfile().Enabled() {
+		t.Error("default profile must report enabled")
+	}
+}
+
+func TestCalibrateLineage(t *testing.T) {
+	prof, err := CalibrateLineage(faultfs.OS, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.AppendLatency <= 0 {
+		t.Errorf("append latency = %v", prof.AppendLatency)
+	}
+	// A real device appends at least 1MB/s and at most 100GB/s.
+	if prof.LogBytesPerSec < 1<<20 || prof.LogBytesPerSec > 100<<30 {
+		t.Errorf("log bandwidth implausible: %v", prof.LogBytesPerSec)
+	}
+	if prof.ReplayBytesPerSec <= 0 {
+		t.Error("replay rate must carry the default constant")
+	}
+}
+
+// TestCalibrateLineageFailureFallsBack: a device that cannot even host the
+// probe yields the conservative defaults and an error, never a zero profile.
+func TestCalibrateLineageFailureFallsBack(t *testing.T) {
+	inj := faultfs.New(nil).FailNth(faultfs.OpCreate, 1, nil)
+	prof, err := CalibrateLineage(inj, t.TempDir())
+	if err == nil {
+		t.Fatal("want probe error")
+	}
+	if prof != DefaultLineageProfile() {
+		t.Errorf("failed calibration must return defaults, got %+v", prof)
+	}
+}
+
+// TestSelectPicksLineage: with a lineage log attached, a tiny unsealed tail
+// and a bounded replay window, Algorithm 1 prefers lineage over the
+// checkpoint strategies whose cost scales with the full state size.
+func TestSelectPicksLineage(t *testing.T) {
+	p := Params{
+		Probability: 1,
+		WindowStart: 0,
+		WindowEnd:   time.Second,
+		IO:          IOProfile{WriteBytesPerSec: 100 << 20, ReadBytesPerSec: 100 << 20, FixedLatency: time.Millisecond},
+		Lineage:     LineageProfile{AppendLatency: 100 * time.Microsecond, LogBytesPerSec: 200 << 20, ReplayBytesPerSec: 256 << 20},
+	}
+	in := Input{
+		Ct:                 30 * time.Second, // a lot of progress to lose
+		AvgPipelineTime:    time.Second,
+		PipelineStateBytes: 2 << 30, // checkpoints must move 2GB
+		EstTotal:           60 * time.Second,
+		LineageEnabled:     true,
+		LineageTailBytes:   4 << 10, // the log already holds the state
+		LineageStateBytes:  1 << 20,
+		LineageReplay:      50 * time.Millisecond,
+	}
+	d := Select(in, p, nil)
+	if d.Strategy != StrategyLineage {
+		t.Fatalf("strategy = %v (redo=%v ppl=%v proc=%v lineage=%v)",
+			d.Strategy, d.CostRedo, d.CostPipeline, d.CostProcess, d.CostLineage)
+	}
+	if d.CostLineage >= d.CostPipeline {
+		t.Errorf("lineage cost %v not below pipeline cost %v", d.CostLineage, d.CostPipeline)
+	}
+}
+
+// TestSelectLineageDisabled: without a log attached the lineage strategy is
+// priced out entirely — Algorithm 1 must never select a strategy the
+// execution cannot perform.
+func TestSelectLineageDisabled(t *testing.T) {
+	p := Params{Probability: 1, WindowEnd: time.Second, IO: DefaultIOProfile()}
+	in := Input{
+		Ct:                 30 * time.Second,
+		AvgPipelineTime:    time.Second,
+		PipelineStateBytes: 1 << 20,
+	}
+	d := Select(in, p, nil)
+	if d.Strategy == StrategyLineage {
+		t.Fatal("lineage selected without a log attached")
+	}
+	if d.CostLineage != infCost {
+		t.Errorf("disabled lineage cost = %v, want infinity", d.CostLineage)
+	}
+}
+
+// TestSelectLineageLosesToRedo: with the termination window far away and
+// almost no progress to protect, doing nothing stays the cheapest.
+func TestSelectLineageLosesToRedo(t *testing.T) {
+	p := Params{
+		Probability: 0.01,
+		WindowStart: time.Hour,
+		WindowEnd:   2 * time.Hour,
+		IO:          DefaultIOProfile(),
+		Lineage:     DefaultLineageProfile(),
+	}
+	in := Input{
+		Ct:              10 * time.Millisecond,
+		AvgPipelineTime: time.Millisecond,
+		LineageEnabled:  true,
+	}
+	d := Select(in, p, nil)
+	if d.Strategy != StrategyRedo {
+		t.Fatalf("strategy = %v, want redo when no termination looms", d.Strategy)
+	}
+}
+
+func TestLineageProfilePublish(t *testing.T) {
+	r := obs.NewRegistry()
+	LineageProfile{AppendLatency: 123, LogBytesPerSec: 456, ReplayBytesPerSec: 789}.Publish(r)
+	g := r.Snapshot().Gauges
+	if g[obs.MetricLineageAppendLatency] != 123 || g[obs.MetricLineageLogBps] != 456 || g[obs.MetricLineageReplayBps] != 789 {
+		t.Errorf("published gauges = %+v", g)
+	}
+}

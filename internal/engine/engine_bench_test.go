@@ -121,7 +121,10 @@ func BenchmarkWorkerScaling(b *testing.B) {
 	t := bl.Scan("t", "g", "v")
 	node := t.Agg([]string{"g"}, plan.Sum(t.Col("v"), "s")).Node()
 	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+		// "workers=N", not "workers-N": bench_json.sh strips a trailing
+		// "-<digits>" as the GOMAXPROCS suffix, which would collapse all
+		// four sub-benchmarks into one ambiguous name.
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			benchRun(b, cat, node, w)
 		})
 	}

@@ -85,6 +85,22 @@ func (ex *Executor) saveStateLocked(enc *vector.Encoder, kind SuspendKind) error
 	return enc.Err()
 }
 
+// savePipelineStateAt serializes a pipeline-kind snapshot with the
+// executor's accumulated elapsed time overridden — breaker snapshots are
+// taken mid-Run, where ex.elapsed still holds only the time of completed
+// Run calls (the current run's share is folded in when Run returns).
+func (ex *Executor) savePipelineStateAt(enc *vector.Encoder, elapsed time.Duration) error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	old := ex.elapsed
+	if elapsed > 0 {
+		ex.elapsed = elapsed
+	}
+	err := ex.saveStateLocked(enc, KindPipeline)
+	ex.elapsed = old
+	return err
+}
+
 // livePipes returns done pipelines whose sink state is still consumed by a
 // pipeline that has not finished (including in-flight ones).
 func (ex *Executor) livePipes() []int {

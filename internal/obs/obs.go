@@ -140,6 +140,20 @@ const (
 	// another instance's state document in the shared store.
 	MetricServerMigrated = "server.migrated"
 
+	// Write-ahead lineage log metrics. Appends counts records written into
+	// the log (morsel-progress and breaker-state records); LogBytes counts
+	// bytes appended; Seals counts flush+fsync boundaries (periodic seals
+	// plus the final seal a lineage suspension performs); TornTruncated
+	// counts torn tail records detected and logically truncated at replay
+	// time — they are never replayed.
+	MetricLineageAppends       = "lineage.appends"
+	MetricLineageLogBytes      = "lineage.log_bytes"
+	MetricLineageSeals         = "lineage.seals"
+	MetricLineageTornTruncated = "lineage.torn_truncated"
+	// MetricLineageReplay histograms the restore half of a lineage resume:
+	// scanning the log and loading the last sealed breaker-state record.
+	MetricLineageReplay = "lineage.replay.duration"
+
 	// Calibrated I/O profile gauges (bytes/sec and nanoseconds), surfaced so
 	// /metrics shows the numbers Algorithm 1's latency terms are using.
 	MetricIOWriteBps      = "costmodel.io.write_bytes_per_sec"
@@ -148,6 +162,12 @@ const (
 	MetricIODownloadBps   = "costmodel.io.download_bytes_per_sec"
 	MetricIOFixedLatency  = "costmodel.io.fixed_latency_ns"
 	MetricIOUploadLatency = "costmodel.io.upload_latency_ns"
+
+	// Calibrated lineage profile gauges: the log-rate and replay-rate terms
+	// Algorithm 1 prices the lineage strategy from.
+	MetricLineageAppendLatency = "costmodel.lineage.append_latency_ns"
+	MetricLineageLogBps        = "costmodel.lineage.log_bytes_per_sec"
+	MetricLineageReplayBps     = "costmodel.lineage.replay_bytes_per_sec"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

@@ -72,10 +72,26 @@ const (
 	// EvStoreRestore records a store-backed checkpoint restore.
 	// Attrs: key, kind, chunks, state_bytes, downloaded_bytes, duration.
 	EvStoreRestore = "blobstore.checkpoint.restore"
+	// EvLineageAppend records one breaker-state record appended to the
+	// write-ahead lineage log. Attrs: pipeline, state_bytes, sealed.
+	EvLineageAppend = "lineage.append"
+	// EvLineageSeal records a lineage suspension sealing the log: the tail
+	// flushed and fsynced, with the final in-flight cursors recorded.
+	// Attrs: records, states, log_bytes, tail_bytes, duration (the lineage L_s).
+	EvLineageSeal = "lineage.seal"
+	// EvLineageTruncated records a torn tail record detected at replay time
+	// and logically truncated — everything from the offset on is ignored,
+	// never replayed. Attrs: offset, error.
+	EvLineageTruncated = "lineage.truncated"
+	// EvLineageReplay records a resume restoring from a lineage log: the
+	// scan plus the load of the last sealed breaker-state record; the
+	// re-execution of unsealed work then happens inside Run.
+	// Attrs: records, states, state_bytes, log_bytes, duration.
+	EvLineageReplay = "lineage.replay"
 	// EvDecision records one Algorithm 1 run with its cost-model inputs and
 	// outputs. Attrs: strategy, cost_redo, cost_pipeline, cost_process,
-	// ct, avg_pipeline_time, next_breaker_eta, pipeline_state_bytes,
-	// available_memory, est_total, model_time.
+	// cost_lineage, ct, avg_pipeline_time, next_breaker_eta,
+	// pipeline_state_bytes, available_memory, est_total, model_time.
 	EvDecision = "strategy.decision"
 	// EvOutcome closes the loop on a decision with measured actuals.
 	// Attrs: strategy, suspended, terminated, suspend_latency,

@@ -38,6 +38,14 @@ type Controller struct {
 	Estimator costmodel.SizeEstimator
 	// AvailableMemory is M in Algorithm 1 (0 = unlimited).
 	AvailableMemory int64
+	// UseLineage attaches a write-ahead lineage log to every adaptive run,
+	// making the lineage strategy available to Algorithm 1: the suspension
+	// then only seals the log's tail, and the resume replays from the last
+	// sealed breaker state.
+	UseLineage bool
+	// Lineage prices the lineage strategy's log-append and replay terms
+	// (zero = calibrated defaults).
+	Lineage costmodel.LineageProfile
 	// Retention overrides the process-image model's resident fraction of
 	// processed bytes (0 = engine default). Exposed for ablations of the
 	// CRIU-image substitution (see DESIGN.md §8).
@@ -186,6 +194,10 @@ func (c *Controller) ckptPath(name string) string {
 	return filepath.Join(c.CheckpointDir, fmt.Sprintf("%s-%d.rvck", name, c.seq.Add(1)))
 }
 
+func (c *Controller) lineagePath(name string) string {
+	return filepath.Join(c.CheckpointDir, fmt.Sprintf("%s-%d.rvlg", name, c.seq.Add(1)))
+}
+
 // obsFor builds the run's observability context: the controller's shared
 // registry plus (when Tracing) a fresh per-run trace attached to rep.
 func (c *Controller) obsFor(rep *Report, name string) obs.Context {
@@ -314,6 +326,20 @@ func (c *Controller) runForced(spec QuerySpec, sc Scenario, ev Event, k strategy
 		return nil, err
 	}
 	opts := engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: o}
+	var lin *strategy.LineageLog
+	if k == strategy.Lineage {
+		lin, err = strategy.CreateLineageLog(c.lineagePath(spec.Name), spec.Name, pp.Fingerprint, c.Workers,
+			strategy.LineageOptions{Obs: o})
+		if err != nil {
+			return nil, err
+		}
+		opts.OnMorsel = lin.OnMorsel
+		opts.OnBreaker = lin.OnBreaker
+		defer func() {
+			lin.Close()
+			os.Remove(lin.Path())
+		}()
+	}
 	useProgress := k != strategy.Redo && progressFrac >= 0 && spec.TotalProcessed > 0
 	if useProgress {
 		// Progress-triggered: workers raise the request at the morsel
@@ -358,6 +384,9 @@ func (c *Controller) runForced(spec QuerySpec, sc Scenario, ev Event, k strategy
 			reqAt = ex.AutoSuspendFiredAt()
 		}
 		rep.SuspendLag = time.Since(reqAt)
+		if k == strategy.Lineage {
+			return c.finishSuspendedLineage(rep, spec, ev, start, ex, guard, lin)
+		}
 		return c.finishSuspended(rep, spec, ev, start, ex, guard)
 
 	case ctx.Err() != nil && guard.hasFired():
@@ -412,6 +441,62 @@ func (c *Controller) finishSuspended(rep *Report, spec QuerySpec, ev Event, star
 	return rep, nil
 }
 
+// finishSuspendedLineage completes a lineage suspension: seal the log's
+// tail (the whole suspension I/O), check the termination race, then replay
+// from the last sealed breaker state. A seal failure — the log's
+// filesystem died — degrades to the checkpoint path: the executor is still
+// quiesced with its full state in memory, so the process-level persist
+// ladder takes over.
+func (c *Controller) finishSuspendedLineage(rep *Report, spec QuerySpec, ev Event, start time.Time, ex *engine.Executor, guard *terminationGuard, lin *strategy.LineageLog) (*Report, error) {
+	suspendOffset := time.Since(start)
+	if info := ex.Suspended(); info != nil {
+		rep.SuspendedPipeline = info.Pipeline
+	}
+	rep.SuspendedProcessed = ex.Accountant().ProcessedBytes()
+	sres, err := lin.Seal(ex.Suspended())
+	if err != nil {
+		if c.Metrics != nil {
+			c.Metrics.Counter(obs.MetricCheckpointFallback).Inc()
+		}
+		if rep.Trace != nil {
+			rep.Trace.Event(obs.EvCheckpointFallback,
+				obs.A("from", "lineage"),
+				obs.A("error", err.Error()))
+		}
+		rep.Strategy = strategy.Process
+		return c.finishSuspended(rep, spec, ev, start, ex, guard)
+	}
+	lin.Close()
+	persistDone := time.Since(start)
+	if ev.Terminates && persistDone > ev.At {
+		rep.SuspendLatency = sres.Duration
+		return c.finishTerminated(rep, spec, ev)
+	}
+	guard.disarm()
+	rep.Suspended = true
+	rep.PersistedBytes = sres.LogBytes
+	rep.SuspendLatency = sres.Duration
+
+	pp2, err := engine.Compile(spec.Node, c.Cat)
+	if err != nil {
+		return nil, err
+	}
+	restoreStart := time.Now()
+	ex2, _, err := strategy.RestoreLineagePlan(nil, pp2, lin.Path(), nil,
+		engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: ex.Obs()})
+	if err != nil {
+		return nil, err
+	}
+	rep.ResumeLatency = time.Since(restoreStart)
+	resumeStart := time.Now()
+	if _, err := ex2.Run(context.Background()); err != nil {
+		return nil, fmt.Errorf("riveter: lineage replay: %w", err)
+	}
+	rep.TotalTime = suspendOffset + sres.Duration + rep.ResumeLatency + time.Since(resumeStart)
+	recordOutcome(rep)
+	return rep, nil
+}
+
 // finishTerminated accounts the wasted time and re-executes from scratch.
 func (c *Controller) finishTerminated(rep *Report, spec QuerySpec, ev Event) (*Report, error) {
 	rep.Terminated = true
@@ -446,6 +531,7 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		Probability: sc.Probability,
 		WindowStart: model.Start,
 		WindowEnd:   model.End,
+		Lineage:     c.Lineage,
 	}
 
 	o := c.obsFor(rep, spec.Name)
@@ -459,7 +545,22 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 	if err != nil {
 		return nil, err
 	}
-	ex := engine.NewExecutor(pp, engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: o})
+	opts := engine.Options{Workers: c.Workers, Accountant: c.accountant(), Obs: o}
+	var lin *strategy.LineageLog
+	if c.UseLineage {
+		lin, err = strategy.CreateLineageLog(c.lineagePath(spec.Name), spec.Name, pp.Fingerprint, c.Workers,
+			strategy.LineageOptions{Obs: o})
+		if err != nil {
+			return nil, err
+		}
+		opts.OnMorsel = lin.OnMorsel
+		opts.OnBreaker = lin.OnBreaker
+		defer func() {
+			lin.Close()
+			os.Remove(lin.Path())
+		}()
+	}
+	ex := engine.NewExecutor(pp, opts)
 
 	// The alert quiesces the executor at a morsel boundary.
 	alertDelay := time.Until(start.Add(model.Start))
@@ -506,6 +607,15 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 		PipelineDiscard:    prog.PipelineSuspendDiscard(),
 		Query:              spec.Info,
 	}
+	if lin != nil && lin.Err() == nil {
+		// The write-ahead log makes lineage feasible: suspending costs only
+		// the unsealed tail, resuming costs reading the last logged state
+		// plus replaying the work done since the last seal.
+		in.LineageEnabled = true
+		in.LineageTailBytes = lin.TailBytes()
+		in.LineageStateBytes = lin.LastStateBytes()
+		in.LineageReplay = lin.UnsealedFor()
+	}
 	d := costmodel.Select(in, params, c.Estimator)
 	d.ModelTime = time.Since(selStart) // includes the state measurement, as deployed
 	rep.Decision, rep.Strategy, rep.SelectionTime = d, d.Strategy, d.ModelTime
@@ -519,6 +629,10 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 			obs.A("cost_redo", d.CostRedo),
 			obs.A("cost_pipeline", d.CostPipeline),
 			obs.A("cost_process", d.CostProcess),
+			obs.A("cost_lineage", d.CostLineage),
+			obs.A("lineage_enabled", in.LineageEnabled),
+			obs.A("lineage_tail_bytes", in.LineageTailBytes),
+			obs.A("lineage_replay", in.LineageReplay),
 			obs.A("process_suspend_at", d.ProcessSuspendAt),
 			obs.A("ct", in.Ct),
 			obs.A("avg_pipeline_time", in.AvgPipelineTime),
@@ -541,6 +655,15 @@ func (c *Controller) RunAdaptive(spec QuerySpec, sc Scenario, ev Event) (*Report
 			rep.SuspendLag = 0
 		}
 		return c.finishSuspended(rep, spec, ev, start, ex, guard)
+
+	case strategy.Lineage:
+		// Already quiesced at a morsel boundary — exactly the state a
+		// lineage seal needs; the suspension is just the tail flush.
+		rep.SuspendLag = time.Since(start.Add(model.Start))
+		if rep.SuspendLag < 0 {
+			rep.SuspendLag = 0
+		}
+		return c.finishSuspendedLineage(rep, spec, ev, start, ex, guard, lin)
 
 	case strategy.Pipeline:
 		// Resume in place; the suspension lands at the next breaker.

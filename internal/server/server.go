@@ -86,7 +86,10 @@ type Config struct {
 	CheckpointRetry riveter.RetryPolicy
 	// PreemptLevel is the suspension strategy preemptions request (default
 	// riveter.PipelineLevel; riveter.ProcessLevel exercises the process-
-	// image path and its degradation ladder).
+	// image path and its degradation ladder; riveter.LineageLevel attaches
+	// a write-ahead lineage log to every session, so a preemption only
+	// seals the log's tail and the resume replays from the last sealed
+	// record — with the checkpoint ladder as fallback when the log fails).
 	PreemptLevel riveter.Strategy
 	// AbandonCooldown is how long a session that survived an abandoned
 	// preemption is exempt from being re-chosen as a victim, so a broken
@@ -395,7 +398,7 @@ func (s *Server) schedule() {
 					victim.suspendRequested = true
 					// Suspend is a single atomic store on the executor;
 					// safe (and cheap) under the server mutex.
-					_ = victim.exec.Suspend(s.cfg.PreemptLevel)
+					s.requestSuspend(victim.exec)
 					progressed = true
 				} else {
 					s.scheduleGraceRetryLocked(head)
@@ -405,6 +408,17 @@ func (s *Server) schedule() {
 		if !progressed {
 			s.cond.Wait()
 		}
+	}
+}
+
+// requestSuspend asks an execution to quiesce at the configured preemption
+// level. A lineage-level request needs a lineage log attached; executions
+// without one (resumed in place after an abandoned preemption, or resumed
+// from a fallback checkpoint) quiesce process-kind instead, so the
+// checkpoint ladder can still persist them.
+func (s *Server) requestSuspend(exec *riveter.Execution) {
+	if err := exec.Suspend(s.cfg.PreemptLevel); err != nil && s.cfg.PreemptLevel == riveter.LineageLevel {
+		_ = exec.Suspend(riveter.ProcessLevel)
 	}
 }
 
@@ -473,17 +487,35 @@ func (s *Server) dispatchLocked(sess *Session) {
 	s.running[sess.id] = sess
 	s.free--
 	s.wg.Add(1)
-	go s.run(sess, sess.checkpoint, sess.storeKey)
+	go s.run(sess, sess.checkpoint, sess.storeKey, sess.lineage)
 }
 
-// run executes one dispatch of a session: start (or resume from a file
-// checkpoint or a store key), wait, and route the outcome — completion,
-// preemption (checkpoint and re-queue), or failure. A checkpoint that
-// cannot be persisted walks the degradation ladder (store → store
-// degraded → local retry → pipeline-level fallback → resume in place)
-// instead of failing the session: the victim's work is never the casualty
-// of a broken checkpoint device.
-func (s *Server) run(sess *Session, ckpt, storeKey string) {
+// startFresh launches a session from scratch. Under lineage-level
+// preemption the execution gets a write-ahead lineage log attached, so a
+// later preemption only seals the log's tail; otherwise it is a plain
+// start.
+func (s *Server) startFresh(ctx context.Context, sess *Session) (*riveter.Execution, error) {
+	if s.cfg.PreemptLevel == riveter.LineageLevel {
+		exec, err := sess.q.StartWithLineage(ctx, riveter.LineageConfig{})
+		if err == nil {
+			return exec, nil
+		}
+		// A log that cannot even be created (dead device) must not fail
+		// the query: run without one. Preemptions of this execution
+		// quiesce process-kind and take the checkpoint ladder.
+		s.met.fallback.Inc()
+	}
+	return sess.q.Start(ctx)
+}
+
+// run executes one dispatch of a session: start (or resume from a sealed
+// lineage log, a file checkpoint, or a store key), wait, and route the
+// outcome — completion, preemption (seal or checkpoint, then re-queue), or
+// failure. A suspension that cannot be persisted walks the degradation
+// ladder (lineage seal → store → store degraded → local retry →
+// pipeline-level fallback → resume in place) instead of failing the
+// session: the victim's work is never the casualty of a broken device.
+func (s *Server) run(sess *Session, ckpt, storeKey, lineage string) {
 	defer s.wg.Done()
 	ctx := s.ctx
 	var (
@@ -491,6 +523,17 @@ func (s *Server) run(sess *Session, ckpt, storeKey string) {
 		err  error
 	)
 	switch {
+	case lineage != "":
+		// The replayed execution gets a fresh lineage log, so it remains
+		// first-class: it can be lineage-preempted again, repeatedly.
+		exec, err = sess.q.StartFromLineage(ctx, lineage, riveter.LineageConfig{})
+		if err != nil {
+			// An unusable lineage log is quarantined, not fatal: the
+			// session reruns from scratch, losing progress but not the query.
+			s.quarantineLineage(sess, lineage, err)
+			lineage = ""
+			exec, err = s.startFresh(ctx, sess)
+		}
 	case storeKey != "":
 		exec, err = sess.q.StartFromStore(ctx, storeKey)
 		if err != nil {
@@ -511,7 +554,7 @@ func (s *Server) run(sess *Session, ckpt, storeKey string) {
 			exec, err = sess.q.Start(ctx)
 		}
 	default:
-		exec, err = sess.q.Start(ctx)
+		exec, err = s.startFresh(ctx, sess)
 	}
 	if err != nil {
 		s.finish(sess, nil, err)
@@ -532,9 +575,41 @@ func (s *Server) run(sess *Session, ckpt, storeKey string) {
 				s.fsys.Remove(ckpt)
 			}
 			s.releaseStoreCheckpoint(storeKey)
+			// Finished work needs no recovery state: the consumed lineage
+			// log and the fresh one the execution wrote both go.
+			if lineage != "" {
+				_ = s.db.RemoveLineage(lineage)
+			}
+			if lp := exec.LineagePath(); lp != "" && lp != lineage {
+				_ = s.db.RemoveLineage(lp)
+			}
+			s.mu.Lock()
+			sess.lineage = ""
+			s.mu.Unlock()
 			s.finish(sess, res, rerr)
 			return
 		case errors.Is(werr, riveter.ErrSuspended):
+			// Lineage preemptions seal first: the log already holds the
+			// state, so the suspension costs only a tail flush. A seal
+			// failure (sticky log-write error, crashed device) degrades to
+			// the checkpoint ladder below — the executor is still quiesced
+			// with its state in memory.
+			if s.cfg.PreemptLevel == riveter.LineageLevel && exec.LineagePath() != "" {
+				if info, serr := exec.SealLineage(); serr == nil {
+					s.requeueSealed(sess, exec, ckpt, storeKey, lineage, info.Path)
+					return
+				} else {
+					s.met.fallback.Inc()
+					if tr := exec.Trace(); tr != nil {
+						tr.Event(obs.EvCheckpointFallback,
+							obs.A("from", "lineage"),
+							obs.A("to", "checkpoint"),
+							obs.A("error", serr.Error()))
+					}
+					// The broken log identifies nothing recoverable; drop it.
+					_ = s.db.RemoveLineage(exec.LineagePath())
+				}
+			}
 			var (
 				path, key string
 				cerr      error
@@ -577,11 +652,17 @@ func (s *Server) run(sess *Session, ckpt, storeKey string) {
 			if storeKey != "" && storeKey != key {
 				s.releaseStoreCheckpoint(storeKey)
 			}
+			// A checkpoint supersedes whatever lineage log the session
+			// resumed from.
+			if lineage != "" {
+				_ = s.db.RemoveLineage(lineage)
+			}
 			s.mu.Lock()
 			sess.ran += time.Since(sess.started)
 			sess.trace = exec.Trace()
 			sess.checkpoint = path
 			sess.storeKey = key
+			sess.lineage = ""
 			sess.state = StateSuspended
 			sess.lastQueued = time.Now()
 			sess.preemptions++
@@ -598,6 +679,34 @@ func (s *Server) run(sess *Session, ckpt, storeKey string) {
 	}
 }
 
+// requeueSealed finishes a lineage preemption: the fresh log just sealed is
+// the session's new resume point, and the resume points this dispatch
+// consumed — the previous log, a file checkpoint, a store key — are
+// released.
+func (s *Server) requeueSealed(sess *Session, exec *riveter.Execution, ckpt, storeKey, oldLineage, sealed string) {
+	if ckpt != "" {
+		s.fsys.Remove(ckpt)
+	}
+	s.releaseStoreCheckpoint(storeKey)
+	if oldLineage != "" && oldLineage != sealed {
+		_ = s.db.RemoveLineage(oldLineage)
+	}
+	s.mu.Lock()
+	sess.ran += time.Since(sess.started)
+	sess.trace = exec.Trace()
+	sess.checkpoint = ""
+	sess.storeKey = ""
+	sess.lineage = sealed
+	sess.state = StateSuspended
+	sess.lastQueued = time.Now()
+	sess.preemptions++
+	s.met.preemptions.Inc()
+	delete(s.running, sess.id)
+	s.free++
+	s.enqueueLocked(sess)
+	s.mu.Unlock()
+}
+
 // persistPreemption walks the first two rungs of the degradation ladder:
 // a retrying write at the requested level, then — for process-level
 // suspensions — a retrying pipeline-kind write without the image padding.
@@ -609,7 +718,9 @@ func (s *Server) persistPreemption(sess *Session, exec *riveter.Execution) (stri
 	if cerr == nil {
 		return path, nil
 	}
-	if s.cfg.PreemptLevel == riveter.ProcessLevel {
+	// Process-level suspensions — including lineage ones, whose quiesce is
+	// process-kind — have a cheaper pipeline-kind rung below them.
+	if s.cfg.PreemptLevel == riveter.ProcessLevel || s.cfg.PreemptLevel == riveter.LineageLevel {
 		fbPath := s.db.NewCheckpointPath("session-" + sess.id + "-pl")
 		if _, fberr := exec.CheckpointDegraded(s.ctx, fbPath, s.cfg.CheckpointRetry); fberr == nil {
 			s.met.fallback.Inc()
@@ -639,7 +750,7 @@ func (s *Server) persistPreemptionStore(sess *Session, exec *riveter.Execution) 
 	if cerr == nil {
 		return key, nil
 	}
-	if s.cfg.PreemptLevel == riveter.ProcessLevel {
+	if s.cfg.PreemptLevel == riveter.ProcessLevel || s.cfg.PreemptLevel == riveter.LineageLevel {
 		if _, fberr := exec.CheckpointToStoreDegraded(key); fberr == nil {
 			s.met.fallback.Inc()
 			if tr := exec.Trace(); tr != nil {
@@ -701,6 +812,25 @@ func (s *Server) quarantine(sess *Session, ckpt string, cause error) {
 	s.mu.Unlock()
 }
 
+// quarantineLineage renames an unusable lineage log aside and records it.
+func (s *Server) quarantineLineage(sess *Session, path string, cause error) {
+	s.met.quarantined.Inc()
+	qp, qerr := checkpoint.Quarantine(s.fsys, path)
+	if qerr != nil {
+		qp = path // could not even rename; leave it, still rerun from scratch
+	}
+	if tr := sess.trace; tr != nil {
+		tr.Event(obs.EvCheckpointQuarantined,
+			obs.A("path", qp),
+			obs.A("error", cause.Error()))
+	}
+	s.mu.Lock()
+	if sess.lineage == path {
+		sess.lineage = ""
+	}
+	s.mu.Unlock()
+}
+
 // finish moves a session to its terminal state and releases its slot.
 func (s *Server) finish(sess *Session, res *riveter.Result, err error) {
 	s.mu.Lock()
@@ -748,7 +878,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, r := range s.running {
 		if r.exec != nil && !r.suspendRequested {
 			r.suspendRequested = true
-			_ = r.exec.Suspend(s.cfg.PreemptLevel)
+			s.requestSuspend(r.exec)
 		}
 	}
 	s.cond.Broadcast()
@@ -785,6 +915,8 @@ type persistedSession struct {
 	Checkpoint string `json:"checkpoint,omitempty"`
 	// StoreKey is the session's blob-store checkpoint key (store mode).
 	StoreKey string `json:"store_key,omitempty"`
+	// Lineage is the session's sealed lineage-log path (lineage mode).
+	Lineage string `json:"lineage,omitempty"`
 }
 
 // stateManifest is the JSON document graceful shutdown leaves behind.
@@ -811,6 +943,7 @@ func (s *Server) persistState() error {
 			Priority:   int(sess.priority),
 			Checkpoint: sess.checkpoint,
 			StoreKey:   sess.storeKey,
+			Lineage:    sess.lineage,
 		})
 	}
 	s.mu.Unlock()
@@ -917,6 +1050,7 @@ func (s *Server) restoreState() error {
 			submitted:  now,
 			lastQueued: now,
 			checkpoint: p.Checkpoint,
+			lineage:    p.Lineage,
 			done:       make(chan struct{}),
 		}
 		if p.Checkpoint != "" {
@@ -925,6 +1059,18 @@ func (s *Server) restoreState() error {
 			if _, verr := checkpoint.VerifyFS(s.fsys, p.Checkpoint); verr != nil {
 				s.quarantine(sess, p.Checkpoint, verr)
 				sess.checkpoint = ""
+			} else {
+				sess.state = StateSuspended
+			}
+		}
+		if p.Lineage != "" {
+			// Same contract for a lineage log: scan the whole frame chain
+			// before the session can dispatch into it. A torn tail alone is
+			// fine — the replay truncates it — but a log without a usable
+			// header or record prefix is quarantined.
+			if _, verr := s.db.VerifyLineage(p.Lineage); verr != nil {
+				s.quarantineLineage(sess, p.Lineage, verr)
+				sess.lineage = ""
 			} else {
 				sess.state = StateSuspended
 			}
@@ -1051,7 +1197,19 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 		lastQueued: now,
 		checkpoint: p.Checkpoint,
 		storeKey:   p.StoreKey,
+		lineage:    p.Lineage,
 		done:       make(chan struct{}),
+	}
+	if p.Lineage != "" {
+		// A lineage log is a local file; it only survives adoption when the
+		// instances share a filesystem (as the store-mode tests do). Verify
+		// it like any other resume point.
+		if _, verr := s.db.VerifyLineage(p.Lineage); verr != nil {
+			s.quarantineLineage(sess, p.Lineage, verr)
+			sess.lineage = ""
+		} else {
+			sess.state = StateSuspended
+		}
 	}
 	if p.StoreKey != "" {
 		// A checkpoint another instance wrote is verified chunk by chunk

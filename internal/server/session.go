@@ -125,6 +125,7 @@ type Session struct {
 	abandoned   int    // preemptions given up because no checkpoint would persist
 	checkpoint  string // file resume point while StateSuspended
 	storeKey    string // blob-store resume point while StateSuspended (store mode)
+	lineage     string // sealed lineage-log resume point while StateSuspended (lineage mode)
 	exec        *riveter.Execution
 	res         *riveter.Result
 	err         error
@@ -154,6 +155,7 @@ type Info struct {
 	Ran         time.Duration `json:"ran_ns"`
 	Checkpoint  string        `json:"checkpoint,omitempty"`
 	StoreKey    string        `json:"store_key,omitempty"`
+	Lineage     string        `json:"lineage,omitempty"`
 	NumRows     int64         `json:"num_rows,omitempty"`
 	Error       string        `json:"error,omitempty"`
 	// EstInputBytes and EstStateBytes echo the admission inputs.
@@ -174,6 +176,7 @@ func (s *Session) infoLocked() Info {
 		Ran:           s.ran,
 		Checkpoint:    s.checkpoint,
 		StoreKey:      s.storeKey,
+		Lineage:       s.lineage,
 		EstInputBytes: s.est.InputBytes,
 		EstStateBytes: s.est.StateBytes,
 	}

@@ -1,8 +1,10 @@
-// Package strategy implements the mechanics of the three suspension and
+// Package strategy implements the mechanics of the suspension and
 // resumption strategies (§III-A, §III-B): triggering a suspension on a
 // running executor, persisting the captured state as a checkpoint file
-// (with the CRIU-style image padding for the process-level strategy), and
-// restoring a checkpoint into a fresh executor.
+// (with the CRIU-style image padding for the process-level strategy),
+// restoring a checkpoint into a fresh executor, and — for the write-ahead
+// lineage strategy — maintaining the morsel-granular log that makes a
+// suspension a near-free tail flush (lineage.go).
 //
 // Policy — deciding if/when/how to suspend — lives in internal/riveter,
 // which drives this package with the cost model's decisions.
@@ -28,11 +30,12 @@ import (
 // without translation.
 type Kind = costmodel.Strategy
 
-// The three strategies.
+// The four strategies.
 const (
 	Redo     = costmodel.StrategyRedo
 	Pipeline = costmodel.StrategyPipeline
 	Process  = costmodel.StrategyProcess
+	Lineage  = costmodel.StrategyLineage
 )
 
 // KindName renders a checkpoint manifest kind for a strategy.
@@ -42,6 +45,8 @@ func KindName(k Kind) string {
 		return "pipeline"
 	case Process:
 		return "process"
+	case Lineage:
+		return "lineage"
 	default:
 		return "redo"
 	}
@@ -61,6 +66,11 @@ func Request(ex *engine.Executor, k Kind, cancel context.CancelFunc) time.Time {
 	case Pipeline:
 		ex.RequestSuspend(engine.KindPipeline)
 	case Process:
+		ex.RequestSuspend(engine.KindProcess)
+	case Lineage:
+		// Lineage needs no state capture of its own — the write-ahead log
+		// already has it. The execution only has to quiesce at morsel
+		// boundaries so the final seal record carries exact cursors.
 		ex.RequestSuspend(engine.KindProcess)
 	}
 	return now

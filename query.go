@@ -126,6 +126,10 @@ type Execution struct {
 	q  *Query
 	ex *engine.Executor
 
+	// lin is the execution's write-ahead lineage log (nil unless started
+	// via Query.StartWithLineage or Query.StartFromLineage).
+	lin *strategy.LineageLog
+
 	once sync.Once
 	done chan struct{}
 	res  *Result
@@ -178,8 +182,16 @@ func (e *Execution) Suspend(k Strategy) error {
 		e.ex.RequestSuspend(engine.KindPipeline)
 	case ProcessLevel:
 		e.ex.RequestSuspend(engine.KindProcess)
+	case LineageLevel:
+		// A lineage suspension quiesces at the next morsel boundary (the
+		// log already holds the state); the caller then seals the log via
+		// SealLineage instead of writing a checkpoint.
+		if e.lin == nil {
+			return fmt.Errorf("riveter: execution has no lineage log (use Query.StartWithLineage)")
+		}
+		e.ex.RequestSuspend(engine.KindProcess)
 	default:
-		return fmt.Errorf("riveter: Suspend supports PipelineLevel and ProcessLevel; cancel the context for Redo")
+		return fmt.Errorf("riveter: Suspend supports PipelineLevel, ProcessLevel, and LineageLevel; cancel the context for Redo")
 	}
 	return nil
 }

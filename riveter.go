@@ -5,8 +5,9 @@
 //
 // It bundles a vectorized, morsel-driven, push-based pipeline query engine;
 // a TPC-H-style workload generator with all 22 benchmark queries; a SQL
-// subset; three suspension/resumption strategies (redo, pipeline-level,
-// process-level with a CRIU-style image model); the paper's cost model and
+// subset; four suspension/resumption strategies (redo, pipeline-level,
+// process-level with a CRIU-style image model, and write-ahead lineage
+// with near-free suspension); the paper's cost model and
 // adaptive strategy-selection algorithm; and the harness that regenerates
 // every table and figure of the paper's evaluation.
 //
@@ -52,7 +53,7 @@ import (
 // Strategy identifies a suspension/resumption strategy.
 type Strategy = strategy.Kind
 
-// The three strategies of the paper's §II-A.
+// The strategies: the paper's three (§II-A) plus write-ahead lineage.
 const (
 	// Redo terminates the query and re-runs it from scratch on resume.
 	Redo = strategy.Redo
@@ -63,6 +64,12 @@ const (
 	// execution context (CRIU-style), requiring an identical worker
 	// configuration on resume.
 	ProcessLevel = strategy.Process
+	// LineageLevel suspends by sealing the execution's write-ahead lineage
+	// log: the state was already persisted incrementally at every pipeline
+	// breaker, so the suspension itself only flushes the log's unsealed
+	// tail. Resume replays from the last sealed record. Requires the
+	// execution to have been started with Query.StartWithLineage.
+	LineageLevel = strategy.Lineage
 )
 
 // ErrSuspended is returned by Execution.Wait when the query was suspended
@@ -76,6 +83,7 @@ type DB struct {
 	workers       int
 	checkpointDir string
 	io            costmodel.IOProfile
+	lineage       costmodel.LineageProfile
 	tpchSF        float64
 	metrics       *obs.Registry
 	tracing       bool
@@ -177,10 +185,12 @@ func Open(opts ...Option) *DB {
 	if prof, err := costmodel.CalibrateIOFS(db.fsys, db.checkpointDir); err == nil {
 		db.io = prof
 	}
+	db.lineage, _ = costmodel.CalibrateLineage(db.fsys, db.checkpointDir)
 	if db.storeCfg != nil {
 		db.initStore()
 	}
 	db.io.Publish(db.metrics)
+	db.lineage.Publish(db.metrics)
 	return db
 }
 
@@ -227,6 +237,11 @@ func (db *DB) BlobStore() (*blobstore.Store, error) {
 
 // IOProfile returns the calibrated I/O profile the cost model uses.
 func (db *DB) IOProfile() costmodel.IOProfile { return db.io }
+
+// LineageProfile returns the calibrated lineage-log cost terms (append
+// latency, log bandwidth, replay bandwidth) Algorithm 1 prices the
+// lineage strategy with.
+func (db *DB) LineageProfile() costmodel.LineageProfile { return db.lineage }
 
 // FS returns the filesystem checkpoint I/O goes through.
 func (db *DB) FS() faultfs.FS { return db.fsys }
@@ -277,6 +292,26 @@ func (db *DB) NewCheckpointPath(prefix string) string {
 	}
 	seq := db.ckptSeq.Add(1)
 	return filepath.Join(db.checkpointDir, fmt.Sprintf("%s-%d-%06d.rvck", clean, os.Getpid(), seq))
+}
+
+// NewLineagePath allocates a fresh, collision-free lineage-log file path
+// under CheckpointDir, following the same naming discipline as
+// NewCheckpointPath (.rvlg extension). The file is not created; the path
+// is meant to be handed to Query.StartWithLineage.
+func (db *DB) NewLineagePath(prefix string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, prefix)
+	if clean == "" {
+		clean = "lineage"
+	}
+	seq := db.ckptSeq.Add(1)
+	return filepath.Join(db.checkpointDir, fmt.Sprintf("%s-%d-%06d.rvlg", clean, os.Getpid(), seq))
 }
 
 // GenerateTPCH populates the catalog with a TPC-H-style dataset at the

@@ -1,0 +1,119 @@
+#!/bin/sh
+# bench_compare.sh — diff two BENCH_engine.json files (see bench_json.sh)
+# and gate performance regressions. For every benchmark in a gated section
+# (default: engine and tpch) a ns/op regression above FAIL_PCT (default 25%)
+# fails the run; regressions between WARN_PCT (default 10%) and FAIL_PCT
+# only warn, as do regressions in the non-gated sections. Benchmarks present
+# in one file but not the other are reported, and a duplicate benchmark name
+# within a section is an error — two benchmarks whose names collapse to the
+# same JSON key would silently gate each other's numbers.
+#
+# The script also enforces the lineage acceptance ratio: LineageSuspend
+# (strategy section) must cost at most LINEAGE_RATIO_PCT (default 10%) of
+# ProcessSuspendResume (engine section) — the write-ahead log makes the
+# suspension itself a tail flush, not a state dump.
+#
+# Messages use GitHub workflow annotations (::error::/::warning::), which
+# degrade to plain text locally.
+#
+# Usage: sh scripts/bench_compare.sh baseline.json fresh.json
+set -eu
+
+BASE=${1:?usage: bench_compare.sh baseline.json fresh.json}
+FRESH=${2:?usage: bench_compare.sh baseline.json fresh.json}
+FAIL_PCT=${FAIL_PCT:-25}
+WARN_PCT=${WARN_PCT:-10}
+GATED_SECTIONS=${GATED_SECTIONS:-engine tpch}
+LINEAGE_RATIO_PCT=${LINEAGE_RATIO_PCT:-10}
+
+awk -v basefile="$BASE" -v freshfile="$FRESH" \
+    -v failpct="$FAIL_PCT" -v warnpct="$WARN_PCT" \
+    -v gated="$GATED_SECTIONS" -v ratiopct="$LINEAGE_RATIO_PCT" '
+# load parses one bench_json.sh document into ns[<section>/<name>],
+# recording the key order in keys[] and flagging duplicates.
+function load(file, ns, keys, nkeys,    line, sec, name, key, q, n) {
+    sec = ""
+    while ((getline line < file) > 0) {
+        if (match(line, /^  "[a-z_]+": \[/)) {
+            n = split(line, q, "\"")
+            sec = q[2]
+            continue
+        }
+        if (line !~ /"name": /) continue
+        n = split(line, q, "\"")
+        name = q[4]
+        if (sec == "" || name == "") continue
+        key = sec "/" name
+        if (!match(line, /"ns_per_op": [0-9.eE+-]+/)) continue
+        if (key in ns) {
+            printf "::error::duplicate benchmark name %s in %s — rename one (names must stay distinct after suffix stripping)\n", name, file
+            errs++
+            continue
+        }
+        ns[key] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+        keys[++nkeys[0]] = key
+    }
+    close(file)
+    return
+}
+
+BEGIN {
+    errs = 0; warns = 0
+    nb[0] = 0; nf[0] = 0
+    load(basefile, bns, bkeys, nb)
+    load(freshfile, fns, fkeys, nf)
+    if (nb[0] == 0) { printf "::error::no benchmarks parsed from baseline %s\n", basefile; errs++ }
+    if (nf[0] == 0) { printf "::error::no benchmarks parsed from fresh run %s\n", freshfile; errs++ }
+
+    ngate = split(gated, gs, /[ \t]+/)
+    for (i = 1; i <= ngate; i++) gate[gs[i]] = 1
+
+    for (i = 1; i <= nf[0]; i++) {
+        key = fkeys[i]
+        split(key, parts, "/")
+        sec = parts[1]
+        if (!(key in bns)) {
+            printf "::notice::new benchmark %s (no baseline to compare)\n", key
+            continue
+        }
+        old = bns[key]; new = fns[key]
+        if (old <= 0) continue
+        pct = (new - old) / old * 100
+        if (pct > failpct && (sec in gate)) {
+            printf "::error::%s regressed %.1f%%: %.0f -> %.0f ns/op (limit %s%%)\n", key, pct, old, new, failpct
+            errs++
+        } else if (pct > warnpct) {
+            printf "::warning::%s slower by %.1f%%: %.0f -> %.0f ns/op\n", key, pct, old, new
+            warns++
+        } else if (pct < -warnpct) {
+            printf "%s improved %.1f%%: %.0f -> %.0f ns/op\n", key, -pct, old, new
+        }
+    }
+    for (i = 1; i <= nb[0]; i++) {
+        key = bkeys[i]
+        if (!(key in fns)) {
+            printf "::warning::benchmark %s present in baseline but missing from the fresh run\n", key
+            warns++
+        }
+    }
+
+    # The lineage acceptance ratio: suspension-by-seal must stay a small
+    # fraction of the process-checkpoint round trip.
+    lin = fns["strategy/LineageSuspend"]
+    proc = fns["engine/ProcessSuspendResume"]
+    if (lin > 0 && proc > 0) {
+        ratio = lin / proc * 100
+        if (ratio > ratiopct) {
+            printf "::error::LineageSuspend is %.1f%% of ProcessSuspendResume (%.0f / %.0f ns/op), above the %s%% ceiling\n", ratio, lin, proc, ratiopct
+            errs++
+        } else {
+            printf "lineage suspend is %.1f%% of a process suspend+resume (%.0f / %.0f ns/op, ceiling %s%%)\n", ratio, lin, proc, ratiopct
+        }
+    } else if (proc > 0) {
+        printf "::warning::strategy/LineageSuspend missing from the fresh run; ratio check skipped\n"
+        warns++
+    }
+
+    printf "bench gate: %d benchmark(s) compared, %d warning(s), %d error(s)\n", nf[0], warns, errs
+    exit errs > 0 ? 1 : 0
+}'

@@ -1,16 +1,22 @@
 #!/bin/sh
 # bench_json.sh — run the engine micro-benchmarks, the TPC-H per-query
-# benchmarks, and the checkpoint/blobstore persistence benchmarks, and emit
-# a machine-readable BENCH_engine.json: ns/op, B/op and allocs/op per
+# benchmarks, the checkpoint/blobstore persistence benchmarks, and the
+# suspension-strategy benchmarks (lineage seal/replay), and emit a
+# machine-readable BENCH_engine.json: ns/op, B/op and allocs/op per
 # benchmark, plus per-query wall times. CI runs this with the
 # default single iteration as a smoke test (and archives the JSON as an
 # artifact); pass BENCHTIME=5x or similar for a real measurement.
+# scripts/bench_compare.sh diffs two of these JSONs and gates regressions.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 
 OUT=${1:-BENCH_engine.json}
 BENCHTIME=${BENCHTIME:-1x}
+# The strategy benchmarks time a single fsync-bounded seal, so one slow
+# fsync outlier can swing the lineage acceptance ratio by an order of
+# magnitude; always take at least 20 samples regardless of BENCHTIME.
+STRAT_BENCHTIME=${STRAT_BENCHTIME:-20x}
 GO=${GO:-go}
 
 tmp=$(mktemp -d)
@@ -24,9 +30,12 @@ $GO test ./internal/checkpoint -run '^$' -bench . -benchmem -benchtime "$BENCHTI
     | tee "$tmp/checkpoint.txt"
 $GO test ./internal/blobstore -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
     | tee "$tmp/blobstore.txt"
+$GO test ./internal/strategy -run '^$' -bench 'Lineage' -benchmem -benchtime "$STRAT_BENCHTIME" \
+    | tee "$tmp/strategy.txt"
 
 awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" \
-    -v ckptfile="$tmp/checkpoint.txt" -v blobfile="$tmp/blobstore.txt" '
+    -v ckptfile="$tmp/checkpoint.txt" -v blobfile="$tmp/blobstore.txt" \
+    -v stratfile="$tmp/strategy.txt" '
 function emit_bench(file, label,    line, n, parts, name, first) {
     printf "  \"%s\": [", label
     first = 1
@@ -64,7 +73,8 @@ BEGIN {
     emit_bench(enginefile, "engine");     printf ",\n"
     emit_bench(tpchfile, "tpch");         printf ",\n"
     emit_bench(ckptfile, "checkpoint");   printf ",\n"
-    emit_bench(blobfile, "blobstore");    printf "\n"
+    emit_bench(blobfile, "blobstore");    printf ",\n"
+    emit_bench(stratfile, "strategy");    printf "\n"
     printf "}\n"
 }' > "$OUT"
 
