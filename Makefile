@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
 # adaptive controller, serving layer, public API) — the -race job covers these.
-RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/...
+RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/...
 
 # Packages exercising the fault-injection matrix: the injectable
 # filesystem, checkpoint crash/verify tests, the lineage-log crash matrix,
@@ -18,7 +18,7 @@ FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/stra
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fault-matrix ci
+.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite fault-matrix ci
 
 all: build
 
@@ -111,6 +111,18 @@ bench-gate:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# The fleet control plane: the controlplane package under the race
+# detector (registry death detection, cost-aware picking, the rolling-
+# kill failover acceptance test, scale-to-zero through the proxy, and
+# spot-notice drains), the server's fleet-facing surface, the cloud
+# simulation edges — then the multi-process smoke: riveter-proxy in
+# front of three riveter-serve instances with two SIGKILLs mid-load and
+# a scale-to-zero round trip, all over real HTTP.
+fleet-suite:
+	$(GO) test -race -count=1 ./internal/controlplane/... ./internal/cloud/...
+	$(GO) test -race -count=1 -run 'Health|Keyed|Idle|Adopt|Fleet' ./internal/server/...
+	sh scripts/proxy_smoke.sh
+
 # The fault matrix under the race detector, twice — crash points, torn
 # writes, ENOSPC, quarantine, retry/fallback/abandon ladders. -count=2
 # also shakes out order dependence between injected faults.
@@ -119,4 +131,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fault-matrix
+ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fleet-suite fault-matrix

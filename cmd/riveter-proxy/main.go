@@ -1,0 +1,118 @@
+// Command riveter-proxy is the fleet control plane: a session-routing
+// proxy in front of riveter-serve instances that share one checkpoint
+// blob store. Clients talk to the proxy alone; it pins each session key
+// to an instance, health-checks the fleet, and when an instance dies or
+// drains it moves the pinned sessions to a survivor — adopting their
+// suspended state from the shared store, or replaying the original
+// request when nothing survived.
+//
+// Example (three instances sharing ./store):
+//
+//	riveter-proxy -addr :8000 &
+//	riveter-serve -addr :8081 -store ./store -instance a \
+//	    -control http://127.0.0.1:8000 -advertise http://127.0.0.1:8081 &
+//	riveter-serve -addr :8082 -store ./store -instance b \
+//	    -control http://127.0.0.1:8000 -advertise http://127.0.0.1:8082 &
+//	riveter-serve -addr :8083 -store ./store -instance c \
+//	    -control http://127.0.0.1:8000 -advertise http://127.0.0.1:8083 &
+//
+//	curl -s localhost:8000/query -d '{"tpch":21,"wait":true}'
+//	curl -s localhost:8000/fleet/instances
+//	curl -s -X POST localhost:8000/fleet/drain/a
+//
+// Instances can also be listed statically with -instance id=url. With
+// -spot-prob the simulated spot market reclaims instances: each gets a
+// sampled termination, and the advance notice triggers a drain through
+// the proxy (never the last accepting instance).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/cloud"
+	"github.com/riveterdb/riveter/internal/controlplane"
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+type instanceList []string
+
+func (l *instanceList) String() string { return strings.Join(*l, ",") }
+func (l *instanceList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var instances instanceList
+	var (
+		addr           = flag.String("addr", ":8000", "HTTP listen address")
+		healthInterval = flag.Duration("health-interval", 100*time.Millisecond, "instance health-probe period")
+		deadAfter      = flag.Int("dead-after", 3, "consecutive failed probes before an instance is dead")
+		reqTimeout     = flag.Duration("timeout", 2*time.Second, "per-forwarded-request timeout")
+		spotProb       = flag.Float64("spot-prob", 0, "simulated spot termination probability per instance (0 = off)")
+		spotStart      = flag.Duration("spot-start", 5*time.Second, "termination window start")
+		spotEnd        = flag.Duration("spot-end", 30*time.Second, "termination window end")
+		spotNotice     = flag.Duration("spot-notice", 2*time.Second, "advance-notice lead before reclamation")
+		spotSeed       = flag.Int64("spot-seed", 1, "spot sampling seed")
+		spotPrice      = flag.Float64("spot-price", 0, "base spot price; > 0 attaches per-instance price traces")
+	)
+	flag.Var(&instances, "instance", "static instance as id=url (repeatable)")
+	flag.Parse()
+
+	met := obs.NewRegistry()
+	reg := controlplane.NewRegistry(controlplane.RegistryConfig{
+		HealthInterval: *healthInterval,
+		DeadAfter:      *deadAfter,
+		Metrics:        met,
+	})
+	defer reg.Close()
+	var spot *controlplane.SpotDriver
+	proxy := controlplane.NewProxy(controlplane.ProxyConfig{
+		Registry:       reg,
+		Metrics:        met,
+		RequestTimeout: *reqTimeout,
+		OnRegister: func(id string) {
+			if spot != nil {
+				if inst := spot.Watch(id); inst.WillTerminate() {
+					log.Printf("spot: instance %s reclaimed at %v (notice at %v)", id, inst.ReclaimAt(), inst.NoticeAt())
+				}
+			}
+		},
+	})
+	if *spotProb > 0 {
+		model := cloud.TerminationModel{Probability: *spotProb, Start: *spotStart, End: *spotEnd}
+		if err := model.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		spot = controlplane.NewSpotDriver(proxy, controlplane.SpotConfig{
+			Model:      model,
+			NoticeLead: *spotNotice,
+			Seed:       *spotSeed,
+			PriceBase:  *spotPrice,
+		})
+		defer spot.Close()
+	}
+
+	for _, in := range instances {
+		id, url, ok := strings.Cut(in, "=")
+		if !ok {
+			log.Fatalf("bad -instance %q (want id=url)", in)
+		}
+		reg.Register(id, url)
+		if spot != nil {
+			inst := spot.Watch(id)
+			if inst.WillTerminate() {
+				log.Printf("spot: instance %s reclaimed at %v (notice at %v)", id, inst.ReclaimAt(), inst.NoticeAt())
+			}
+		}
+	}
+
+	log.Printf("riveter-proxy listening on %s (%d static instances)", *addr, len(instances))
+	if err := http.ListenAndServe(*addr, proxy.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -29,7 +29,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +65,9 @@ func main() {
 		storeLat     = flag.Duration("store-latency", 0, "simulated store round-trip latency per operation")
 		storeUpBW    = flag.Int64("store-upbw", 0, "simulated store upload bandwidth in bytes/sec (0 = unshaped)")
 		storeDownBW  = flag.Int64("store-downbw", 0, "simulated store download bandwidth in bytes/sec (0 = unshaped)")
+		idleSuspend  = flag.Duration("idle-suspend", 0, "scale-to-zero: park running sessions nobody touched for this long (0 = off)")
+		control      = flag.String("control", "", "control-plane proxy URL to register with (needs -advertise)")
+		advertise    = flag.String("advertise", "", "URL the proxy should reach this instance at (e.g. http://127.0.0.1:8080)")
 	)
 	flag.Parse()
 
@@ -129,9 +134,23 @@ func main() {
 		Policy:       policy,
 		PreemptLevel: level,
 		InstanceID:   *instanceID,
+		IdleSuspend:  *idleSuspend,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *control != "" {
+		if *advertise == "" {
+			log.Fatal("-control needs -advertise (the URL the proxy reaches this instance at)")
+		}
+		body, _ := json.Marshal(map[string]string{"id": srv.InstanceID(), "url": *advertise})
+		resp, rerr := http.Post(*control+"/fleet/register", "application/json", bytes.NewReader(body))
+		if rerr != nil {
+			log.Fatalf("register with control plane %s: %v", *control, rerr)
+		}
+		resp.Body.Close()
+		log.Printf("registered instance %q at %s with control plane %s", srv.InstanceID(), *advertise, *control)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,44 @@
+package controlplane
+
+// Score prices routing one new session to this instance. Lower is
+// better. Three terms, deliberately on comparable scales:
+//
+//   - live load: each running/queued/suspended session costs 1 — plain
+//     least-loaded balancing when everything else is equal;
+//   - spot price: price/base is ~1 at the normal rate and 200-400 inside
+//     a surge (the paper's peak-demand numbers), so a spiking instance is
+//     avoided for anything a calmer peer can absorb;
+//   - resume penalty: the instance's calibrated cost (in seconds) of
+//     pulling a nominal checkpoint from the shared store — an instance
+//     behind a slow simulated link pays for the wake-ups it will serve.
+//
+// Parked sessions cost nothing: scale-to-zero means an instance full of
+// parked state is as attractive as an empty one.
+func (v InstanceView) Score() float64 {
+	score := float64(v.Live())
+	if v.BasePrice > 0 {
+		score += v.Price / v.BasePrice
+	}
+	score += v.ResumePenalty.Seconds()
+	return score
+}
+
+// PickTarget chooses the routing target: the accepting instance with the
+// lowest Score, ties broken by id so two proxies looking at the same
+// fleet route identically. Reports false when no instance is accepting.
+func PickTarget(cands []InstanceView) (InstanceView, bool) {
+	best := -1
+	for i, c := range cands {
+		if !c.Accepting() {
+			continue
+		}
+		if best < 0 || c.Score() < cands[best].Score() ||
+			(c.Score() == cands[best].Score() && c.ID < cands[best].ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return InstanceView{}, false
+	}
+	return cands[best], true
+}

@@ -1,0 +1,593 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// ProxyConfig configures the session-routing proxy.
+type ProxyConfig struct {
+	// Registry tracks the fleet. Required; the proxy hooks its OnDeath.
+	Registry *Registry
+	// Metrics receives the controlplane.* counters and latency histograms.
+	Metrics *obs.Registry
+	// RequestTimeout bounds one forwarded instance request (default 2s).
+	// Drains get DrainTimeout (default 30s) — evacuating a running query
+	// legitimately takes until its next pipeline breaker.
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
+	// PollInterval paces wait-mode session polling (default 20ms). Each
+	// poll is a client touch on the instance, so a parked session being
+	// waited on wakes and stays awake.
+	PollInterval time.Duration
+	// OnRegister fires after POST /fleet/register adds an instance — the
+	// spot driver hooks lifecycle sampling here.
+	OnRegister func(id string)
+}
+
+// route pins one client session key to an instance.
+type route struct {
+	instance string // current owner's id
+	sid      string // instance-local session id (informational)
+	body     []byte // normalized submit body, replayed when no state survives
+}
+
+type proxyMetrics struct {
+	requests    *obs.Counter
+	failovers   *obs.Counter
+	rerouted    *obs.Counter
+	resubmitted *obs.Counter
+	adopted     *obs.Counter
+	drains      *obs.Counter
+	drainSkip   *obs.Counter
+	wakes       *obs.Counter
+	latency     *obs.Histogram
+	waitLatency *obs.Histogram
+}
+
+// Proxy is the fleet's single client endpoint: it owns the session-key →
+// instance routing table and hides instance death, drain, and
+// scale-to-zero wake-ups behind it. All its state is soft — rebuildable
+// from the instances and the shared store — so the proxy itself needs no
+// checkpointing.
+type Proxy struct {
+	reg    *Registry
+	metReg *obs.Registry
+	met    proxyMetrics
+	client *http.Client
+	drainC *http.Client
+	poll   time.Duration
+
+	onRegister func(id string)
+
+	seq atomic.Uint64
+
+	mu     sync.Mutex
+	routes map[string]*route
+
+	// moveMu single-flights failover and drain — the two paths that bulk-
+	// rewrite the routing table. Concurrent request-path failures for the
+	// same dead instance queue behind the first and find the routes
+	// already moved.
+	moveMu sync.Mutex
+}
+
+// NewProxy builds a proxy over a registry and hooks instance-death
+// handling into it.
+func NewProxy(cfg ProxyConfig) *Proxy {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	p := &Proxy{
+		reg:        cfg.Registry,
+		metReg:     cfg.Metrics,
+		client:     &http.Client{Timeout: cfg.RequestTimeout},
+		drainC:     &http.Client{Timeout: cfg.DrainTimeout},
+		poll:       cfg.PollInterval,
+		onRegister: cfg.OnRegister,
+		routes:     map[string]*route{},
+		met: proxyMetrics{
+			requests:    cfg.Metrics.Counter(obs.MetricCPProxyRequests),
+			failovers:   cfg.Metrics.Counter(obs.MetricCPFailovers),
+			rerouted:    cfg.Metrics.Counter(obs.MetricCPRerouted),
+			resubmitted: cfg.Metrics.Counter(obs.MetricCPResubmitted),
+			adopted:     cfg.Metrics.Counter(obs.MetricCPAdopted),
+			drains:      cfg.Metrics.Counter(obs.MetricCPDrains),
+			drainSkip:   cfg.Metrics.Counter(obs.MetricCPDrainSkipped),
+			wakes:       cfg.Metrics.Counter(obs.MetricCPWakeRequests),
+			latency:     cfg.Metrics.DurationHistogram(obs.MetricCPProxyLatency),
+			waitLatency: cfg.Metrics.DurationHistogram(obs.MetricCPProxyWaitLatency),
+		},
+	}
+	if cfg.Registry.cfg.OnDeath == nil {
+		cfg.Registry.cfg.OnDeath = func(id string) { p.failover(id, false) }
+	}
+	return p
+}
+
+// Registry returns the proxy's instance registry.
+func (p *Proxy) Registry() *Registry { return p.reg }
+
+// submitRequest mirrors the instance's POST /query body.
+type submitRequest struct {
+	SQL      string `json:"sql,omitempty"`
+	TPCH     int    `json:"tpch,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	Wait     bool   `json:"wait,omitempty"`
+	Session  string `json:"session,omitempty"`
+}
+
+// sessionEnvelope is an instance's session response, passed through
+// opaquely (the proxy reads a few fields, never re-shapes the result).
+type sessionEnvelope map[string]any
+
+func (e sessionEnvelope) str(k string) string {
+	s, _ := e[k].(string)
+	return s
+}
+
+func (e sessionEnvelope) flag(k string) bool {
+	b, _ := e[k].(bool)
+	return b
+}
+
+// Handler returns the proxy's HTTP API:
+//
+//	GET  /healthz           proxy liveness + routable instance count
+//	POST /query             submit through the fleet (body as the instance API,
+//	                        plus routing; "session" names the fleet-wide key)
+//	GET  /sessions/{key}    session by key, re-routed transparently
+//	GET  /fleet/instances   instance views + proxy latency quantiles
+//	GET  /fleet/metrics     proxy + per-instance metric snapshots
+//	POST /fleet/register    {"id","url"} add an instance
+//	POST /fleet/drain/{id}  evacuate an instance and rebalance its sessions
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("POST /query", p.handleQuery)
+	mux.HandleFunc("GET /sessions/{key}", p.handleSession)
+	mux.HandleFunc("GET /fleet/instances", p.handleInstances)
+	mux.HandleFunc("GET /fleet/metrics", p.handleFleetMetrics)
+	mux.HandleFunc("POST /fleet/register", p.handleRegister)
+	mux.HandleFunc("POST /fleet/drain/{id}", p.handleFleetDrain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	for _, v := range p.reg.Views() {
+		if v.Accepting() {
+			n++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "accepting": n})
+}
+
+func (p *Proxy) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	p.met.requests.Inc()
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	key := req.Session
+	if key == "" {
+		key = fmt.Sprintf("px-%d", p.seq.Add(1))
+	}
+	fwd := req
+	fwd.Wait = false // waiting is proxy-side, so a failover mid-wait is survivable
+	fwd.Session = key
+	body, _ := json.Marshal(fwd)
+
+	env, inst, status, err := p.submitRoute(key, body)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if req.Wait {
+		env, inst, err = p.waitForKey(r.Context(), key)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		p.met.waitLatency.ObserveDuration(time.Since(start))
+	} else {
+		p.met.latency.ObserveDuration(time.Since(start))
+	}
+	env["session_key"] = key
+	env["instance"] = inst
+	writeJSON(w, http.StatusOK, env)
+}
+
+func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	p.met.requests.Inc()
+	key := r.PathValue("key")
+	env, inst, status, err := p.fetchSession(key)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	env["session_key"] = key
+	env["instance"] = inst
+	p.met.latency.ObserveDuration(time.Since(start))
+	writeJSON(w, status, env)
+}
+
+// submitRoute forwards a keyed submission, picking (or keeping) the
+// session's instance and failing over when the pick turns out dead.
+func (p *Proxy) submitRoute(key string, body []byte) (sessionEnvelope, string, int, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		target, pinned := p.routeInstance(key)
+		if !pinned {
+			v, ok := PickTarget(p.reg.Views())
+			if !ok {
+				return nil, "", http.StatusServiceUnavailable, errors.New("controlplane: no accepting instance")
+			}
+			target = v.ID
+		}
+		view, ok := p.reg.View(target)
+		if !ok {
+			p.unpin(key)
+			continue
+		}
+		env, status, err := p.postJSON(p.client, view.URL+"/query", body)
+		if err != nil {
+			p.failover(target, true)
+			continue
+		}
+		switch {
+		case status == http.StatusOK:
+			p.pin(key, target, env.str("id"), body)
+			return env, target, status, nil
+		case status == http.StatusServiceUnavailable:
+			// Draining or shutting down: refresh its status so the next
+			// pick avoids it, and try elsewhere.
+			p.reg.ProbeNow(target)
+			p.unpin(key)
+			continue
+		default:
+			return nil, "", status, fmt.Errorf("controlplane: instance %s: %s", target, env.str("error"))
+		}
+	}
+	return nil, "", http.StatusServiceUnavailable, errors.New("controlplane: submit failed after retries")
+}
+
+// fetchSession reads a session by key from its pinned instance,
+// recovering the route when the instance is dead or has forgotten the
+// key. A successful read is a client touch instance-side: it wakes a
+// parked session, which the pre-touch "parked" flag in the response
+// records (counted as a wake request).
+func (p *Proxy) fetchSession(key string) (sessionEnvelope, string, int, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		target, pinned := p.routeInstance(key)
+		if !pinned {
+			return nil, "", http.StatusNotFound, fmt.Errorf("controlplane: unknown session key %s", key)
+		}
+		view, ok := p.reg.View(target)
+		if !ok {
+			return nil, "", http.StatusNotFound, fmt.Errorf("controlplane: session %s pinned to unknown instance %s", key, target)
+		}
+		env, status, err := p.getJSON(view.URL + "/sessions/key/" + url.PathEscape(key))
+		switch {
+		case err != nil:
+			p.failover(target, true)
+			continue
+		case status == http.StatusOK:
+			if env.flag("parked") {
+				p.met.wakes.Inc()
+			}
+			return env, target, status, nil
+		case status == http.StatusNotFound:
+			// The instance is alive but doesn't know the key — it
+			// restarted empty, or an adoption landed elsewhere. Recover
+			// the route the same way a failover would.
+			p.recoverKeys([]string{key})
+			continue
+		default:
+			return nil, "", status, fmt.Errorf("controlplane: instance %s: %s", target, env.str("error"))
+		}
+	}
+	return nil, "", http.StatusServiceUnavailable, fmt.Errorf("controlplane: session %s unreachable", key)
+}
+
+// waitForKey polls a session until it reaches a terminal state. Each
+// poll goes through fetchSession, so the wait survives any number of
+// failovers; each poll also touches the session instance-side, keeping
+// it from idle-parking while someone blocks on it.
+func (p *Proxy) waitForKey(ctx context.Context, key string) (sessionEnvelope, string, error) {
+	t := time.NewTicker(p.poll)
+	defer t.Stop()
+	for {
+		env, inst, _, err := p.fetchSession(key)
+		if err == nil {
+			switch env.str("state") {
+			case "done", "failed":
+				return env, inst, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// failover moves every session pinned to a dead instance onto a
+// survivor. With probe=true (request-path detection) the instance gets
+// one synchronous health probe first, so a transient error cannot
+// trigger an evacuation. Single-flighted: concurrent detections of the
+// same death queue up and find no routes left to move.
+func (p *Proxy) failover(id string, probe bool) {
+	if probe && p.reg.ProbeNow(id) {
+		return // answered — the failure was transient, keep the routes
+	}
+	p.moveMu.Lock()
+	defer p.moveMu.Unlock()
+	p.reg.MarkDead(id)
+	keys := p.keysPinnedTo(id)
+	if len(keys) == 0 {
+		return
+	}
+	p.recoverKeysLocked(keys)
+}
+
+// recoverKeys is recoverKeysLocked behind the single-flight lock.
+func (p *Proxy) recoverKeys(keys []string) {
+	p.moveMu.Lock()
+	defer p.moveMu.Unlock()
+	p.recoverKeysLocked(keys)
+}
+
+// recoverKeysLocked finds the given session keys a new home: pick the
+// best accepting instance, have it adopt whatever claimable state the
+// shared store holds, then re-pin each key — to the adopted session when
+// its key turns up there (rerouted), or by replaying the original
+// request when nothing survived (resubmitted). Keys whose recovery fails
+// stay pinned; the next request retries the whole dance.
+func (p *Proxy) recoverKeysLocked(keys []string) {
+	target, ok := PickTarget(p.reg.Views())
+	if !ok {
+		return
+	}
+	p.adoptOn(target)
+	for _, key := range keys {
+		if cur, pinned := p.routeInstance(key); pinned && cur == target.ID {
+			continue // a concurrent recovery already moved it
+		}
+		env, status, err := p.getJSON(target.URL + "/sessions/key/" + url.PathEscape(key))
+		if err == nil && status == http.StatusOK {
+			p.pin(key, target.ID, env.str("id"), nil)
+			p.met.failovers.Inc()
+			p.met.rerouted.Inc()
+			continue
+		}
+		body := p.routeBody(key)
+		if body == nil {
+			continue
+		}
+		env, status, err = p.postJSON(p.client, target.URL+"/query", body)
+		if err == nil && status == http.StatusOK {
+			p.pin(key, target.ID, env.str("id"), nil)
+			p.met.failovers.Inc()
+			p.met.resubmitted.Inc()
+		}
+	}
+}
+
+// adoptOn asks an instance to adopt claimable sessions from the shared
+// store (POST /admin/adopt). Best-effort: an instance without a store
+// answers 400 and the resubmission path covers for it.
+func (p *Proxy) adoptOn(target InstanceView) {
+	env, status, err := p.postJSON(p.client, target.URL+"/admin/adopt", []byte("{}"))
+	if err != nil || status != http.StatusOK {
+		return
+	}
+	if n, ok := env["adopted"].(float64); ok && n > 0 {
+		p.met.adopted.Add(int64(n))
+	}
+}
+
+// DrainAndRebalance deliberately evacuates an instance: its in-flight
+// sessions suspend to the shared store, a survivor adopts them, and the
+// routing table follows — the spot-notice path, also exposed as POST
+// /fleet/drain/{id}. The last accepting instance is never drained
+// (counted as controlplane.drain_skipped): a fleet with nowhere left to
+// run keeps its doomed instance until a replacement registers.
+func (p *Proxy) DrainAndRebalance(id string) error {
+	p.moveMu.Lock()
+	defer p.moveMu.Unlock()
+	view, ok := p.reg.View(id)
+	if !ok {
+		return fmt.Errorf("controlplane: unknown instance %s", id)
+	}
+	others := 0
+	for _, v := range p.reg.Views() {
+		if v.ID != id && v.Accepting() {
+			others++
+		}
+	}
+	if others == 0 {
+		p.met.drainSkip.Inc()
+		return fmt.Errorf("controlplane: refusing to drain %s: last accepting instance", id)
+	}
+	if _, status, err := p.postJSON(p.drainC, view.URL+"/admin/drain", []byte("{}")); err != nil {
+		return fmt.Errorf("controlplane: drain %s: %w", id, err)
+	} else if status != http.StatusOK {
+		return fmt.Errorf("controlplane: drain %s: status %d", id, status)
+	}
+	p.met.drains.Inc()
+	p.reg.ProbeNow(id) // pick up the draining status before re-picking
+	p.recoverKeysLocked(p.keysPinnedTo(id))
+	return nil
+}
+
+func (p *Proxy) handleInstances(w http.ResponseWriter, r *http.Request) {
+	snap := p.metReg.Snapshot()
+	proxy := map[string]any{"requests": snap.Counters[obs.MetricCPProxyRequests]}
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case obs.MetricCPProxyLatency:
+			proxy["p99_ns"] = h.Quantile(0.99)
+		case obs.MetricCPProxyWaitLatency:
+			proxy["wait_p99_ns"] = h.Quantile(0.99)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instances": p.reg.Views(),
+		"proxy":     proxy,
+	})
+}
+
+func (p *Proxy) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"proxy": p.metReg.Snapshot()}
+	instances := map[string]any{}
+	for _, v := range p.reg.Views() {
+		if !v.Alive {
+			continue
+		}
+		env, status, err := p.getJSON(v.URL + "/metrics")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		instances[v.ID] = env
+	}
+	out["instances"] = instances
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.URL == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`want {"id": ..., "url": ...}`))
+		return
+	}
+	p.reg.Register(req.ID, req.URL)
+	if p.onRegister != nil {
+		p.onRegister(req.ID)
+	}
+	v, _ := p.reg.View(req.ID)
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (p *Proxy) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := p.DrainAndRebalance(id); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	v, _ := p.reg.View(id)
+	writeJSON(w, http.StatusOK, map[string]any{"drained": id, "instance": v})
+}
+
+// Routing-table accessors.
+
+func (p *Proxy) pin(key, instance, sid string, body []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rt := p.routes[key]
+	if rt == nil {
+		rt = &route{}
+		p.routes[key] = rt
+	}
+	rt.instance, rt.sid = instance, sid
+	if body != nil {
+		rt.body = body
+	}
+}
+
+func (p *Proxy) unpin(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rt := p.routes[key]; rt != nil {
+		rt.instance = ""
+	}
+}
+
+func (p *Proxy) routeInstance(key string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rt := p.routes[key]
+	if rt == nil || rt.instance == "" {
+		return "", false
+	}
+	return rt.instance, true
+}
+
+func (p *Proxy) routeBody(key string) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rt := p.routes[key]; rt != nil {
+		return rt.body
+	}
+	return nil
+}
+
+func (p *Proxy) keysPinnedTo(id string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var keys []string
+	for k, rt := range p.routes {
+		if rt.instance == id {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// HTTP helpers.
+
+func (p *Proxy) postJSON(c *http.Client, url string, body []byte) (sessionEnvelope, int, error) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var env sessionEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return env, resp.StatusCode, nil
+}
+
+func (p *Proxy) getJSON(url string) (sessionEnvelope, int, error) {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var env sessionEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return env, resp.StatusCode, nil
+}

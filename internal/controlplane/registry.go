@@ -1,0 +1,353 @@
+// Package controlplane is Riveter's fleet layer: a session-routing proxy
+// in front of a set of riveter-serve instances sharing one blob store.
+// The Registry tracks instance health over the instances' own HTTP
+// surface (/healthz); the Proxy pins client session keys to live
+// instances and transparently re-routes them when an instance dies —
+// adopting whatever suspended state the victim left in the shared store,
+// and replaying the original request when nothing survived. A SpotDriver
+// feeds simulated termination notices (internal/cloud) into deliberate
+// drain-and-rebalance evacuations, and the picker prices routing
+// decisions with the instances' calibrated cost-model gauges and spot
+// prices.
+//
+// The division of failure handling: instance death is the proxy's
+// problem (clients keep one stable endpoint and never see a re-route);
+// proxy death is the client's problem (the proxy holds only soft state —
+// routes rebuild from session keys, instance registrations re-arrive —
+// so restarting it loses nothing durable).
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/server"
+)
+
+// RegistryConfig configures instance tracking.
+type RegistryConfig struct {
+	// HealthInterval is the probe period (default 100ms).
+	HealthInterval time.Duration
+	// DeadAfter is how many consecutive failed probes mark an instance
+	// dead (default 3).
+	DeadAfter int
+	// ProbeTimeout bounds one health or metrics probe (default 1s) — a
+	// dead instance must fail fast, not hold a request for a TCP eternity.
+	ProbeTimeout time.Duration
+	// Metrics receives controlplane.instances / controlplane.deaths.
+	Metrics *obs.Registry
+	// OnDeath fires (asynchronously, once per death) when the prober marks
+	// an instance dead. The proxy hooks its failover here.
+	OnDeath func(id string)
+}
+
+// member is one tracked instance.
+type member struct {
+	id, url  string
+	alive    bool
+	fails    int
+	health   server.Health
+	lastSeen time.Time
+
+	// price / basePrice come from the spot driver's price trace; resume
+	// penalty from the instance's calibrated costmodel.io.* gauges.
+	price, basePrice float64
+	resumePenalty    time.Duration
+}
+
+// InstanceView is a point-in-time public snapshot of one instance.
+type InstanceView struct {
+	ID            string        `json:"id"`
+	URL           string        `json:"url"`
+	Alive         bool          `json:"alive"`
+	Status        string        `json:"status,omitempty"`
+	Running       int           `json:"running"`
+	Queued        int           `json:"queued"`
+	Suspended     int           `json:"suspended"`
+	Parked        int           `json:"parked"`
+	Sessions      int           `json:"sessions"`
+	Price         float64       `json:"price,omitempty"`
+	BasePrice     float64       `json:"base_price,omitempty"`
+	ResumePenalty time.Duration `json:"resume_penalty_ns,omitempty"`
+	LastSeen      time.Time     `json:"last_seen,omitempty"`
+}
+
+// Live is the instance's live session load: running, queued, and
+// suspended-but-destined-to-run sessions. Parked sessions are excluded —
+// they hold no slot and cost nothing until woken.
+func (v InstanceView) Live() int { return v.Running + v.Queued + v.Suspended }
+
+// Accepting reports whether the instance can take new sessions.
+func (v InstanceView) Accepting() bool { return v.Alive && v.Status == "accepting" }
+
+// Registry tracks the fleet's instances and their health.
+type Registry struct {
+	cfg    RegistryConfig
+	client *http.Client
+
+	instances *obs.Gauge
+	deaths    *obs.Counter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+// NewRegistry builds a registry and starts its health-probe loop.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 100 * time.Millisecond
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	r := &Registry{
+		cfg:       cfg,
+		client:    &http.Client{Timeout: cfg.ProbeTimeout},
+		instances: cfg.Metrics.Gauge(obs.MetricCPInstances),
+		deaths:    cfg.Metrics.Counter(obs.MetricCPDeaths),
+		members:   map[string]*member{},
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r
+}
+
+// Close stops the probe loop.
+func (r *Registry) Close() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+// Register adds (or re-adds) an instance. A re-registration resets the
+// death state — the way a restarted instance announces itself.
+func (r *Registry) Register(id, url string) {
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		m = &member{id: id}
+		r.members[id] = m
+	}
+	m.url = url
+	m.alive = true
+	m.fails = 0
+	r.updateGaugeLocked()
+	r.mu.Unlock()
+	// Probe immediately so the instance is routable without waiting a tick.
+	r.ProbeNow(id)
+}
+
+// Remove forgets an instance.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.members, id)
+	r.updateGaugeLocked()
+}
+
+// SetPrice records the instance's current and base spot price (fed by the
+// spot driver's price trace; the picker scores price/base).
+func (r *Registry) SetPrice(id string, price, base float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.members[id]; m != nil {
+		m.price, m.basePrice = price, base
+	}
+}
+
+// MarkDead marks an instance dead immediately (request-path detection
+// beat the prober to it). Reports whether this call made the transition.
+func (r *Registry) MarkDead(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.members[id]
+	if m == nil || !m.alive {
+		return false
+	}
+	m.alive = false
+	m.fails = r.cfg.DeadAfter
+	r.deaths.Inc()
+	r.updateGaugeLocked()
+	return true
+}
+
+// View snapshots one instance.
+func (r *Registry) View(id string) (InstanceView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.members[id]
+	if m == nil {
+		return InstanceView{}, false
+	}
+	return m.view(), true
+}
+
+// Views snapshots every instance, sorted by id (deterministic routing
+// tie-breaks fall out of this order).
+func (r *Registry) Views() []InstanceView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]InstanceView, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m.view())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (m *member) view() InstanceView {
+	status := m.health.Status
+	if !m.alive {
+		status = "dead"
+	}
+	return InstanceView{
+		ID:            m.id,
+		URL:           m.url,
+		Alive:         m.alive,
+		Status:        status,
+		Running:       m.health.Running,
+		Queued:        m.health.Queued,
+		Suspended:     m.health.Suspended,
+		Parked:        m.health.Parked,
+		Sessions:      m.health.Sessions,
+		Price:         m.price,
+		BasePrice:     m.basePrice,
+		ResumePenalty: m.resumePenalty,
+		LastSeen:      m.lastSeen,
+	}
+}
+
+// updateGaugeLocked publishes the routable-instance count.
+func (r *Registry) updateGaugeLocked() {
+	n := 0
+	for _, m := range r.members {
+		if m.alive {
+			n++
+		}
+	}
+	r.instances.Set(int64(n))
+}
+
+// probeLoop polls every member's /healthz (and cost gauges) each tick.
+func (r *Registry) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		ids := make([]string, 0, len(r.members))
+		for id := range r.members {
+			ids = append(ids, id)
+		}
+		r.mu.Unlock()
+		for _, id := range ids {
+			r.ProbeNow(id)
+		}
+	}
+}
+
+// ProbeNow health-checks one instance synchronously and applies the
+// result, firing OnDeath on an alive-to-dead transition. Reports whether
+// the instance answered.
+func (r *Registry) ProbeNow(id string) bool {
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		return false
+	}
+	url := m.url
+	r.mu.Unlock()
+
+	h, herr := r.fetchHealth(url)
+	penalty, perr := r.fetchResumePenalty(url)
+
+	r.mu.Lock()
+	m = r.members[id] // may have been removed while probing
+	if m == nil {
+		r.mu.Unlock()
+		return false
+	}
+	if herr != nil {
+		m.fails++
+		died := m.alive && m.fails >= r.cfg.DeadAfter
+		if died {
+			m.alive = false
+			r.deaths.Inc()
+			r.updateGaugeLocked()
+		}
+		r.mu.Unlock()
+		if died && r.cfg.OnDeath != nil {
+			go r.cfg.OnDeath(id)
+		}
+		return false
+	}
+	m.fails = 0
+	m.alive = true
+	m.health = h
+	m.lastSeen = time.Now()
+	if perr == nil {
+		m.resumePenalty = penalty
+	}
+	r.updateGaugeLocked()
+	r.mu.Unlock()
+	return true
+}
+
+func (r *Registry) fetchHealth(url string) (server.Health, error) {
+	var h server.Health
+	resp, err := r.client.Get(url + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("controlplane: healthz status %d", resp.StatusCode)
+	}
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// resumePenaltyProbeBytes is the nominal checkpoint size the picker
+// prices a wake-up at: enough to separate a local-speed store from a
+// simulated WAN link without measuring real checkpoints.
+const resumePenaltyProbeBytes = 1 << 20
+
+// fetchResumePenalty derives the instance's cost of resuming a parked or
+// adopted session from its calibrated I/O gauges: one fixed store
+// round-trip plus downloading a nominal checkpoint at the calibrated
+// bandwidth. Instances whose gauges are unset (no calibration yet) report
+// zero penalty.
+func (r *Registry) fetchResumePenalty(url string) (time.Duration, error) {
+	resp, err := r.client.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, err
+	}
+	penalty := time.Duration(snap.Gauges[obs.MetricIOFixedLatency])
+	if bps := snap.Gauges[obs.MetricIODownloadBps]; bps > 0 {
+		penalty += time.Duration(float64(resumePenaltyProbeBytes) / float64(bps) * float64(time.Second))
+	}
+	return penalty, nil
+}

@@ -1,0 +1,114 @@
+package controlplane
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/cloud"
+)
+
+// SpotConfig configures the simulated spot-market driver.
+type SpotConfig struct {
+	// Model samples whether/when each watched instance gets reclaimed.
+	Model cloud.TerminationModel
+	// NoticeLead is how far before reclamation the provider's notice
+	// fires — the drain budget (default 2s).
+	NoticeLead time.Duration
+	// Seed makes lifecycle and price sampling deterministic.
+	Seed int64
+	// PriceBase, when > 0, attaches a per-instance spot-price trace
+	// (cloud.SpotPriceTrace) stepping every PriceStep (default 250ms) and
+	// feeding the registry, so the picker's price term moves.
+	PriceBase float64
+	PriceStep time.Duration
+}
+
+// SpotDriver turns the cloud package's simulated instance lifecycles
+// into control-plane actions: each watched instance gets a sampled
+// reclamation; when its advance notice fires, the driver drains the
+// instance through the proxy so its sessions evacuate to the shared
+// store and rebalance onto survivors — the paper's suspension story at
+// fleet scope.
+type SpotDriver struct {
+	p   *Proxy
+	cfg SpotConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	timers []*time.Timer
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewSpotDriver builds a driver over a proxy.
+func NewSpotDriver(p *Proxy, cfg SpotConfig) *SpotDriver {
+	if cfg.NoticeLead <= 0 {
+		cfg.NoticeLead = 2 * time.Second
+	}
+	if cfg.PriceStep <= 0 {
+		cfg.PriceStep = 250 * time.Millisecond
+	}
+	return &SpotDriver{
+		p:    p,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+	}
+}
+
+// Watch samples a lifecycle for the instance and schedules its
+// termination handling. Returns the sampled instance so callers (and
+// tests) can see whether/when it terminates.
+func (d *SpotDriver) Watch(id string) *cloud.Instance {
+	d.mu.Lock()
+	inst := cloud.NewInstance(d.cfg.Model, d.rng, d.cfg.NoticeLead)
+	var trace *cloud.SpotPriceTrace
+	if d.cfg.PriceBase > 0 {
+		trace = cloud.NewSpotPriceTrace(d.cfg.PriceBase, d.rng.Int63(), d.cfg.PriceStep)
+	}
+	if inst.WillTerminate() {
+		t := time.AfterFunc(inst.NoticeAt(), func() {
+			// The drain may legitimately be refused (last accepting
+			// instance) — the skip is counted and the instance lives on,
+			// which in the simulation stands in for "eat the reclamation".
+			_ = d.p.DrainAndRebalance(id)
+		})
+		d.timers = append(d.timers, t)
+	}
+	d.mu.Unlock()
+
+	if trace != nil {
+		d.wg.Add(1)
+		go d.priceLoop(id, trace)
+	}
+	return inst
+}
+
+// priceLoop steps the instance's price trace into the registry.
+func (d *SpotDriver) priceLoop(id string, trace *cloud.SpotPriceTrace) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.PriceStep)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			_, price := trace.Next()
+			d.p.Registry().SetPrice(id, price, trace.Base)
+		}
+	}
+}
+
+// Close cancels pending notices and price feeds.
+func (d *SpotDriver) Close() {
+	d.mu.Lock()
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}

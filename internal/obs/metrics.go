@@ -268,6 +268,38 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// bucket bound the cumulative count first reaches q*Count at, clamped to
+// the observed Max for the overflow bucket. Zero when empty. Buckets are
+// coarse, so this over-reports by at most one bucket width — the right
+// polarity for latency-bound checks.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.Count))
+	if float64(target) < q*float64(h.Count) {
+		target++ // round up: cumulative must reach, not approach, q
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max // overflow bucket: Max is the tightest bound we have
+		}
+	}
+	return h.Max
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]int64    `json:"counters,omitempty"`

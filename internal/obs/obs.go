@@ -168,6 +168,38 @@ const (
 	MetricLineageAppendLatency = "costmodel.lineage.append_latency_ns"
 	MetricLineageLogBps        = "costmodel.lineage.log_bytes_per_sec"
 	MetricLineageReplayBps     = "costmodel.lineage.replay_bytes_per_sec"
+
+	// Scale-to-zero metrics. IdleSuspended counts running sessions parked
+	// to the store because nobody was watching them; IdleWoken counts
+	// parked sessions re-queued by a client touch (Info/Wait/HTTP).
+	MetricServerIdleSuspended = "server.idle_suspended"
+	MetricServerIdleWoken     = "server.idle_woken"
+
+	// Control-plane metrics (the riveter-proxy fleet layer).
+	// Instances gauges the registered instances currently routable;
+	// Failovers counts dead-instance session moves; Rerouted counts
+	// sessions re-pinned onto a survivor via store adoption; Resubmitted
+	// counts sessions replayed from their original request because no
+	// recoverable state survived; Adopted counts sessions a target
+	// instance claimed on the proxy's behalf; Drains counts deliberate
+	// drain-to-store evacuations (spot notice or operator); DrainSkipped
+	// counts drains refused to keep the last accepting instance alive.
+	MetricCPInstances     = "controlplane.instances"
+	MetricCPFailovers     = "controlplane.failovers"
+	MetricCPRerouted      = "controlplane.rerouted"
+	MetricCPResubmitted   = "controlplane.resubmitted"
+	MetricCPAdopted       = "controlplane.adopted"
+	MetricCPDrains        = "controlplane.drains"
+	MetricCPDrainSkipped  = "controlplane.drain_skipped"
+	MetricCPDeaths        = "controlplane.deaths"
+	MetricCPWakeRequests  = "controlplane.wake_requests"
+	MetricCPProxyRequests = "controlplane.proxy.requests"
+	// MetricCPProxyLatency histograms proxy-observed request latency for
+	// non-blocking operations (submits and session polls; wait-mode
+	// requests go to MetricCPProxyWaitLatency since they legitimately
+	// last the query's runtime).
+	MetricCPProxyLatency     = "controlplane.proxy.latency"
+	MetricCPProxyWaitLatency = "controlplane.proxy.wait_latency"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

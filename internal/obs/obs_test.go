@@ -257,3 +257,38 @@ func TestKinded(t *testing.T) {
 		t.Fatalf("Kinded = %q", got)
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 100, 1000})
+	// 90 observations in the first bucket, 9 in the second, 1 overflow.
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(5000)
+	var hs HistogramSnapshot
+	for _, s := range r.Snapshot().Histograms {
+		if s.Name == "q" {
+			hs = s
+		}
+	}
+	if hs.Count != 100 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if got := hs.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10", got)
+	}
+	if got := hs.Quantile(0.99); got != 100 {
+		t.Errorf("p99 = %d, want 100", got)
+	}
+	// The overflow bucket reports the observed max, not +Inf.
+	if got := hs.Quantile(1); got != 5000 {
+		t.Errorf("p100 = %d, want 5000", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}

@@ -21,6 +21,9 @@ type queryRequest struct {
 	// Wait blocks the request until the session finishes and inlines the
 	// result; otherwise the response carries just the session snapshot.
 	Wait bool `json:"wait,omitempty"`
+	// Session is an optional client session key (Request.Key): idempotent
+	// resubmission, fleet-wide addressing via /sessions/key/{key}.
+	Session string `json:"session,omitempty"`
 }
 
 // resultJSON is an inlined query result.
@@ -39,20 +42,26 @@ type sessionResponse struct {
 
 // Handler returns the server's HTTP API:
 //
-//	GET  /healthz        liveness
-//	POST /query          submit {"sql"|"tpch", "priority", "wait"}
-//	GET  /sessions       all session snapshots, newest first
-//	GET  /sessions/{id}  one session (result inlined when done)
-//	GET  /metrics        registry snapshot (?format=text for human-readable)
-//	GET  /traces         recently finished sessions' event traces
+//	GET  /healthz             readiness: instance, accepting/draining, live counts
+//	POST /query               submit {"sql"|"tpch", "priority", "wait", "session"}
+//	GET  /sessions            all session snapshots, newest first
+//	GET  /sessions/{id}       one session (result inlined when done)
+//	GET  /sessions/key/{key}  one session addressed by client session key
+//	POST /admin/adopt         adopt claimable peer sessions from the shared store
+//	POST /admin/drain         evacuate: suspend everything to the store, stop accepting
+//	GET  /metrics             registry snapshot (?format=text for human-readable)
+//	GET  /traces              recently finished sessions' event traces
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
 	mux.HandleFunc("GET /sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /sessions/key/{key}", s.handleSessionByKey)
+	mux.HandleFunc("POST /admin/adopt", s.handleAdopt)
+	mux.HandleFunc("POST /admin/drain", s.handleDrain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	return mux
@@ -81,7 +90,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.Submit(Request{SQL: req.SQL, TPCH: req.TPCH, Priority: prio})
+	sess, err := s.Submit(Request{SQL: req.SQL, TPCH: req.TPCH, Priority: prio, Key: req.Session})
 	switch {
 	case errors.Is(err, ErrRejected):
 		writeError(w, http.StatusTooManyRequests, err)
@@ -107,15 +116,41 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if _, ok := s.Info(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %s", id))
+	s.writeSession(w, http.StatusOK, r.PathValue("id"))
+}
+
+func (s *Server) handleSessionByKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	sess, ok := s.byKey[key]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session key %s", key))
 		return
 	}
-	s.writeSession(w, http.StatusOK, id)
+	s.writeSession(w, http.StatusOK, sess.id)
+}
+
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	n, err := s.AdoptFromStore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"adopted": n})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.Drain(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 // writeSession renders one session, inlining the result when it is done.
+// A session read over HTTP is a client touch: it restarts the idle clock
+// and wakes a parked session.
 func (s *Server) writeSession(w http.ResponseWriter, status int, id string) {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
@@ -124,7 +159,12 @@ func (s *Server) writeSession(w http.ResponseWriter, status int, id string) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %s", id))
 		return
 	}
+	wasParked := sess.parked
+	s.touchLocked(sess)
 	resp := sessionResponse{Info: sess.infoLocked()}
+	// Report the pre-touch parked state: the request that wakes a parked
+	// session is the one that should see (and count) the wake-up.
+	resp.Parked = wasParked
 	res := sess.res
 	s.mu.Unlock()
 	if res != nil {

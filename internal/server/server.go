@@ -101,22 +101,32 @@ type Config struct {
 	// riveter.WithBlobStore; defaults to a process-unique id. Instances
 	// sharing one store must use distinct ids.
 	InstanceID string
+	// IdleSuspend is the scale-to-zero window: a running session nobody is
+	// watching (no Wait in flight and no Info/HTTP snapshot for this long)
+	// is suspended to the configured store — or the checkpoint directory
+	// without one — and parked: its slot frees, but it is NOT re-queued.
+	// The next touch (Info, Wait, a session HTTP request) wakes it back
+	// into the dispatch queue. An instance whose sessions are all parked
+	// runs zero executions and can be reclaimed for free. Zero disables.
+	IdleSuspend time.Duration
 }
 
 // serverMetrics holds the serving-layer metric handles, resolved once.
 type serverMetrics struct {
-	queueDepth  *obs.Gauge
-	wait        *obs.Histogram
-	preemptions *obs.Counter
-	admit       map[Verdict]*obs.Counter
-	done        *obs.Counter
-	failed      *obs.Counter
-	sessionDur  *obs.Histogram
-	fallback    *obs.Counter
-	quarantined *obs.Counter
-	abandoned   *obs.Counter
-	sweepFailed *obs.Counter
-	migrated    *obs.Counter
+	queueDepth    *obs.Gauge
+	wait          *obs.Histogram
+	preemptions   *obs.Counter
+	admit         map[Verdict]*obs.Counter
+	done          *obs.Counter
+	failed        *obs.Counter
+	sessionDur    *obs.Histogram
+	fallback      *obs.Counter
+	quarantined   *obs.Counter
+	abandoned     *obs.Counter
+	sweepFailed   *obs.Counter
+	migrated      *obs.Counter
+	idleSuspended *obs.Counter
+	idleWoken     *obs.Counter
 }
 
 func resolveServerMetrics(r *obs.Registry) serverMetrics {
@@ -129,14 +139,16 @@ func resolveServerMetrics(r *obs.Registry) serverMetrics {
 			VerdictQueue:  r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictQueue))),
 			VerdictReject: r.Counter(obs.Kinded(obs.MetricServerAdmit, string(VerdictReject))),
 		},
-		done:        r.Counter(obs.Kinded(obs.MetricServerSessions, "done")),
-		failed:      r.Counter(obs.Kinded(obs.MetricServerSessions, "failed")),
-		sessionDur:  r.DurationHistogram(obs.MetricServerSessionDuration),
-		fallback:    r.Counter(obs.MetricCheckpointFallback),
-		quarantined: r.Counter(obs.MetricCheckpointQuarantined),
-		abandoned:   r.Counter(obs.MetricServerPreemptAbandoned),
-		sweepFailed: r.Counter(obs.MetricCheckpointSweepFailed),
-		migrated:    r.Counter(obs.MetricServerMigrated),
+		done:          r.Counter(obs.Kinded(obs.MetricServerSessions, "done")),
+		failed:        r.Counter(obs.Kinded(obs.MetricServerSessions, "failed")),
+		sessionDur:    r.DurationHistogram(obs.MetricServerSessionDuration),
+		fallback:      r.Counter(obs.MetricCheckpointFallback),
+		quarantined:   r.Counter(obs.MetricCheckpointQuarantined),
+		abandoned:     r.Counter(obs.MetricServerPreemptAbandoned),
+		sweepFailed:   r.Counter(obs.MetricCheckpointSweepFailed),
+		migrated:      r.Counter(obs.MetricServerMigrated),
+		idleSuspended: r.Counter(obs.MetricServerIdleSuspended),
+		idleWoken:     r.Counter(obs.MetricServerIdleWoken),
 	}
 }
 
@@ -163,9 +175,14 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// draining distinguishes a deliberate Drain (evacuate-to-store on a
+	// spot termination notice) from a plain Shutdown in Health reports.
+	draining atomic.Bool
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sessions map[string]*Session
+	byKey    map[string]*Session // client session keys -> sessions
 	queue    *sessionQueue
 	running  map[string]*Session
 	free     int
@@ -210,18 +227,19 @@ func New(cfg Config) (*Server, error) {
 		cfg.AbandonCooldown = 500 * time.Millisecond
 	}
 	s := &Server{
-		cfg:      cfg,
-		db:       cfg.DB,
-		fsys:     cfg.FS,
-		adm:      admission{MemoryBudget: cfg.MemoryBudget, QueueLimit: cfg.QueueLimit},
-		met:      resolveServerMetrics(cfg.DB.Metrics()),
-		sessions: map[string]*Session{},
-		running:  map[string]*Session{},
-		free:     cfg.Slots,
+		cfg:        cfg,
+		db:         cfg.DB,
+		fsys:       cfg.FS,
+		adm:        admission{MemoryBudget: cfg.MemoryBudget, QueueLimit: cfg.QueueLimit},
+		met:        resolveServerMetrics(cfg.DB.Metrics()),
+		sessions:   map[string]*Session{},
+		byKey:      map[string]*Session{},
+		running:    map[string]*Session{},
+		free:       cfg.Slots,
+		instanceID: sanitizeInstanceID(cfg.InstanceID),
 	}
 	if st, serr := cfg.DB.BlobStore(); serr == nil {
 		s.store = st
-		s.instanceID = sanitizeInstanceID(cfg.InstanceID)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.cond = sync.NewCond(&s.mu)
@@ -231,8 +249,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.schedule()
+	if cfg.IdleSuspend > 0 {
+		s.wg.Add(1)
+		go s.idleReaper()
+	}
 	return s, nil
 }
+
+// InstanceID returns this server's (sanitized) instance id.
+func (s *Server) InstanceID() string { return s.instanceID }
 
 // Policy returns the active scheduling policy.
 func (s *Server) Policy() Policy { return s.cfg.Policy }
@@ -274,6 +299,15 @@ func (s *Server) Submit(req Request) (*Session, error) {
 	if s.stopping {
 		return nil, ErrClosed
 	}
+	if req.Key != "" {
+		// Keyed submission is idempotent: the same key addresses the same
+		// session, so a routing proxy retrying after a timeout (or racing
+		// its own failover) can never double-run a query.
+		if prev, ok := s.byKey[req.Key]; ok {
+			s.touchLocked(prev)
+			return prev, nil
+		}
+	}
 	verdict, aerr := s.adm.Admit(est, s.queue.Len(), s.free)
 	s.met.admit[verdict].Inc()
 	if aerr != nil {
@@ -283,6 +317,7 @@ func (s *Server) Submit(req Request) (*Session, error) {
 	now := time.Now()
 	sess := &Session{
 		id:         fmt.Sprintf("s-%d", s.seq),
+		key:        req.Key,
 		display:    display,
 		sql:        req.SQL,
 		tpch:       req.TPCH,
@@ -293,11 +328,29 @@ func (s *Server) Submit(req Request) (*Session, error) {
 		state:      StateQueued,
 		submitted:  now,
 		lastQueued: now,
+		lastTouch:  now,
 		done:       make(chan struct{}),
 	}
 	s.sessions[sess.id] = sess
+	if sess.key != "" {
+		s.byKey[sess.key] = sess
+	}
 	s.enqueueLocked(sess)
 	return sess, nil
+}
+
+// touchLocked records a client interaction with a session: the idle clock
+// restarts, a pending idle-park is converted back into a normal requeue,
+// and a parked session wakes into the dispatch queue.
+func (s *Server) touchLocked(sess *Session) {
+	sess.lastTouch = time.Now()
+	sess.idlePark = false
+	if sess.parked {
+		sess.parked = false
+		sess.lastQueued = time.Now()
+		s.met.idleWoken.Inc()
+		s.enqueueLocked(sess)
+	}
 }
 
 // enqueueLocked adds a session to the dispatch queue and wakes the
@@ -308,7 +361,9 @@ func (s *Server) enqueueLocked(sess *Session) {
 	s.cond.Broadcast()
 }
 
-// Info returns a session snapshot.
+// Info returns a session snapshot. Reading a session counts as a client
+// touch: it restarts the idle clock and wakes the session if it was
+// parked by scale-to-zero. Use Sessions for a passive bulk view.
 func (s *Server) Info(id string) (Info, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,6 +371,19 @@ func (s *Server) Info(id string) (Info, bool) {
 	if !ok {
 		return Info{}, false
 	}
+	s.touchLocked(sess)
+	return sess.infoLocked(), true
+}
+
+// InfoByKey is Info addressed by client session key.
+func (s *Server) InfoByKey(key string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.byKey[key]
+	if !ok {
+		return Info{}, false
+	}
+	s.touchLocked(sess)
 	return sess.infoLocked(), true
 }
 
@@ -345,14 +413,24 @@ func sessionSeq(id string) uint64 {
 
 // Wait blocks until the session reaches a terminal state and returns its
 // result. Suspended and queued sessions keep Wait blocked — they are still
-// destined to finish.
+// destined to finish. A waited-on session never counts as idle, so the
+// scale-to-zero reaper cannot park a query someone is blocked on.
 func (s *Server) Wait(ctx context.Context, id string) (*riveter.Result, error) {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
+	if ok {
+		sess.waiters++
+		s.touchLocked(sess)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("server: unknown session %s", id)
 	}
+	defer func() {
+		s.mu.Lock()
+		sess.waiters--
+		s.mu.Unlock()
+	}()
 	select {
 	case <-sess.done:
 	case <-ctx.Done():
@@ -408,6 +486,54 @@ func (s *Server) schedule() {
 		if !progressed {
 			s.cond.Wait()
 		}
+	}
+}
+
+// idleReaper is the scale-to-zero loop: every quarter window it scans the
+// running set for sessions nobody is watching — no Wait in flight, no
+// touch for at least IdleSuspend — and requests their suspension with the
+// idle-park flag set, so the landing suspension parks the session instead
+// of re-queueing it. Parked sessions hold no slot and run no workers; an
+// instance whose sessions are all parked is at zero live executions.
+func (s *Server) idleReaper() {
+	defer s.wg.Done()
+	tick := s.cfg.IdleSuspend / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		for _, r := range s.running {
+			if r.exec == nil || r.suspendRequested || r.waiters > 0 {
+				continue
+			}
+			// The idle clock starts at the later of dispatch and last touch:
+			// a freshly dispatched (or just-woken) query always gets a full
+			// window of progress before it can park again.
+			idleSince := r.lastTouch
+			if r.started.After(idleSince) {
+				idleSince = r.started
+			}
+			if now.Sub(idleSince) < s.cfg.IdleSuspend {
+				continue
+			}
+			r.idlePark = true
+			r.suspendRequested = true
+			s.requestSuspend(r.exec)
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -665,11 +791,9 @@ func (s *Server) run(sess *Session, ckpt, storeKey, lineage string) {
 			sess.lineage = ""
 			sess.state = StateSuspended
 			sess.lastQueued = time.Now()
-			sess.preemptions++
-			s.met.preemptions.Inc()
 			delete(s.running, sess.id)
 			s.free++
-			s.enqueueLocked(sess)
+			s.parkOrEnqueueLocked(sess)
 			s.mu.Unlock()
 			return
 		default:
@@ -699,12 +823,28 @@ func (s *Server) requeueSealed(sess *Session, exec *riveter.Execution, ckpt, sto
 	sess.lineage = sealed
 	sess.state = StateSuspended
 	sess.lastQueued = time.Now()
-	sess.preemptions++
-	s.met.preemptions.Inc()
 	delete(s.running, sess.id)
 	s.free++
-	s.enqueueLocked(sess)
+	s.parkOrEnqueueLocked(sess)
 	s.mu.Unlock()
+}
+
+// parkOrEnqueueLocked routes a just-suspended session: an idle-park
+// suspension parks it (counted as server.idle_suspended, woken by the
+// next touch), anything else is a preemption round trip that re-enters
+// the dispatch queue.
+func (s *Server) parkOrEnqueueLocked(sess *Session) {
+	if sess.idlePark {
+		sess.idlePark = false
+		sess.parked = true
+		s.met.idleSuspended.Inc()
+		// A park freed a slot; queued work (if any) can dispatch into it.
+		s.cond.Broadcast()
+		return
+	}
+	sess.preemptions++
+	s.met.preemptions.Inc()
+	s.enqueueLocked(sess)
 }
 
 // persistPreemption walks the first two rungs of the degradation ladder:
@@ -906,9 +1046,78 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Health is the instance's readiness snapshot, served on /healthz and
+// consumed by the control plane's registry. Parked sessions are counted
+// apart from live ones: a parked session holds no slot and runs no
+// workers, so an instance at Running+Queued+Suspended == 0 is at zero
+// live executions even with parked sessions waiting to be woken.
+type Health struct {
+	Instance  string `json:"instance"`
+	Status    string `json:"status"` // "accepting" or "draining"
+	Running   int    `json:"running"`
+	Queued    int    `json:"queued"`
+	Suspended int    `json:"suspended"`
+	Parked    int    `json:"parked"`
+	Sessions  int    `json:"sessions"`
+}
+
+// Health snapshots the instance's readiness. It does NOT count as a
+// client touch — the control plane polls it, and polling must not keep
+// idle sessions from parking.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Instance: s.instanceID,
+		Status:   "accepting",
+		Running:  len(s.running),
+		Sessions: len(s.sessions),
+	}
+	if s.stopping || s.draining.Load() {
+		h.Status = "draining"
+	}
+	for _, sess := range s.sessions {
+		switch {
+		case sess.parked:
+			h.Parked++
+		case sess.state == StateQueued:
+			h.Queued++
+		case sess.state == StateSuspended:
+			h.Suspended++
+		}
+	}
+	return h
+}
+
+// Drain evacuates the instance: Health flips to "draining" first (so a
+// routing proxy stops sending new sessions here), then a graceful
+// Shutdown suspends every in-flight query and persists the state
+// document for peers to adopt. The HTTP handler stays readable after a
+// drain — the control plane keeps polling /healthz until the evacuation
+// lands.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.Shutdown(ctx)
+}
+
+// Kill hard-stops the server without persisting anything — the in-process
+// analog of SIGKILL or a spot reclaim that outran its notice. Running
+// executions abort; the checkpoints earlier suspensions pushed to the
+// shared store are the only state that survives, exactly as after a real
+// instance death.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
 // persistedSession is one state-manifest entry.
 type persistedSession struct {
 	ID         string `json:"id"`
+	Key        string `json:"key,omitempty"`
 	SQL        string `json:"sql,omitempty"`
 	TPCH       int    `json:"tpch,omitempty"`
 	Priority   int    `json:"priority"`
@@ -938,6 +1147,7 @@ func (s *Server) persistState() error {
 		}
 		m.Sessions = append(m.Sessions, persistedSession{
 			ID:         sess.id,
+			Key:        sess.key,
 			SQL:        sess.sql,
 			TPCH:       sess.tpch,
 			Priority:   int(sess.priority),
@@ -1040,6 +1250,7 @@ func (s *Server) restoreState() error {
 		}
 		sess := &Session{
 			id:         p.ID,
+			key:        p.Key,
 			display:    display,
 			sql:        p.SQL,
 			tpch:       p.TPCH,
@@ -1049,9 +1260,13 @@ func (s *Server) restoreState() error {
 			state:      StateQueued,
 			submitted:  now,
 			lastQueued: now,
+			lastTouch:  now,
 			checkpoint: p.Checkpoint,
 			lineage:    p.Lineage,
 			done:       make(chan struct{}),
+		}
+		if sess.key != "" {
+			s.byKey[sess.key] = sess
 		}
 		if p.Checkpoint != "" {
 			// A torn checkpoint is quarantined here, before the session can
@@ -1101,9 +1316,41 @@ func (s *Server) restoreStoreState() error {
 	// GC failures are counted in blobstore.gc.failed, not fatal: a store
 	// that cannot even be listed will fail the document scan below.
 	_, _ = s.store.GC()
+	_, err := s.adoptStoreDocs()
+	return err
+}
+
+// AdoptFromStore adopts claimable sessions peers left in the shared
+// store while this server is live — the control plane calls it (via
+// POST /admin/adopt) after detecting an instance death, so the victim's
+// suspended sessions resume on a survivor without waiting for anyone to
+// restart. Unlike the startup path it runs no GC pass: runtime is not
+// the quiet window, and a GC could race a peer's in-flight upload.
+// Returns the number of sessions adopted.
+func (s *Server) AdoptFromStore() (int, error) {
+	if s.store == nil {
+		return 0, fmt.Errorf("server: no blob store configured")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return 0, ErrClosed
+	}
+	n, err := s.adoptStoreDocs()
+	if n > 0 {
+		s.cond.Broadcast()
+	}
+	return n, err
+}
+
+// adoptStoreDocs scans every state document in the shared store and
+// adopts each claimable session, returning how many were enqueued.
+// Called lock-free from New (the scheduler is not running yet) and under
+// s.mu from AdoptFromStore.
+func (s *Server) adoptStoreDocs() (int, error) {
 	docs, err := s.store.ListDocs()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Own document first — an instance restarting reclaims its own
 	// sessions before looking at anyone else's leftovers.
@@ -1114,6 +1361,7 @@ func (s *Server) restoreStoreState() error {
 		return docs[i] < docs[j]
 	})
 	now := time.Now()
+	adopted := 0
 	for _, doc := range docs {
 		if !strings.HasPrefix(doc, stateDocPrefix) {
 			continue
@@ -1147,7 +1395,9 @@ func (s *Server) restoreStoreState() error {
 			if !ok {
 				continue // a peer instance owns this session now
 			}
-			s.adoptPersistedSession(p, own, now)
+			if s.adoptPersistedSession(p, own, now) {
+				adopted++
+			}
 		}
 		// The document is consumed once every session found a home: ours
 		// unconditionally (unclaimable entries were processed above), a
@@ -1157,14 +1407,28 @@ func (s *Server) restoreStoreState() error {
 		}
 	}
 	s.met.queueDepth.Set(int64(s.queue.Len()))
-	return nil
+	return adopted, nil
 }
 
-// adoptPersistedSession re-admits one claimed state-document entry. The
-// original session id is kept when free (so clients polling a session of
-// a dead instance find it on the survivor); colliding ids get a fresh
-// one. Called from New, before the scheduler starts.
-func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Time) {
+// adoptPersistedSession re-admits one claimed state-document entry,
+// reporting whether it was enqueued. The original session id is kept
+// when free (so clients polling a session of a dead instance find it on
+// the survivor); colliding ids get a fresh one — but the client session
+// key, when present, is kept verbatim: it is the fleet-wide identity a
+// routing proxy addresses, and it must survive migration even when the
+// local id cannot. Called from New (before the scheduler starts) and
+// from AdoptFromStore (under s.mu).
+func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Time) bool {
+	if p.Key != "" {
+		if _, dup := s.byKey[p.Key]; dup {
+			// The key already lives here — the proxy resubmitted it, or an
+			// earlier adoption round won. The persisted copy is stale state
+			// of the same logical session; drop its checkpoint and claim so
+			// it cannot resurface anywhere.
+			s.releaseStoreCheckpoint(p.StoreKey)
+			return false
+		}
+	}
 	var (
 		q       *riveter.Query
 		display string
@@ -1186,6 +1450,7 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 	}
 	sess := &Session{
 		id:         id,
+		key:        p.Key,
 		display:    display,
 		sql:        p.SQL,
 		tpch:       p.TPCH,
@@ -1195,6 +1460,7 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 		state:      StateQueued,
 		submitted:  now,
 		lastQueued: now,
+		lastTouch:  now,
 		checkpoint: p.Checkpoint,
 		storeKey:   p.StoreKey,
 		lineage:    p.Lineage,
@@ -1228,12 +1494,15 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 			sess.state = StateSuspended
 		}
 	}
+	if sess.key != "" {
+		s.byKey[sess.key] = sess
+	}
 	if qerr != nil {
 		sess.state = StateFailed
 		sess.err = qerr
 		close(sess.done)
 		s.sessions[sess.id] = sess
-		return
+		return false
 	}
 	sess.est = q.Estimate()
 	s.sessions[sess.id] = sess
@@ -1241,6 +1510,7 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 	if !own {
 		s.met.migrated.Inc()
 	}
+	return true
 }
 
 // sweepTempDirs removes orphaned in-flight .tmp files a crashed

@@ -98,6 +98,14 @@ type Request struct {
 	// Priority is the session's class (zero value = Batch; use Normal or
 	// Interactive for foreground work).
 	Priority Priority
+	// Key is an optional client-chosen session key. Keys make submission
+	// idempotent (re-submitting an existing key returns the existing
+	// session instead of a new one) and survive migration: an instance
+	// adopting this session from the shared store keeps the key even when
+	// the local id collides, so a routing proxy can address the session
+	// wherever it lands. Keys share the id namespace of lookups and must
+	// be unique per store.
+	Key string
 }
 
 // Session is one submitted query moving through the serving life cycle.
@@ -106,6 +114,7 @@ type Request struct {
 type Session struct {
 	id       string
 	display  string // "tpch:21" or the SQL text
+	key      string // client session key ("" = none); stable across migration
 	sql      string
 	tpch     int
 	priority Priority
@@ -140,15 +149,28 @@ type Session struct {
 	// the scheduler never double-suspends one execution.
 	suspendRequested bool
 
+	// Scale-to-zero bookkeeping. lastTouch is the last client interaction
+	// (submit, Info, Wait, HTTP snapshot); waiters counts in-flight Wait
+	// calls, which keep a session from counting as idle. idlePark marks a
+	// suspension requested by the idle reaper: when it lands, the session
+	// parks (suspended, NOT re-queued) instead of re-entering the dispatch
+	// queue, and the next touch wakes it.
+	lastTouch time.Time
+	waiters   int
+	idlePark  bool
+	parked    bool
+
 	done chan struct{} // closed on Done/Failed
 }
 
 // Info is a point-in-time, lock-free snapshot of a session.
 type Info struct {
 	ID          string        `json:"id"`
+	Key         string        `json:"key,omitempty"`
 	Query       string        `json:"query"`
 	Priority    string        `json:"priority"`
 	State       State         `json:"state"`
+	Parked      bool          `json:"parked,omitempty"`
 	Preemptions int           `json:"preemptions"`
 	Abandoned   int           `json:"abandoned,omitempty"`
 	Waited      time.Duration `json:"waited_ns"`
@@ -167,9 +189,11 @@ type Info struct {
 func (s *Session) infoLocked() Info {
 	in := Info{
 		ID:            s.id,
+		Key:           s.key,
 		Query:         s.display,
 		Priority:      s.priority.String(),
 		State:         s.state,
+		Parked:        s.parked,
 		Preemptions:   s.preemptions,
 		Abandoned:     s.abandoned,
 		Waited:        s.waited,
