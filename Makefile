@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
 # adaptive controller, serving layer, public API) — the -race job covers these.
-RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/...
+RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/... ./internal/faultnet/...
 
 # Packages exercising the fault-injection matrix: the injectable
 # filesystem, checkpoint crash/verify tests, the lineage-log crash matrix,
@@ -18,7 +18,7 @@ FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/stra
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite fault-matrix ci
+.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite chaos-suite fault-matrix ci
 
 all: build
 
@@ -123,6 +123,18 @@ fleet-suite:
 	$(GO) test -race -count=1 -run 'Health|Keyed|Idle|Adopt|Fleet' ./internal/server/...
 	sh scripts/proxy_smoke.sh
 
+# The chaos suite under the race detector, twice: the faultnet
+# fault-injection layer's unit tests, the breaker/retry classification
+# tests, and the five deterministic chaos scenarios — asymmetric
+# partition with split-brain adoption, double-adopt fencing, flap
+# quarantine, slow-link failover, and the N-waiter same-key kill — each
+# of which must land on exactly-once execution. -count=2 proves the
+# seeded plans replay.
+chaos-suite:
+	$(GO) test -race -count=2 ./internal/faultnet/...
+	$(GO) test -race -count=2 -timeout 30m \
+		-run 'TestChaos|TestBreaker|TestRetry' ./internal/controlplane/
+
 # The fault matrix under the race detector, twice — crash points, torn
 # writes, ENOSPC, quarantine, retry/fallback/abandon ladders. -count=2
 # also shakes out order dependence between injected faults.
@@ -131,4 +143,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fleet-suite fault-matrix
+ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fleet-suite chaos-suite fault-matrix

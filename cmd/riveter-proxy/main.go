@@ -35,6 +35,7 @@ import (
 
 	"github.com/riveterdb/riveter/internal/cloud"
 	"github.com/riveterdb/riveter/internal/controlplane"
+	"github.com/riveterdb/riveter/internal/faultnet"
 	"github.com/riveterdb/riveter/internal/obs"
 )
 
@@ -53,6 +54,14 @@ func main() {
 		healthInterval = flag.Duration("health-interval", 100*time.Millisecond, "instance health-probe period")
 		deadAfter      = flag.Int("dead-after", 3, "consecutive failed probes before an instance is dead")
 		reqTimeout     = flag.Duration("timeout", 2*time.Second, "per-forwarded-request timeout")
+		retryBudget    = flag.Int("retry-budget", 3, "attempts per idempotent fleet request")
+		backoffBase    = flag.Duration("backoff-base", 10*time.Millisecond, "retry backoff base (full-jitter exponential)")
+		backoffMax     = flag.Duration("backoff-max", 500*time.Millisecond, "retry backoff ceiling per sleep")
+		retrySeed      = flag.Int64("retry-seed", 1, "retry jitter seed (reproducible backoff schedules)")
+		brkThreshold   = flag.Int("breaker-threshold", 5, "consecutive request failures that trip an instance's circuit breaker")
+		brkCooldown    = flag.Duration("breaker-cooldown", 2*time.Second, "quarantine before a tripped breaker allows a half-open trial")
+		chaosPlan      = flag.String("chaos-plan", "", "faultnet plan spec injected into every instance-facing request (e.g. 'drop:op=/query,nth=3,count=2;latency:link=127.0.0.1:8081,d=50ms')")
+		chaosSeed      = flag.Int64("chaos-seed", 1, "chaos plan jitter/choice seed")
 		spotProb       = flag.Float64("spot-prob", 0, "simulated spot termination probability per instance (0 = off)")
 		spotStart      = flag.Duration("spot-start", 5*time.Second, "termination window start")
 		spotEnd        = flag.Duration("spot-end", 30*time.Second, "termination window end")
@@ -64,10 +73,28 @@ func main() {
 	flag.Parse()
 
 	met := obs.NewRegistry()
+	// -chaos-plan arms a deterministic faultnet plan on every
+	// instance-facing link (proxy requests and health probes both), so a
+	// deployment can be rehearsed against partitions and flaky links
+	// without touching the network. Production runs leave this empty and
+	// pay nothing.
+	var transport http.RoundTripper
+	if *chaosPlan != "" {
+		plan, err := faultnet.ParsePlan(*chaosPlan, *chaosSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan.SetMetrics(met)
+		transport = &faultnet.Transport{Plan: plan}
+		log.Printf("chaos: armed fault plan %q (seed %d)", *chaosPlan, *chaosSeed)
+	}
 	reg := controlplane.NewRegistry(controlplane.RegistryConfig{
-		HealthInterval: *healthInterval,
-		DeadAfter:      *deadAfter,
-		Metrics:        met,
+		HealthInterval:   *healthInterval,
+		DeadAfter:        *deadAfter,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Transport:        transport,
+		Metrics:          met,
 	})
 	defer reg.Close()
 	var spot *controlplane.SpotDriver
@@ -75,6 +102,13 @@ func main() {
 		Registry:       reg,
 		Metrics:        met,
 		RequestTimeout: *reqTimeout,
+		Transport:      transport,
+		Retry: controlplane.RetryPolicy{
+			Budget:      *retryBudget,
+			BackoffBase: *backoffBase,
+			BackoffMax:  *backoffMax,
+			Seed:        *retrySeed,
+		},
 		OnRegister: func(id string) {
 			if spot != nil {
 				if inst := spot.Watch(id); inst.WillTerminate() {

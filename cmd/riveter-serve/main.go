@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -145,11 +146,42 @@ func main() {
 			log.Fatal("-control needs -advertise (the URL the proxy reaches this instance at)")
 		}
 		body, _ := json.Marshal(map[string]string{"id": srv.InstanceID(), "url": *advertise})
-		resp, rerr := http.Post(*control+"/fleet/register", "application/json", bytes.NewReader(body))
-		if rerr != nil {
+		// The proxy may still be starting (or briefly unreachable) when the
+		// instance comes up — retry the registration with a short backoff
+		// instead of dying on the first connection refusal.
+		registered := false
+		var rerr error
+		for attempt := 0; attempt < 5; attempt++ {
+			if attempt > 0 {
+				time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			var req *http.Request
+			req, rerr = http.NewRequestWithContext(ctx, http.MethodPost,
+				*control+"/fleet/register", bytes.NewReader(body))
+			if rerr != nil {
+				cancel()
+				break
+			}
+			req.Header.Set("Content-Type", "application/json")
+			var resp *http.Response
+			resp, rerr = http.DefaultClient.Do(req)
+			cancel()
+			if rerr != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				rerr = fmt.Errorf("register status %d", resp.StatusCode)
+				continue
+			}
+			registered = true
+			break
+		}
+		if !registered {
 			log.Fatalf("register with control plane %s: %v", *control, rerr)
 		}
-		resp.Body.Close()
 		log.Printf("registered instance %q at %s with control plane %s", srv.InstanceID(), *advertise, *control)
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/riveterdb/riveter/internal/checkpoint"
 	"github.com/riveterdb/riveter/internal/cloud"
+	"github.com/riveterdb/riveter/internal/faultnet"
 	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/vector"
 )
@@ -79,6 +80,46 @@ func TestRemoteDedupSkipsTransfer(t *testing.T) {
 	// compare against the data-plane-dominated first write.
 	if *total*3 > firstCharge {
 		t.Fatalf("dedup write charged %v vs full write %v; transfers not skipped", *total, firstCharge)
+	}
+}
+
+// TestRemoteFaultInjection proves the store link honours a faultnet
+// plan: a dropped PUT never reaches the inner backend, an asymmetric PUT
+// lands but loses its acknowledgement (the split-brain write), and a
+// healed plan passes everything through.
+func TestRemoteFaultInjection(t *testing.T) {
+	local, err := NewLocal(nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemote(local, cloud.NetProfile{})
+	plan := faultnet.NewPlan(1).DropNth("store", "PUT ", 1, 1)
+	remote.SetFaults(plan, "store")
+
+	if err := remote.Put("a", []byte("x")); err == nil {
+		t.Fatal("dropped PUT succeeded")
+	}
+	if ok, _ := local.Has("a"); ok {
+		t.Fatal("dropped PUT reached the inner backend")
+	}
+	if err := remote.Put("a", []byte("x")); err != nil {
+		t.Fatalf("post-window PUT: %v", err)
+	}
+
+	plan.Asym("store", "PUT b")
+	if err := remote.Put("b", []byte("y")); err == nil {
+		t.Fatal("asym PUT reported success")
+	}
+	if ok, _ := local.Has("b"); !ok {
+		t.Fatal("asym PUT must land despite the lost ack")
+	}
+
+	plan.Heal()
+	if err := remote.Put("c", []byte("z")); err != nil {
+		t.Fatalf("healed link PUT: %v", err)
+	}
+	if data, err := remote.Get("c"); err != nil || string(data) != "z" {
+		t.Fatalf("healed link GET = %q, %v", data, err)
 	}
 }
 

@@ -14,12 +14,20 @@ package controlplane
 //
 // Parked sessions cost nothing: scale-to-zero means an instance full of
 // parked state is as attractive as an empty one.
+//
+// A half-open breaker adds a flat half-session penalty: the instance is
+// on probation, so it only wins the pick when it is otherwise clearly
+// the better home — which is exactly the trial request the breaker
+// needs to re-close.
 func (v InstanceView) Score() float64 {
 	score := float64(v.Live())
 	if v.BasePrice > 0 {
 		score += v.Price / v.BasePrice
 	}
 	score += v.ResumePenalty.Seconds()
+	if v.Breaker == "half-open" {
+		score += 0.5
+	}
 	return score
 }
 

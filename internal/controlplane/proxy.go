@@ -1,11 +1,11 @@
 package controlplane
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
@@ -30,6 +30,12 @@ type ProxyConfig struct {
 	// poll is a client touch on the instance, so a parked session being
 	// waited on wakes and stays awake.
 	PollInterval time.Duration
+	// Retry bounds the per-request retry budget and backoff schedule.
+	Retry RetryPolicy
+	// Transport, when set, replaces the proxy's instance-facing
+	// RoundTripper — the chaos harness injects faultnet here. Defaults to
+	// the process-wide pooled transport.
+	Transport http.RoundTripper
 	// OnRegister fires after POST /fleet/register adds an instance — the
 	// spot driver hooks lifecycle sampling here.
 	OnRegister func(id string)
@@ -43,16 +49,18 @@ type route struct {
 }
 
 type proxyMetrics struct {
-	requests    *obs.Counter
-	failovers   *obs.Counter
-	rerouted    *obs.Counter
-	resubmitted *obs.Counter
-	adopted     *obs.Counter
-	drains      *obs.Counter
-	drainSkip   *obs.Counter
-	wakes       *obs.Counter
-	latency     *obs.Histogram
-	waitLatency *obs.Histogram
+	requests       *obs.Counter
+	failovers      *obs.Counter
+	rerouted       *obs.Counter
+	resubmitted    *obs.Counter
+	adopted        *obs.Counter
+	drains         *obs.Counter
+	drainSkip      *obs.Counter
+	wakes          *obs.Counter
+	retries        *obs.Counter
+	retryExhausted *obs.Counter
+	latency        *obs.Histogram
+	waitLatency    *obs.Histogram
 }
 
 // Proxy is the fleet's single client endpoint: it owns the session-key →
@@ -64,9 +72,18 @@ type Proxy struct {
 	reg    *Registry
 	metReg *obs.Registry
 	met    proxyMetrics
-	client *http.Client
-	drainC *http.Client
-	poll   time.Duration
+	// client carries no flat timeout: every attempt gets its own
+	// context deadline in once() (reqTimeout for regular requests,
+	// drainTimeout for drains).
+	client       *http.Client
+	reqTimeout   time.Duration
+	drainTimeout time.Duration
+	poll         time.Duration
+	retry        RetryPolicy
+
+	// rng drives the full-jitter backoff; seeded so chaos runs replay.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	onRegister func(id string)
 
@@ -94,25 +111,35 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 20 * time.Millisecond
 	}
+	retry := cfg.Retry.withDefaults()
+	transport := cfg.Transport
+	if transport == nil {
+		transport = sharedTransport()
+	}
 	p := &Proxy{
-		reg:        cfg.Registry,
-		metReg:     cfg.Metrics,
-		client:     &http.Client{Timeout: cfg.RequestTimeout},
-		drainC:     &http.Client{Timeout: cfg.DrainTimeout},
-		poll:       cfg.PollInterval,
-		onRegister: cfg.OnRegister,
-		routes:     map[string]*route{},
+		reg:          cfg.Registry,
+		metReg:       cfg.Metrics,
+		client:       &http.Client{Transport: transport},
+		reqTimeout:   cfg.RequestTimeout,
+		drainTimeout: cfg.DrainTimeout,
+		poll:         cfg.PollInterval,
+		retry:        retry,
+		rng:          rand.New(rand.NewSource(retry.Seed)),
+		onRegister:   cfg.OnRegister,
+		routes:       map[string]*route{},
 		met: proxyMetrics{
-			requests:    cfg.Metrics.Counter(obs.MetricCPProxyRequests),
-			failovers:   cfg.Metrics.Counter(obs.MetricCPFailovers),
-			rerouted:    cfg.Metrics.Counter(obs.MetricCPRerouted),
-			resubmitted: cfg.Metrics.Counter(obs.MetricCPResubmitted),
-			adopted:     cfg.Metrics.Counter(obs.MetricCPAdopted),
-			drains:      cfg.Metrics.Counter(obs.MetricCPDrains),
-			drainSkip:   cfg.Metrics.Counter(obs.MetricCPDrainSkipped),
-			wakes:       cfg.Metrics.Counter(obs.MetricCPWakeRequests),
-			latency:     cfg.Metrics.DurationHistogram(obs.MetricCPProxyLatency),
-			waitLatency: cfg.Metrics.DurationHistogram(obs.MetricCPProxyWaitLatency),
+			requests:       cfg.Metrics.Counter(obs.MetricCPProxyRequests),
+			failovers:      cfg.Metrics.Counter(obs.MetricCPFailovers),
+			rerouted:       cfg.Metrics.Counter(obs.MetricCPRerouted),
+			resubmitted:    cfg.Metrics.Counter(obs.MetricCPResubmitted),
+			adopted:        cfg.Metrics.Counter(obs.MetricCPAdopted),
+			drains:         cfg.Metrics.Counter(obs.MetricCPDrains),
+			drainSkip:      cfg.Metrics.Counter(obs.MetricCPDrainSkipped),
+			wakes:          cfg.Metrics.Counter(obs.MetricCPWakeRequests),
+			retries:        cfg.Metrics.Counter(obs.MetricCPRetries),
+			retryExhausted: cfg.Metrics.Counter(obs.MetricCPRetryExhausted),
+			latency:        cfg.Metrics.DurationHistogram(obs.MetricCPProxyLatency),
+			waitLatency:    cfg.Metrics.DurationHistogram(obs.MetricCPProxyWaitLatency),
 		},
 	}
 	if cfg.Registry.cfg.OnDeath == nil {
@@ -208,7 +235,7 @@ func (p *Proxy) handleQuery(w http.ResponseWriter, r *http.Request) {
 	fwd.Session = key
 	body, _ := json.Marshal(fwd)
 
-	env, inst, status, err := p.submitRoute(key, body)
+	env, inst, status, err := p.submitRoute(r.Context(), key, body)
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -232,7 +259,7 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	p.met.requests.Inc()
 	key := r.PathValue("key")
-	env, inst, status, err := p.fetchSession(key)
+	env, inst, status, err := p.fetchSession(r.Context(), key)
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -245,8 +272,11 @@ func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 
 // submitRoute forwards a keyed submission, picking (or keeping) the
 // session's instance and failing over when the pick turns out dead.
-func (p *Proxy) submitRoute(key string, body []byte) (sessionEnvelope, string, int, error) {
-	for attempt := 0; attempt < 4; attempt++ {
+// Every submission is keyed (the instance dedups by key), so the inner
+// retry layer may replay it freely; this outer loop only handles
+// routing outcomes — dead instance, drain, breaker quarantine.
+func (p *Proxy) submitRoute(ctx context.Context, key string, body []byte) (sessionEnvelope, string, int, error) {
+	for attempt := 0; attempt < 6; attempt++ {
 		target, pinned := p.routeInstance(key)
 		if !pinned {
 			v, ok := PickTarget(p.reg.Views())
@@ -260,12 +290,25 @@ func (p *Proxy) submitRoute(key string, body []byte) (sessionEnvelope, string, i
 			p.unpin(key)
 			continue
 		}
-		env, status, err := p.postJSON(p.client, view.URL+"/query", body)
-		if err != nil {
+		env, status, err := p.do(ctx, call{
+			target:     target,
+			method:     http.MethodPost,
+			url:        view.URL + "/query",
+			body:       body,
+			idempotent: true,
+		})
+		switch {
+		case errors.Is(err, errBreakerOpen):
+			// Quarantined: route elsewhere without probing — the breaker
+			// is already holding the instance out of service.
+			p.unpin(key)
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, "", http.StatusServiceUnavailable, ctx.Err()
+			}
 			p.failover(target, true)
 			continue
-		}
-		switch {
 		case status == http.StatusOK:
 			p.pin(key, target, env.str("id"), body)
 			return env, target, status, nil
@@ -287,8 +330,8 @@ func (p *Proxy) submitRoute(key string, body []byte) (sessionEnvelope, string, i
 // key. A successful read is a client touch instance-side: it wakes a
 // parked session, which the pre-touch "parked" flag in the response
 // records (counted as a wake request).
-func (p *Proxy) fetchSession(key string) (sessionEnvelope, string, int, error) {
-	for attempt := 0; attempt < 4; attempt++ {
+func (p *Proxy) fetchSession(ctx context.Context, key string) (sessionEnvelope, string, int, error) {
+	for attempt := 0; attempt < 6; attempt++ {
 		target, pinned := p.routeInstance(key)
 		if !pinned {
 			return nil, "", http.StatusNotFound, fmt.Errorf("controlplane: unknown session key %s", key)
@@ -297,9 +340,22 @@ func (p *Proxy) fetchSession(key string) (sessionEnvelope, string, int, error) {
 		if !ok {
 			return nil, "", http.StatusNotFound, fmt.Errorf("controlplane: session %s pinned to unknown instance %s", key, target)
 		}
-		env, status, err := p.getJSON(view.URL + "/sessions/key/" + url.PathEscape(key))
+		env, status, err := p.do(ctx, call{
+			target:     target,
+			method:     http.MethodGet,
+			url:        view.URL + "/sessions/key/" + url.PathEscape(key),
+			idempotent: true,
+		})
 		switch {
+		case errors.Is(err, errBreakerOpen):
+			// The pinned instance is quarantined; move the key to a
+			// survivor the same way a failover would.
+			p.recoverKeys([]string{key})
+			continue
 		case err != nil:
+			if ctx.Err() != nil {
+				return nil, "", http.StatusServiceUnavailable, ctx.Err()
+			}
 			p.failover(target, true)
 			continue
 		case status == http.StatusOK:
@@ -328,7 +384,7 @@ func (p *Proxy) waitForKey(ctx context.Context, key string) (sessionEnvelope, st
 	t := time.NewTicker(p.poll)
 	defer t.Stop()
 	for {
-		env, inst, _, err := p.fetchSession(key)
+		env, inst, _, err := p.fetchSession(ctx, key)
 		if err == nil {
 			switch env.str("state") {
 			case "done", "failed":
@@ -381,11 +437,17 @@ func (p *Proxy) recoverKeysLocked(keys []string) {
 		return
 	}
 	p.adoptOn(target)
+	ctx := context.Background() // recovery outlives any one client request
 	for _, key := range keys {
 		if cur, pinned := p.routeInstance(key); pinned && cur == target.ID {
 			continue // a concurrent recovery already moved it
 		}
-		env, status, err := p.getJSON(target.URL + "/sessions/key/" + url.PathEscape(key))
+		env, status, err := p.do(ctx, call{
+			target:     target.ID,
+			method:     http.MethodGet,
+			url:        target.URL + "/sessions/key/" + url.PathEscape(key),
+			idempotent: true,
+		})
 		if err == nil && status == http.StatusOK {
 			p.pin(key, target.ID, env.str("id"), nil)
 			p.met.failovers.Inc()
@@ -396,7 +458,13 @@ func (p *Proxy) recoverKeysLocked(keys []string) {
 		if body == nil {
 			continue
 		}
-		env, status, err = p.postJSON(p.client, target.URL+"/query", body)
+		env, status, err = p.do(ctx, call{
+			target:     target.ID,
+			method:     http.MethodPost,
+			url:        target.URL + "/query",
+			body:       body,
+			idempotent: true, // keyed: the instance dedups replays
+		})
 		if err == nil && status == http.StatusOK {
 			p.pin(key, target.ID, env.str("id"), nil)
 			p.met.failovers.Inc()
@@ -409,7 +477,14 @@ func (p *Proxy) recoverKeysLocked(keys []string) {
 // store (POST /admin/adopt). Best-effort: an instance without a store
 // answers 400 and the resubmission path covers for it.
 func (p *Proxy) adoptOn(target InstanceView) {
-	env, status, err := p.postJSON(p.client, target.URL+"/admin/adopt", []byte("{}"))
+	env, status, err := p.do(context.Background(), call{
+		target: target.ID,
+		method: http.MethodPost,
+		url:    target.URL + "/admin/adopt",
+		body:   []byte("{}"),
+		// Adoption is idempotent: store-level claims fence duplicates.
+		idempotent: true,
+	})
 	if err != nil || status != http.StatusOK {
 		return
 	}
@@ -441,7 +516,16 @@ func (p *Proxy) DrainAndRebalance(id string) error {
 		p.met.drainSkip.Inc()
 		return fmt.Errorf("controlplane: refusing to drain %s: last accepting instance", id)
 	}
-	if _, status, err := p.postJSON(p.drainC, view.URL+"/admin/drain", []byte("{}")); err != nil {
+	// Drains are not idempotent (a replay would hit an already-draining
+	// instance) and legitimately run long: one attempt, drain-sized
+	// deadline, no breaker gate bypass needed — a quarantined instance
+	// can still be deliberately evacuated.
+	if _, status, err := p.do(context.Background(), call{
+		method:  http.MethodPost,
+		url:     view.URL + "/admin/drain",
+		body:    []byte("{}"),
+		timeout: p.drainTimeout,
+	}); err != nil {
 		return fmt.Errorf("controlplane: drain %s: %w", id, err)
 	} else if status != http.StatusOK {
 		return fmt.Errorf("controlplane: drain %s: status %d", id, status)
@@ -476,7 +560,11 @@ func (p *Proxy) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
 		if !v.Alive {
 			continue
 		}
-		env, status, err := p.getJSON(v.URL + "/metrics")
+		env, status, err := p.do(r.Context(), call{
+			method:     http.MethodGet,
+			url:        v.URL + "/metrics",
+			idempotent: true,
+		})
 		if err != nil || status != http.StatusOK {
 			continue
 		}
@@ -566,28 +654,4 @@ func (p *Proxy) keysPinnedTo(id string) []string {
 		}
 	}
 	return keys
-}
-
-// HTTP helpers.
-
-func (p *Proxy) postJSON(c *http.Client, url string, body []byte) (sessionEnvelope, int, error) {
-	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	var env sessionEnvelope
-	_ = json.NewDecoder(resp.Body).Decode(&env)
-	return env, resp.StatusCode, nil
-}
-
-func (p *Proxy) getJSON(url string) (sessionEnvelope, int, error) {
-	resp, err := p.client.Get(url)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	var env sessionEnvelope
-	_ = json.NewDecoder(resp.Body).Decode(&env)
-	return env, resp.StatusCode, nil
 }

@@ -40,7 +40,17 @@ type RegistryConfig struct {
 	// ProbeTimeout bounds one health or metrics probe (default 1s) — a
 	// dead instance must fail fast, not hold a request for a TCP eternity.
 	ProbeTimeout time.Duration
-	// Metrics receives controlplane.instances / controlplane.deaths.
+	// BreakerThreshold is how many consecutive request-path failures trip
+	// an instance's circuit breaker open (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker quarantines its
+	// instance before a half-open trial may re-close it (default 2s).
+	BreakerCooldown time.Duration
+	// Transport, when set, replaces the probe client's RoundTripper —
+	// the chaos harness injects faultnet here.
+	Transport http.RoundTripper
+	// Metrics receives controlplane.instances / controlplane.deaths and
+	// the controlplane.breaker.* family.
 	Metrics *obs.Registry
 	// OnDeath fires (asynchronously, once per death) when the prober marks
 	// an instance dead. The proxy hooks its failover here.
@@ -59,6 +69,9 @@ type member struct {
 	// penalty from the instance's calibrated costmodel.io.* gauges.
 	price, basePrice float64
 	resumePenalty    time.Duration
+
+	// brk is the instance's request-path circuit breaker (breaker.go).
+	brk breaker
 }
 
 // InstanceView is a point-in-time public snapshot of one instance.
@@ -76,6 +89,9 @@ type InstanceView struct {
 	BasePrice     float64       `json:"base_price,omitempty"`
 	ResumePenalty time.Duration `json:"resume_penalty_ns,omitempty"`
 	LastSeen      time.Time     `json:"last_seen,omitempty"`
+	// Breaker is the instance's effective circuit-breaker state:
+	// "" (closed), "open", or "half-open".
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Live is the instance's live session load: running, queued, and
@@ -83,16 +99,29 @@ type InstanceView struct {
 // they hold no slot and cost nothing until woken.
 func (v InstanceView) Live() int { return v.Running + v.Queued + v.Suspended }
 
-// Accepting reports whether the instance can take new sessions.
-func (v InstanceView) Accepting() bool { return v.Alive && v.Status == "accepting" }
+// Accepting reports whether the instance can take new sessions: alive,
+// not draining, and not breaker-quarantined. A half-open breaker still
+// accepts — that one trial request is how the breaker re-closes.
+func (v InstanceView) Accepting() bool {
+	return v.Alive && v.Status == "accepting" && v.Breaker != "open"
+}
 
 // Registry tracks the fleet's instances and their health.
 type Registry struct {
 	cfg    RegistryConfig
 	client *http.Client
 
-	instances *obs.Gauge
-	deaths    *obs.Counter
+	// nowFn is the registry's clock — swappable so breaker cooldowns are
+	// testable without real sleeps.
+	nowFn func() time.Time
+
+	instances     *obs.Gauge
+	deaths        *obs.Counter
+	probeDraining *obs.Counter
+	brkOpened     *obs.Counter
+	brkClosed     *obs.Counter
+	brkRejected   *obs.Counter
+	brkOpen       *obs.Gauge
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -113,17 +142,43 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = sharedTransport()
+	}
 	r := &Registry{
-		cfg:       cfg,
-		client:    &http.Client{Timeout: cfg.ProbeTimeout},
-		instances: cfg.Metrics.Gauge(obs.MetricCPInstances),
-		deaths:    cfg.Metrics.Counter(obs.MetricCPDeaths),
-		members:   map[string]*member{},
+		cfg: cfg,
+		// Probes are bounded per-request by a context in ProbeNow, not by
+		// a flat client timeout.
+		client:        &http.Client{Transport: transport},
+		nowFn:         time.Now,
+		instances:     cfg.Metrics.Gauge(obs.MetricCPInstances),
+		deaths:        cfg.Metrics.Counter(obs.MetricCPDeaths),
+		probeDraining: cfg.Metrics.Counter(obs.MetricCPProbeDraining),
+		brkOpened:     cfg.Metrics.Counter(obs.MetricCPBreakerOpened),
+		brkClosed:     cfg.Metrics.Counter(obs.MetricCPBreakerClosed),
+		brkRejected:   cfg.Metrics.Counter(obs.MetricCPBreakerRejected),
+		brkOpen:       cfg.Metrics.Gauge(obs.MetricCPBreakerOpen),
+		members:       map[string]*member{},
 	}
 	r.ctx, r.cancel = context.WithCancel(context.Background())
 	r.wg.Add(1)
 	go r.probeLoop()
 	return r
+}
+
+// setNow swaps the registry's clock (tests drive breaker cooldowns
+// without sleeping).
+func (r *Registry) setNow(fn func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nowFn = fn
 }
 
 // Close stops the probe loop.
@@ -144,7 +199,11 @@ func (r *Registry) Register(id, url string) {
 	m.url = url
 	m.alive = true
 	m.fails = 0
+	// A (re-)registration is an operator-grade assertion the instance is
+	// back: its breaker restarts closed.
+	m.brk = breaker{}
 	r.updateGaugeLocked()
+	r.updateBreakerGaugeLocked()
 	r.mu.Unlock()
 	// Probe immediately so the instance is routable without waiting a tick.
 	r.ProbeNow(id)
@@ -179,6 +238,11 @@ func (r *Registry) MarkDead(id string) bool {
 	}
 	m.alive = false
 	m.fails = r.cfg.DeadAfter
+	// Death trips the breaker: when the instance revives (probes answer
+	// again) it still waits out the cooldown before taking traffic, which
+	// is the quarantine that stops an alive/dead flapper from reclaiming
+	// its sessions every probe interval.
+	r.openBreakerLocked(m)
 	r.deaths.Inc()
 	r.updateGaugeLocked()
 	return true
@@ -192,7 +256,7 @@ func (r *Registry) View(id string) (InstanceView, bool) {
 	if m == nil {
 		return InstanceView{}, false
 	}
-	return m.view(), true
+	return m.view(r.nowFn(), r.cfg.BreakerCooldown), true
 }
 
 // Views snapshots every instance, sorted by id (deterministic routing
@@ -201,19 +265,25 @@ func (r *Registry) Views() []InstanceView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]InstanceView, 0, len(r.members))
+	now, cooldown := r.nowFn(), r.cfg.BreakerCooldown
 	for _, m := range r.members {
-		out = append(out, m.view())
+		out = append(out, m.view(now, cooldown))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-func (m *member) view() InstanceView {
+func (m *member) view(now time.Time, cooldown time.Duration) InstanceView {
 	status := m.health.Status
 	if !m.alive {
 		status = "dead"
 	}
+	brk := ""
+	if s := m.brk.effective(now, cooldown); s != breakerClosed {
+		brk = s.String()
+	}
 	return InstanceView{
+		Breaker:       brk,
 		ID:            m.id,
 		URL:           m.url,
 		Alive:         m.alive,
@@ -277,8 +347,10 @@ func (r *Registry) ProbeNow(id string) bool {
 	url := m.url
 	r.mu.Unlock()
 
-	h, herr := r.fetchHealth(url)
-	penalty, perr := r.fetchResumePenalty(url)
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ProbeTimeout)
+	h, herr := r.fetchHealth(ctx, url)
+	penalty, perr := r.fetchResumePenalty(ctx, url)
+	cancel()
 
 	r.mu.Lock()
 	m = r.members[id] // may have been removed while probing
@@ -291,6 +363,7 @@ func (r *Registry) ProbeNow(id string) bool {
 		died := m.alive && m.fails >= r.cfg.DeadAfter
 		if died {
 			m.alive = false
+			r.openBreakerLocked(m) // same quarantine as MarkDead
 			r.deaths.Inc()
 			r.updateGaugeLocked()
 		}
@@ -303,26 +376,47 @@ func (r *Registry) ProbeNow(id string) bool {
 	m.fails = 0
 	m.alive = true
 	m.health = h
-	m.lastSeen = time.Now()
+	m.lastSeen = r.nowFn()
 	if perr == nil {
 		m.resumePenalty = penalty
 	}
+	// Probe-as-trial: an answered probe closes a breaker whose cooldown
+	// has elapsed, so a recovered instance returns to service even when no
+	// client request is willing to gamble on it first.
+	r.maybeCloseBreakerOnProbeLocked(m)
 	r.updateGaugeLocked()
 	r.mu.Unlock()
 	return true
 }
 
-func (r *Registry) fetchHealth(url string) (server.Health, error) {
+// fetchHealth probes one instance's /healthz. A 200 is healthy; a 429 or
+// 503 carrying a decodable health document is "draining but alive" — the
+// instance answered, it just refuses new sessions, and killing it for
+// that would turn every deliberate drain into a spurious failover.
+// Anything else is a miss.
+func (r *Registry) fetchHealth(ctx context.Context, url string) (server.Health, error) {
 	var h server.Health
-	resp, err := r.client.Get(url + "/healthz")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return h, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return h, json.NewDecoder(resp.Body).Decode(&h)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if derr := json.NewDecoder(resp.Body).Decode(&h); derr == nil && h.Status != "" {
+			r.probeDraining.Inc()
+			return h, nil
+		}
+		return h, fmt.Errorf("controlplane: healthz status %d with no health document", resp.StatusCode)
+	default:
 		return h, fmt.Errorf("controlplane: healthz status %d", resp.StatusCode)
 	}
-	return h, json.NewDecoder(resp.Body).Decode(&h)
 }
 
 // resumePenaltyProbeBytes is the nominal checkpoint size the picker
@@ -335,8 +429,12 @@ const resumePenaltyProbeBytes = 1 << 20
 // round-trip plus downloading a nominal checkpoint at the calibrated
 // bandwidth. Instances whose gauges are unset (no calibration yet) report
 // zero penalty.
-func (r *Registry) fetchResumePenalty(url string) (time.Duration, error) {
-	resp, err := r.client.Get(url + "/metrics")
+func (r *Registry) fetchResumePenalty(ctx context.Context, url string) (time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return 0, err
 	}

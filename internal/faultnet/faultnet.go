@@ -1,0 +1,402 @@
+// Package faultnet is the network twin of internal/faultfs: a
+// deterministic, seedable fault-injection layer for the fleet's HTTP
+// links and the blob store's simulated data plane. Production code runs
+// on the real transport; chaos tests (and the riveter-proxy -chaos-plan
+// flag) arm a declarative Plan of per-link rules — fixed latency plus
+// seeded jitter, drop-the-Nth-request, blackhole partitions with heal
+// times, asymmetric partitions (the request is delivered but the
+// response is lost), injected 5xx answers, and truncated response
+// bodies — and thread it through an http.RoundTripper (Transport) or
+// the blob store's Remote backend.
+//
+// Rules mirror faultfs's fail-Nth-op design: a rule fires on deliveries
+// whose link and op match, starting at the Nth such delivery, for Count
+// firings (0 = until healed). All state transitions are driven by the
+// plan's own clock and a seeded RNG, so a chaos scenario replays
+// byte-for-byte.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// Sentinel errors injected faults surface. They model transport-level
+// failures, so the control plane's classifier treats them exactly like a
+// real dropped packet or severed link.
+var (
+	// ErrDropped is a drop-Nth rule firing: the request never left.
+	ErrDropped = errors.New("faultnet: request dropped (injected)")
+	// ErrBlackholed is a partition: every delivery on the link fails until
+	// the partition heals.
+	ErrBlackholed = errors.New("faultnet: link partitioned (injected)")
+	// ErrResponseLost is the asymmetric partition: the request WAS
+	// delivered (the far side executed it), but the response never came
+	// back — the caller cannot distinguish this from ErrDropped, which is
+	// the whole point.
+	ErrResponseLost = errors.New("faultnet: response lost on partitioned link (injected)")
+)
+
+// Kind identifies a fault rule's behavior.
+type Kind string
+
+// The rule kinds. Latency rules compose (their delays add and rule
+// evaluation continues); the others are terminal — the first one that
+// fires decides the delivery's fate.
+const (
+	KindLatency   Kind = "latency"
+	KindDrop      Kind = "drop"
+	KindBlackhole Kind = "blackhole"
+	KindAsym      Kind = "asym"
+	KindStatus    Kind = "status"
+	KindTruncate  Kind = "truncate"
+)
+
+// Rule is one declarative fault. A rule applies to deliveries whose link
+// contains Link and whose op contains Op (empty matches everything),
+// starting at the Nth matching delivery (1-based), for Count firings
+// (0 = forever). After delays arming relative to plan creation; Heal
+// disarms the rule that long after it armed (0 = only explicit
+// HealLink/Heal calls disarm it).
+type Rule struct {
+	Kind  Kind
+	Link  string
+	Op    string
+	Nth   int
+	Count int
+
+	// Latency/Jitter shape KindLatency: every matching delivery waits
+	// Latency plus a seeded uniform draw from [0, Jitter].
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Status is the synthesized HTTP status for KindStatus (default 502).
+	Status int
+
+	// TruncateBytes caps the response body for KindTruncate (default 16):
+	// readers get that many bytes and then io.ErrUnexpectedEOF, exactly
+	// like a connection cut mid-body.
+	TruncateBytes int
+
+	After time.Duration
+	Heal  time.Duration
+
+	seen   int
+	fired  int
+	healed bool
+}
+
+// Verdict is the plan's decision for one delivery.
+type Verdict struct {
+	// Delay is simulated link time to charge before anything else.
+	Delay time.Duration
+	// Err fails the delivery outright; the far side never sees it.
+	Err error
+	// ErrAfter fails the delivery AFTER the far side executed it (the
+	// asymmetric partition): callers must perform the operation, discard
+	// its result, and return this error.
+	ErrAfter error
+	// Status, when non-zero, synthesizes an HTTP error answer of this
+	// status without contacting the far side.
+	Status int
+	// TruncateBytes, when non-zero, delivers the real response but cuts
+	// its body after this many bytes.
+	TruncateBytes int
+}
+
+type planMetrics struct {
+	total, delayed, dropped, blackholed, asym, status, truncated *obs.Counter
+}
+
+// Plan is a mutable set of fault rules plus the deterministic state
+// (seeded RNG, injectable clock, per-rule counters) that drives them.
+// The zero rule set is a passthrough. Safe for concurrent use.
+type Plan struct {
+	mu       sync.Mutex
+	rules    []*Rule
+	rng      *rand.Rand
+	now      func() time.Time
+	start    time.Time
+	injected int
+	met      planMetrics
+}
+
+// NewPlan builds an empty plan whose jitter draws come from seed.
+func NewPlan(seed int64) *Plan {
+	p := &Plan{rng: rand.New(rand.NewSource(seed)), now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// SetMetrics attaches faultnet.* counters so fired faults are visible on
+// /metrics. Nil-safe either way.
+func (p *Plan) SetMetrics(reg *obs.Registry) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = planMetrics{
+		total:      reg.Counter(obs.MetricFNInjected),
+		delayed:    reg.Counter(obs.MetricFNDelayed),
+		dropped:    reg.Counter(obs.MetricFNDropped),
+		blackholed: reg.Counter(obs.MetricFNBlackholed),
+		asym:       reg.Counter(obs.MetricFNAsymLost),
+		status:     reg.Counter(obs.MetricFNStatus),
+		truncated:  reg.Counter(obs.MetricFNTruncated),
+	}
+	return p
+}
+
+// SetNow replaces the plan's clock (tests drive After/Heal windows
+// deterministically). Resets the arming origin to the new clock's now.
+func (p *Plan) SetNow(fn func() time.Time) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = fn
+	p.start = fn()
+	return p
+}
+
+// Add arms one rule, normalizing defaults. Returns the plan for chaining.
+func (p *Plan) Add(r Rule) *Plan {
+	if r.Nth <= 0 {
+		r.Nth = 1
+	}
+	if r.Kind == KindStatus && r.Status == 0 {
+		r.Status = 502
+	}
+	if r.Kind == KindTruncate && r.TruncateBytes <= 0 {
+		r.TruncateBytes = 16
+	}
+	p.mu.Lock()
+	p.rules = append(p.rules, &r)
+	p.mu.Unlock()
+	return p
+}
+
+// Latency arms a slow-link rule: every delivery on links containing link
+// waits d plus a seeded draw from [0, jitter].
+func (p *Plan) Latency(link string, d, jitter time.Duration) *Plan {
+	return p.Add(Rule{Kind: KindLatency, Link: link, Latency: d, Jitter: jitter})
+}
+
+// DropNth arms a drop rule: matching deliveries starting at the nth fail
+// with ErrDropped, count times (0 = forever).
+func (p *Plan) DropNth(link, op string, nth, count int) *Plan {
+	return p.Add(Rule{Kind: KindDrop, Link: link, Op: op, Nth: nth, Count: count})
+}
+
+// Blackhole arms a full partition on links containing link: every
+// delivery fails with ErrBlackholed until HealLink(link) (or a Heal
+// duration set via Add) lifts it.
+func (p *Plan) Blackhole(link string) *Plan {
+	return p.Add(Rule{Kind: KindBlackhole, Link: link})
+}
+
+// Asym arms an asymmetric partition: matching deliveries are handed to
+// the far side (which executes them), but the response is replaced with
+// ErrResponseLost until healed.
+func (p *Plan) Asym(link, op string) *Plan {
+	return p.Add(Rule{Kind: KindAsym, Link: link, Op: op})
+}
+
+// InjectStatus arms a synthesized HTTP error answer (e.g. 502) for
+// matching deliveries, nth/count windowed like DropNth.
+func (p *Plan) InjectStatus(link, op string, status, nth, count int) *Plan {
+	return p.Add(Rule{Kind: KindStatus, Link: link, Op: op, Status: status, Nth: nth, Count: count})
+}
+
+// Truncate arms a cut-mid-body rule: the response arrives but its body
+// ends after bytes with an unexpected EOF.
+func (p *Plan) Truncate(link, op string, nth, count, bytes int) *Plan {
+	return p.Add(Rule{Kind: KindTruncate, Link: link, Op: op, Nth: nth, Count: count, TruncateBytes: bytes})
+}
+
+// HealLink disarms every rule whose Link equals link — the partition
+// heals, the slow link speeds up. Rules with a different (or empty) Link
+// keep running.
+func (p *Plan) HealLink(link string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Link == link {
+			r.healed = true
+		}
+	}
+}
+
+// Heal disarms every rule in the plan.
+func (p *Plan) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		r.healed = true
+	}
+}
+
+// Injected returns how many faults have fired (delays included).
+func (p *Plan) Injected() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// activeLocked reports whether a rule's time window is open.
+func (p *Plan) activeLocked(r *Rule, now time.Time) bool {
+	if r.healed {
+		return false
+	}
+	armAt := p.start.Add(r.After)
+	if now.Before(armAt) {
+		return false
+	}
+	if r.Heal > 0 && !now.Before(armAt.Add(r.Heal)) {
+		return false
+	}
+	return true
+}
+
+// Check runs the plan for one delivery on (link, op) and returns its
+// fate. Latency rules compose; the first terminal rule that fires wins.
+// Nil-safe: a nil plan is a passthrough.
+func (p *Plan) Check(link, op string) Verdict {
+	if p == nil {
+		return Verdict{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v Verdict
+	now := p.now()
+	for _, r := range p.rules {
+		if !p.activeLocked(r, now) {
+			continue
+		}
+		if r.Link != "" && !strings.Contains(link, r.Link) {
+			continue
+		}
+		if r.Op != "" && !strings.Contains(op, r.Op) {
+			continue
+		}
+		r.seen++
+		if r.seen < r.Nth {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		p.injected++
+		p.met.total.Inc()
+		switch r.Kind {
+		case KindLatency:
+			d := r.Latency
+			if r.Jitter > 0 {
+				d += time.Duration(p.rng.Int63n(int64(r.Jitter) + 1))
+			}
+			v.Delay += d
+			p.met.delayed.Inc()
+			continue // latency composes with whatever else the plan holds
+		case KindDrop:
+			v.Err = ErrDropped
+			p.met.dropped.Inc()
+		case KindBlackhole:
+			v.Err = ErrBlackholed
+			p.met.blackholed.Inc()
+		case KindAsym:
+			v.ErrAfter = ErrResponseLost
+			p.met.asym.Inc()
+		case KindStatus:
+			v.Status = r.Status
+			p.met.status.Inc()
+		case KindTruncate:
+			v.TruncateBytes = r.TruncateBytes
+			p.met.truncated.Inc()
+		}
+		return v
+	}
+	return v
+}
+
+// Parse adds rules from a declarative plan spec (the riveter-proxy
+// -chaos-plan grammar):
+//
+//	spec  := rule (';' rule)*
+//	rule  := kind [':' kv (',' kv)*]
+//	kind  := latency | drop | blackhole | asym | status | truncate
+//	kv    := link=S | op=S | nth=N | count=N | d=DUR | jitter=DUR |
+//	         code=N | bytes=N | after=DUR | heal=DUR
+//
+// Example: "latency:link=10.0.0.7,d=50ms,jitter=20ms;
+// drop:op=/query,nth=3,count=2;blackhole:link=10.0.0.9,after=2s,heal=5s".
+func (p *Plan) Parse(spec string) error {
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		kindStr, kvs, _ := strings.Cut(raw, ":")
+		r := Rule{Kind: Kind(strings.TrimSpace(kindStr))}
+		switch r.Kind {
+		case KindLatency, KindDrop, KindBlackhole, KindAsym, KindStatus, KindTruncate:
+		default:
+			return fmt.Errorf("faultnet: unknown rule kind %q in %q", kindStr, raw)
+		}
+		for _, kv := range strings.Split(kvs, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("faultnet: bad key=value %q in %q", kv, raw)
+			}
+			var err error
+			switch k {
+			case "link":
+				r.Link = val
+			case "op":
+				r.Op = val
+			case "nth":
+				r.Nth, err = strconv.Atoi(val)
+			case "count":
+				r.Count, err = strconv.Atoi(val)
+			case "code":
+				r.Status, err = strconv.Atoi(val)
+			case "bytes":
+				r.TruncateBytes, err = strconv.Atoi(val)
+			case "d":
+				r.Latency, err = time.ParseDuration(val)
+			case "jitter":
+				r.Jitter, err = time.ParseDuration(val)
+			case "after":
+				r.After, err = time.ParseDuration(val)
+			case "heal":
+				r.Heal, err = time.ParseDuration(val)
+			default:
+				return fmt.Errorf("faultnet: unknown key %q in %q", k, raw)
+			}
+			if err != nil {
+				return fmt.Errorf("faultnet: bad value for %s in %q: %w", k, raw, err)
+			}
+		}
+		p.Add(r)
+	}
+	return nil
+}
+
+// ParsePlan builds a seeded plan from a spec string.
+func ParsePlan(spec string, seed int64) (*Plan, error) {
+	p := NewPlan(seed)
+	if err := p.Parse(spec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,274 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+func TestPlanNthCountWindow(t *testing.T) {
+	p := NewPlan(1).DropNth("", "", 3, 2)
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, p.Check("host", "GET /x").Err)
+	}
+	for i, want := range []bool{false, false, true, true, false, false} {
+		if got := errs[i] != nil; got != want {
+			t.Fatalf("delivery %d: err=%v, want fired=%v", i+1, errs[i], want)
+		}
+	}
+	if p.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", p.Injected())
+	}
+}
+
+func TestPlanLinkOpMatching(t *testing.T) {
+	p := NewPlan(1).DropNth("a:81", "/query", 1, 0)
+	if p.Check("a:81", "GET /healthz").Err != nil {
+		t.Fatal("op mismatch must not fire")
+	}
+	if p.Check("b:82", "POST /query").Err != nil {
+		t.Fatal("link mismatch must not fire")
+	}
+	if p.Check("a:81", "POST /query").Err == nil {
+		t.Fatal("matching delivery must fire")
+	}
+}
+
+func TestPlanLatencyComposesAndIsSeeded(t *testing.T) {
+	mk := func() *Plan {
+		return NewPlan(42).
+			Latency("slow", 10*time.Millisecond, 5*time.Millisecond).
+			DropNth("slow", "", 2, 1)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 8; i++ {
+		va, vb := a.Check("slow:1", "GET /"), b.Check("slow:1", "GET /")
+		if va.Delay != vb.Delay {
+			t.Fatalf("delivery %d: same seed diverged: %v vs %v", i, va.Delay, vb.Delay)
+		}
+		if va.Delay < 10*time.Millisecond || va.Delay > 15*time.Millisecond {
+			t.Fatalf("delay %v outside [10ms,15ms]", va.Delay)
+		}
+		if (va.Err != nil) != (vb.Err != nil) {
+			t.Fatalf("delivery %d: drop decisions diverged", i)
+		}
+		if i == 1 && va.Err == nil {
+			t.Fatal("2nd delivery should both delay and drop (latency composes)")
+		}
+	}
+}
+
+func TestPlanBlackholeHeal(t *testing.T) {
+	p := NewPlan(1).Blackhole("dead-host")
+	if err := p.Check("dead-host:9", "GET /").Err; !errors.Is(err, ErrBlackholed) {
+		t.Fatalf("partitioned link err = %v", err)
+	}
+	p.HealLink("dead-host")
+	if err := p.Check("dead-host:9", "GET /").Err; err != nil {
+		t.Fatalf("healed link still failing: %v", err)
+	}
+}
+
+func TestPlanAfterHealWindows(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	p := NewPlan(1)
+	p.SetNow(now)
+	p.Add(Rule{Kind: KindBlackhole, Link: "w", After: 2 * time.Second, Heal: 3 * time.Second})
+
+	if p.Check("w:1", "GET /").Err != nil {
+		t.Fatal("rule fired before its After window")
+	}
+	clock = clock.Add(2 * time.Second)
+	if p.Check("w:1", "GET /").Err == nil {
+		t.Fatal("rule not firing inside its window")
+	}
+	clock = clock.Add(3 * time.Second)
+	if p.Check("w:1", "GET /").Err != nil {
+		t.Fatal("rule still firing after its Heal time")
+	}
+}
+
+func TestParseGrammar(t *testing.T) {
+	p, err := ParsePlan("latency:link=a,d=50ms,jitter=20ms; drop:op=/query,nth=3,count=2;"+
+		"blackhole:link=b,after=1s,heal=2s;asym:link=c;status:code=503,nth=1;truncate:bytes=4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules) != 6 {
+		t.Fatalf("parsed %d rules, want 6", len(p.rules))
+	}
+	r := p.rules[0]
+	if r.Kind != KindLatency || r.Link != "a" || r.Latency != 50*time.Millisecond || r.Jitter != 20*time.Millisecond {
+		t.Fatalf("latency rule = %+v", r)
+	}
+	if r := p.rules[1]; r.Kind != KindDrop || r.Op != "/query" || r.Nth != 3 || r.Count != 2 {
+		t.Fatalf("drop rule = %+v", r)
+	}
+	if r := p.rules[2]; r.After != time.Second || r.Heal != 2*time.Second {
+		t.Fatalf("blackhole rule = %+v", r)
+	}
+	if r := p.rules[4]; r.Status != 503 {
+		t.Fatalf("status rule = %+v", r)
+	}
+	if r := p.rules[5]; r.TruncateBytes != 4 {
+		t.Fatalf("truncate rule = %+v", r)
+	}
+
+	for _, bad := range []string{"explode:link=a", "drop:nth", "drop:nth=x", "drop:zap=1"} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// chaosServer counts deliveries so tests can tell "dropped before the
+// wire" from "delivered but the response was lost".
+func chaosServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"state":"done","id":"s-1"}`)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &hits
+}
+
+func TestTransportDropNeverDelivers(t *testing.T) {
+	hs, hits := chaosServer(t)
+	plan := NewPlan(1).DropNth("", "", 1, 1)
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	if _, err := client.Get(hs.URL); err == nil || !strings.Contains(err.Error(), ErrDropped.Error()) {
+		t.Fatalf("dropped request err = %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	resp, err := client.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("post-window request: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1", hits.Load())
+	}
+}
+
+func TestTransportAsymDeliversButLosesResponse(t *testing.T) {
+	hs, hits := chaosServer(t)
+	plan := NewPlan(1).Asym("", "")
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	if _, err := client.Get(hs.URL); err == nil || !strings.Contains(err.Error(), ErrResponseLost.Error()) {
+		t.Fatalf("asym request err = %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("asym request delivery count = %d, want 1 (request must reach the server)", hits.Load())
+	}
+}
+
+func TestTransportInjectedStatusSkipsServer(t *testing.T) {
+	hs, hits := chaosServer(t)
+	met := obs.NewRegistry()
+	plan := NewPlan(1).SetMetrics(met)
+	plan.InjectStatus("", "", 503, 1, 1)
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	resp, err := client.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var env map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("synthesized body: %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("injected status still contacted the server")
+	}
+	if met.Counter(obs.MetricFNStatus).Value() != 1 || met.Counter(obs.MetricFNInjected).Value() != 1 {
+		t.Fatal("status injection not counted")
+	}
+}
+
+func TestTransportTruncatedBody(t *testing.T) {
+	hs, _ := chaosServer(t)
+	plan := NewPlan(1).Truncate("", "", 1, 1, 5)
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	resp, err := client.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want unexpected EOF", err)
+	}
+	if len(data) != 5 {
+		t.Fatalf("got %d bytes before the cut, want 5", len(data))
+	}
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err == nil {
+		t.Fatal("truncated JSON decoded cleanly — cut too late")
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	hs, hits := chaosServer(t)
+	plan := NewPlan(1).Latency("", 10*time.Second, 0)
+	client := &http.Client{Transport: &Transport{Plan: plan}, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(hs.URL)
+	if err == nil {
+		t.Fatal("delayed request beat its deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not cut the injected delay short (%v)", elapsed)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("timed-out request reached the server")
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	hs, _ := chaosServer(t)
+	plan := NewPlan(7).
+		DropNth("", "", 3, 0).
+		Latency("", time.Microsecond, time.Microsecond)
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	var wg sync.WaitGroup
+	var ok, dropped atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := client.Get(hs.URL)
+				if err != nil {
+					dropped.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() != 2 || dropped.Load() != 158 {
+		t.Fatalf("ok=%d dropped=%d, want 2/158 (drop-from-3rd forever)", ok.Load(), dropped.Load())
+	}
+}

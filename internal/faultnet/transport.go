@@ -1,0 +1,111 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that runs every request through a
+// fault Plan before (and after) handing it to Base. The link is the
+// request's host:port, the op is "METHOD /path" — so rules can partition
+// one instance, slow one route, or drop only /query submissions while
+// health probes sail through.
+type Transport struct {
+	// Base performs real deliveries. Nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan decides each delivery's fate. Nil is a passthrough.
+	Plan *Plan
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.Plan.Check(req.URL.Host, req.Method+" "+req.URL.Path)
+	if v.Delay > 0 {
+		timer := time.NewTimer(v.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if v.Err != nil {
+		// The request never reaches the far side; its body must still be
+		// closed, as a real transport would on a dial failure.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, v.Err
+	}
+	if v.Status != 0 {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"faultnet: injected status %d"}`+"\n", v.Status)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", v.Status, http.StatusText(v.Status)),
+			StatusCode:    v.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.ErrAfter != nil {
+		// Asymmetric partition: the far side executed the request, but the
+		// response dies on the way back. Drain so the connection can be
+		// reused, then surface a transport error.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, v.ErrAfter
+	}
+	if v.TruncateBytes > 0 {
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: v.TruncateBytes}
+	}
+	return resp, nil
+}
+
+// truncatedBody delivers the first N bytes of a body and then fails with
+// io.ErrUnexpectedEOF, the way a severed connection presents mid-read.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The real body ended inside the budget; deliver the true EOF.
+		return n, err
+	}
+	if err == nil && b.remaining <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

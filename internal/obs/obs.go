@@ -200,6 +200,35 @@ const (
 	// last the query's runtime).
 	MetricCPProxyLatency     = "controlplane.proxy.latency"
 	MetricCPProxyWaitLatency = "controlplane.proxy.wait_latency"
+
+	// Fleet resilience metrics. Retries counts backed-off re-attempts of a
+	// transiently failed instance request; RetryExhausted counts logical
+	// requests that burned their whole retry budget without an answer;
+	// ProbeDraining counts health probes classified "draining but alive"
+	// (a 429/503 answer carrying a parseable health document — NOT a death
+	// miss). The breaker.* namespace tracks the per-instance circuit
+	// breakers: Opened counts closed→open trips, Closed counts half-open
+	// trial successes returning an instance to service, Rejected counts
+	// requests fast-failed while a breaker was open, and Open gauges how
+	// many breakers are currently open.
+	MetricCPRetries         = "controlplane.retries"
+	MetricCPRetryExhausted  = "controlplane.retry_exhausted"
+	MetricCPProbeDraining   = "controlplane.probe_draining"
+	MetricCPBreakerOpened   = "controlplane.breaker.opened"
+	MetricCPBreakerClosed   = "controlplane.breaker.closed"
+	MetricCPBreakerRejected = "controlplane.breaker.rejected"
+	MetricCPBreakerOpen     = "controlplane.breaker.open"
+
+	// Injected network-fault metrics (internal/faultnet): one counter per
+	// fault kind plus a total, mirroring the faultfs Injected() accounting
+	// so chaos tests can assert the plan actually fired.
+	MetricFNInjected   = "faultnet.injected"
+	MetricFNDelayed    = "faultnet.delayed"
+	MetricFNDropped    = "faultnet.dropped"
+	MetricFNBlackholed = "faultnet.blackholed"
+	MetricFNAsymLost   = "faultnet.asym_lost"
+	MetricFNStatus     = "faultnet.status_injected"
+	MetricFNTruncated  = "faultnet.truncated"
 )
 
 // Kinded renders a per-strategy metric name: Kinded(MetricSuspendLatency,

@@ -54,7 +54,15 @@ type sessionResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Health())
+		h := s.Health()
+		status := http.StatusOK
+		if h.Status == "draining" {
+			// Draining-but-alive: load balancers should stop sending new
+			// sessions, but the full health document rides along so a
+			// prober can tell "refusing work" from "dead".
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
 	})
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /sessions", s.handleSessions)

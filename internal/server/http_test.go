@@ -101,6 +101,32 @@ func TestHTTPAPI(t *testing.T) {
 	r.Body.Close()
 }
 
+// TestHTTPHealthzDraining proves a draining instance answers /healthz
+// with 503 *and* its full health document — "refusing new work" must be
+// distinguishable from "dead" by any prober.
+func TestHTTPHealthzDraining(t *testing.T) {
+	db := openTPCH(t, 0.005)
+	s := newServer(t, db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("draining healthz body: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("draining healthz body status = %q", h.Status)
+	}
+}
+
 func TestHTTPAdmissionReject(t *testing.T) {
 	db := openTPCH(t, 0.005)
 	s := newServer(t, db, Config{MemoryBudget: 1})

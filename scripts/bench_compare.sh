@@ -13,6 +13,12 @@
 # ProcessSuspendResume (engine section) — the write-ahead log makes the
 # suspension itself a tail flush, not a state dump.
 #
+# And the proxy resilience budget: the controlplane ProxyOverhead
+# benchmark's paired overhead_pct (p.do with breaker/retry accounting vs
+# a bare client, alternating per iteration against the same loopback
+# instance) must stay under PROXY_OVERHEAD_PCT (default 5%) — the
+# resilience layer must be free on the happy path.
+#
 # Messages use GitHub workflow annotations (::error::/::warning::), which
 # degrade to plain text locally.
 #
@@ -25,10 +31,12 @@ FAIL_PCT=${FAIL_PCT:-25}
 WARN_PCT=${WARN_PCT:-10}
 GATED_SECTIONS=${GATED_SECTIONS:-engine tpch}
 LINEAGE_RATIO_PCT=${LINEAGE_RATIO_PCT:-10}
+PROXY_OVERHEAD_PCT=${PROXY_OVERHEAD_PCT:-5}
 
 awk -v basefile="$BASE" -v freshfile="$FRESH" \
     -v failpct="$FAIL_PCT" -v warnpct="$WARN_PCT" \
-    -v gated="$GATED_SECTIONS" -v ratiopct="$LINEAGE_RATIO_PCT" '
+    -v gated="$GATED_SECTIONS" -v ratiopct="$LINEAGE_RATIO_PCT" \
+    -v proxypct="$PROXY_OVERHEAD_PCT" '
 # load parses one bench_json.sh document into ns[<section>/<name>],
 # recording the key order in keys[] and flagging duplicates.
 function load(file, ns, keys, nkeys,    line, sec, name, key, q, n) {
@@ -112,6 +120,32 @@ BEGIN {
     } else if (proc > 0) {
         printf "::warning::strategy/LineageSuspend missing from the fresh run; ratio check skipped\n"
         warns++
+    }
+
+    # The proxy resilience budget: the paired overhead metric from the
+    # fresh run (baseline-independent — pairing already cancels machine
+    # drift) must stay under the ceiling.
+    overhead = ""
+    sec = ""
+    while ((getline line < freshfile) > 0) {
+        if (match(line, /^  "[a-z_]+": \[/)) {
+            split(line, q, "\"")
+            sec = q[2]
+            continue
+        }
+        if (sec != "controlplane" || line !~ /"name": "ProxyOverhead"/) continue
+        if (match(line, /"overhead_pct": -?[0-9.eE+-]+/))
+            overhead = substr(line, RSTART + 16, RLENGTH - 16) + 0
+    }
+    close(freshfile)
+    if (overhead == "") {
+        printf "::warning::controlplane/ProxyOverhead missing from the fresh run; proxy overhead gate skipped\n"
+        warns++
+    } else if (overhead > proxypct) {
+        printf "::error::proxy resilience layer costs %.1f%% over a bare client (ceiling %s%%)\n", overhead, proxypct
+        errs++
+    } else {
+        printf "proxy resilience overhead is %.1f%% of a bare client request (ceiling %s%%)\n", overhead, proxypct
     }
 
     printf "bench gate: %d benchmark(s) compared, %d warning(s), %d error(s)\n", nf[0], warns, errs

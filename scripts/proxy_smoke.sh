@@ -7,7 +7,11 @@
 # endpoint, and the proxy's p99 round-trip must stay bounded. A second
 # leg proves scale-to-zero over the wire: an idle instance parks all its
 # sessions into the store (zero live executions), and the next proxy
-# request wakes them to completion. Requires curl.
+# request wakes them to completion. A third leg arms -chaos-plan on a
+# fresh proxy: a drop-window partition of the instance's query path must
+# fail fast (breaker open, no spurious death), then heal — the breaker
+# re-closes off a health probe and the same session key completes.
+# Requires curl.
 set -eu
 
 PPORT="${PPORT:-18100}"
@@ -194,6 +198,99 @@ curl -fsS "$EBASE/metrics" | grep -q '"server.idle_woken": [1-9]' || {
 }
 curl -fsS "$PBASE/fleet/metrics" | grep -q '"controlplane.wake_requests": [1-9]' || {
     echo "proxy recorded no wake requests" >&2
+    exit 1
+}
+
+echo "== chaos leg: partition-and-heal through -chaos-plan"
+# A second proxy armed with a deterministic fault plan: the first 6
+# query-path deliveries to instance f are dropped on the floor. Health
+# probes are untouched, so f must stay alive the whole time — the
+# partition trips f's circuit breaker, never a death/failover.
+P2PORT=18106
+P2BASE="http://127.0.0.1:$P2PORT"
+FPORT=18107
+"$PROXY" -addr "127.0.0.1:$P2PORT" -health-interval 50ms -dead-after 3 \
+    -retry-budget 3 -backoff-base 5ms -backoff-max 50ms \
+    -breaker-threshold 3 -breaker-cooldown 500ms \
+    -chaos-plan "drop:link=127.0.0.1:$FPORT,op=/query,count=6" &
+PROXY2_PID=$!
+PIDS="$PIDS $PROXY2_PID"
+i=0
+until curl -fsS "$P2BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] || { sleep 0.2; continue; }
+    echo "chaos proxy did not become healthy" >&2
+    exit 1
+done
+"$SERVE" -addr "127.0.0.1:$FPORT" -sf "$SF" -workers 1 -slots 1 \
+    -ckdir "$WORK/ckpt-f" -store "$WORK/store-f" -instance f \
+    -control "$P2BASE" -advertise "http://127.0.0.1:$FPORT" &
+PIDS="$PIDS $!"
+# Wait for "accepting", not just "alive": registration marks an instance
+# alive immediately, but the picker routes only once a probe has filled
+# its status — a submit in that window would 503 without ever touching
+# the partitioned link.
+i=0
+until curl -fsS "$P2BASE/fleet/instances" | grep -q '"status": "accepting"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "instance f never became accepting on the chaos proxy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== submits fail fast while the query path is partitioned"
+# Each submit burns one retry budget (3 dropped attempts) and must come
+# back as a clean error, not a hang: the breaker opens at the threshold
+# and the proxy answers 503 with no accepting instance.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' --max-time 20 \
+    "$P2BASE/query" -d '{"tpch":6,"priority":"batch","session":"pz"}')
+if [ "$CODE" = "200" ]; then
+    echo "partitioned submit unexpectedly succeeded" >&2
+    exit 1
+fi
+curl -fsS "$P2BASE/fleet/metrics" | grep -q '"faultnet.dropped": [1-9]' || {
+    echo "chaos plan recorded no dropped deliveries:" >&2
+    curl -fsS "$P2BASE/fleet/metrics" >&2 || true
+    exit 1
+}
+curl -fsS "$P2BASE/fleet/metrics" | grep -q '"controlplane.breaker.opened": [1-9]' || {
+    echo "partition never tripped the circuit breaker" >&2
+    exit 1
+}
+if curl -fsS "$P2BASE/fleet/metrics" | grep -q '"controlplane.deaths": [1-9]'; then
+    echo "query-path partition caused a spurious instance death" >&2
+    curl -fsS "$P2BASE/fleet/instances" >&2 || true
+    exit 1
+fi
+
+echo "== the partition heals: breaker re-closes and the same key completes"
+# Re-submitting burns through the drop window; once it is exhausted and
+# the cooled-down breaker re-closes off a health probe, the submit lands.
+i=0
+until [ "$(curl -s -o /dev/null -w '%{http_code}' --max-time 20 \
+    "$P2BASE/query" -d '{"tpch":6,"priority":"batch","session":"pz"}')" = "200" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 30 ]; then
+        echo "submit never succeeded after the partition healed:" >&2
+        curl -fsS "$P2BASE/fleet/instances" >&2 || true
+        exit 1
+    fi
+    sleep 1
+done
+i=0
+until curl -fsS "$P2BASE/sessions/pz" | grep -q '"state": "done"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "session pz never finished after heal:" >&2
+        curl -fsS "$P2BASE/sessions/pz" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -fsS "$P2BASE/fleet/metrics" | grep -q '"controlplane.breaker.closed": [1-9]' || {
+    echo "breaker never re-closed after the heal" >&2
     exit 1
 }
 
