@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
 # adaptive controller, serving layer, public API) — the -race job covers these.
-RACE_PKGS := . ./internal/engine/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/... ./internal/faultnet/...
+RACE_PKGS := . ./internal/engine/... ./internal/expr/... ./internal/vector/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/... ./internal/faultnet/...
 
 # Packages exercising the fault-injection matrix: the injectable
 # filesystem, checkpoint crash/verify tests, the lineage-log crash matrix,
@@ -18,7 +18,7 @@ FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/stra
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race vet fmt lint scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite chaos-suite fault-matrix ci
+.PHONY: all build test race vet fmt lint generate generate-check profile scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite chaos-suite fault-matrix ci
 
 all: build
 
@@ -55,6 +55,33 @@ lint:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# Regenerate the emitted kernel layer (internal/engine/kernel/*_gen.go
+# from internal/engine/kernelgen). The generator is deterministic, so a
+# clean work tree after `make generate` proves the committed kernels
+# match the generator — which is exactly what generate-check enforces.
+generate:
+	$(GO) generate ./...
+
+generate-check: generate
+	@out="$$(git status --porcelain -- '*_gen.go')"; \
+	if [ -n "$$out" ]; then \
+		echo "::error::generated kernels are stale; run 'make generate' and commit:"; \
+		git --no-pager diff -- '*_gen.go' | head -100; \
+		echo "$$out"; exit 1; \
+	fi
+	@echo "generated kernels are in sync with kernelgen"
+
+# CPU and heap profiles for one TPC-H query benchmark (default Q18):
+# `make profile QUERY=Q21` leaves cpu.prof/mem.prof plus the test binary
+# in profiles/ — inspect with `go tool pprof profiles/tpch.test profiles/cpu.prof`.
+QUERY ?= Q18
+profile:
+	@mkdir -p profiles
+	$(GO) test ./internal/tpch -run '^$$' -bench 'BenchmarkTPCH/$(QUERY)$$' -benchmem \
+		-benchtime 20x -cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		-o profiles/tpch.test
+	@echo "profiles written: go tool pprof profiles/tpch.test profiles/cpu.prof"
 
 # The DAG scheduler suites under the race detector, twice: DAG-vs-serial
 # schedule equivalence (engine plans and all 22 TPC-H queries),
@@ -95,8 +122,10 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/engine/...
 
 # Regression gate: diff the fresh bench-smoke JSON against the committed
-# baseline. >25% ns/op regression on any engine or TPC-H benchmark fails;
-# 10-25% (and regressions in the other sections) warn. Also enforces the
+# baseline. >25% ns/op or allocs/op regression on any engine or TPC-H
+# benchmark fails; 10-25% (and regressions in the other sections) warn —
+# allocation counts are deterministic, so an allocs/op jump is always a
+# real code change, never noise. Also enforces the
 # lineage acceptance ratio (LineageSuspend <= 10% of ProcessSuspendResume).
 # Runs after bench-smoke, which leaves BENCH_engine.json in the work tree.
 bench-gate:

@@ -89,11 +89,7 @@ func (t *Table) ScanInto(dst *vector.Chunk, start, count int64, proj []int) int 
 	}
 	dst.Reset()
 	for k, j := range proj {
-		src := t.cols[j]
-		dc := dst.Col(k)
-		for i := start; i < end; i++ {
-			dc.AppendFrom(src, int(i))
-		}
+		dst.Col(k).AppendRange(t.cols[j], int(start), int(end))
 	}
 	n := int(end - start)
 	dst.SetLen(n)

@@ -528,8 +528,9 @@ func TestChaosConcurrentKeyedSubmitFailover(t *testing.T) {
 	}
 	// Big enough that the hot query runs long past the moment the gate
 	// below observes it mid-execution — the kill must land mid-query even
-	// on a warm cache.
-	const sf = 0.2
+	// on a warm cache and a fast engine: admission plus the failover
+	// target's health-probe round eat several hundred milliseconds.
+	const sf = 0.5
 	work := []workItem{{tpch: 21}}
 	want := expectedResults(t, sf, work)
 
@@ -565,10 +566,31 @@ func TestChaosConcurrentKeyedSubmitFailover(t *testing.T) {
 		}(i)
 	}
 
+	// The hot key pins to ck-a at the first accepted submit, so the
+	// failover target can join as soon as the pin exists without stealing
+	// it. Registering ck-b here — before the running gate — keeps the
+	// kill window below free of the health-probe wait, which a fast query
+	// could otherwise finish inside.
+	deadline := time.Now().Add(10 * time.Second)
+	for pinned := false; !pinned; {
+		for _, sess := range directSessions(t, a.hs.URL) {
+			if k, _ := sess["key"].(string); k == "hot" {
+				pinned = true
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot key never arrived on ck-a")
+		}
+		if !pinned {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	f.reg.Register(b.id, b.hs.URL)
+	waitAccepting(t, f, b.id) // the survivor must be routable before the kill
+
 	// Kill the pin only once the hot query is observably mid-execution on
 	// ck-a — no sleep-and-hope; the clean direct client sees through any
 	// proxy-side queueing.
-	deadline := time.Now().Add(10 * time.Second)
 	for running := false; !running; {
 		for _, sess := range directSessions(t, a.hs.URL) {
 			if k, _ := sess["key"].(string); k == "hot" && sess["state"] == "running" {
@@ -582,8 +604,6 @@ func TestChaosConcurrentKeyedSubmitFailover(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
-	f.reg.Register(b.id, b.hs.URL)
-	waitAccepting(t, f, b.id) // the survivor must be routable before the kill
 	// Tear down HTTP before aborting executions: Server.Kill blocks until
 	// the running query goroutine exits, and a short query can finish
 	// inside that window — with the listener still up, a waiter could

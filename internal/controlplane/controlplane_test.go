@@ -351,7 +351,13 @@ func TestFleetRollingKillFailover(t *testing.T) {
 		}
 	}
 
-	// The failovers actually happened and were accounted.
+	// The failovers actually happened and were accounted. Detection lags the
+	// kills by a few health intervals, and the workload can drain before the
+	// second death is noticed, so poll instead of sampling once.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.met.Counter(obs.MetricCPDeaths).Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
 	if f.met.Counter(obs.MetricCPDeaths).Value() < 2 {
 		t.Errorf("deaths = %d, want >= 2", f.met.Counter(obs.MetricCPDeaths).Value())
 	}

@@ -18,10 +18,14 @@ type aggState struct {
 	distinct map[vector.Value]struct{} // only for DISTINCT aggregates
 }
 
+// distinctMapSizeHint pre-sizes per-group DISTINCT sets so the first few
+// inserts don't each trigger an incremental map growth allocation.
+const distinctMapSizeHint = 8
+
 func newAggState(spec plan.AggSpec) *aggState {
 	st := &aggState{}
 	if spec.Distinct {
-		st.distinct = make(map[vector.Value]struct{})
+		st.distinct = make(map[vector.Value]struct{}, distinctMapSizeHint)
 	}
 	return st
 }
@@ -436,9 +440,13 @@ func (s *HashAggSink) Finalize() error {
 		// Global aggregation over zero rows still yields one row.
 		s.global.get(nil, func() groupKey { return groupKey{} }, s.specs)
 	}
+	// One reusable row: AppendRowValues copies the values into the buffer's
+	// chunk immediately, so materialization costs a single slice allocation
+	// rather than one per group.
+	row := make([]vector.Value, 0, len(s.outTypes))
 	for _, enc := range s.global.order {
 		g := s.global.groups[enc]
-		row := make([]vector.Value, 0, len(s.outTypes))
+		row = row[:0]
 		for i := range s.groupBy {
 			row = append(row, g.key[i])
 		}

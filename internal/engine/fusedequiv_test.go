@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/expr"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// equivPlans is the plan matrix for kernels-on vs kernels-off equivalence:
+// every fused path (filter, project, fused filter+project, flat aggregation)
+// plus the generic fallbacks, over columns with and without nulls.
+func equivPlans(cat *catalog.Catalog) map[string]plan.Node {
+	mk := func(build func(b *plan.Builder) plan.Node) plan.Node {
+		return build(plan.NewBuilder(cat))
+	}
+	return map[string]plan.Node{
+		"filter-project-arith": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "dept", "salary")
+			return e.Filter(expr.And(
+				expr.Lt(e.Col("id"), expr.Int(9000)),
+				expr.Ge(expr.Mul(e.Col("salary"), expr.Float(1.1)), expr.Float(50)),
+			)).Project([]string{"id", "adj", "ratio"},
+				e.Col("id"),
+				expr.Add(expr.Mul(e.Col("salary"), expr.Float(0.5)), expr.Float(7)),
+				expr.Div(e.Col("salary"), expr.ToFloat(expr.Add(e.Col("dept"), expr.Int(1)))),
+			).Node()
+		}),
+		"div-by-zero-nulls": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "dept", "salary")
+			return e.Project([]string{"id", "q"},
+				e.Col("id"),
+				expr.Div(e.Col("salary"), expr.ToFloat(e.Col("dept"))), // dept 0 -> NULL
+			).Node()
+		}),
+		"string-filter-like": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "name")
+			return e.Filter(expr.And(
+				expr.Like(e.Col("name"), "e%3"),
+				expr.IsNotNull(e.Col("name")),
+			)).Node()
+		}),
+		"case-project": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "salary", "name")
+			return e.Project([]string{"band", "name"},
+				expr.When(expr.Gt(e.Col("salary"), expr.Float(500)), expr.Str("high"), expr.Str("low")),
+				e.Col("name"),
+			).Node()
+		}),
+		"agg-flat": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "dept", "salary", "name")
+			return e.Agg([]string{"dept"},
+				plan.Sum(e.Col("salary"), "total"),
+				plan.Avg(e.Col("salary"), "mean"),
+				plan.Count(e.Col("name"), "named"), // null names are skipped
+				plan.Min(e.Col("id"), "lo"),
+				plan.Max(e.Col("id"), "hi"),
+				plan.CountStar("n"),
+			).Sort(plan.Asc("dept")).Node()
+		}),
+		"agg-global-empty": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "salary")
+			return e.Filter(expr.Lt(e.Col("id"), expr.Int(-1))).
+				Agg(nil, plan.Sum(expr.Col(1, vector.TypeFloat64), "total"), plan.CountStar("n")).Node()
+		}),
+		"join-agg-topn": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "dept", "salary")
+			d := b.Scan("dept")
+			return e.Join(d, plan.InnerJoin, []string{"dept"}, []string{"did"}).
+				Agg([]string{"dname"},
+					plan.Sum(expr.Col(2, vector.TypeFloat64), "total"),
+					plan.CountStar("n")).
+				Sort(plan.Desc("total"), plan.Asc("dname")).
+				Limit(5).Node()
+		}),
+		"distinct-agg": mk(func(b *plan.Builder) plan.Node {
+			e := b.Scan("emp", "id", "dept", "salary")
+			return e.Agg([]string{"dept"},
+				plan.CountDistinct(e.Col("salary"), "dsal")).
+				Sort(plan.Asc("dept")).Node()
+		}),
+	}
+}
+
+// bufferBytes serializes a result's row buffer; byte equality means the two
+// results are identical down to null bitmaps and float bit patterns.
+func bufferBytes(t *testing.T, res *ResultSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := vector.NewEncoder(&buf)
+	res.Buf.Save(enc)
+	if err := enc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func runPlanWith(t *testing.T, cat *catalog.Catalog, n plan.Node, workers int, opts CompileOptions) *ResultSet {
+	t.Helper()
+	pp, err := CompileWith(n, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(pp, Options{Workers: workers})
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFusedKernelsByteIdenticalResults proves the tentpole contract: with a
+// single worker (deterministic morsel order), the fused kernel plan and the
+// generic plan produce byte-identical result buffers.
+func TestFusedKernelsByteIdenticalResults(t *testing.T) {
+	cat := testDB(t)
+	for name, node := range equivPlans(cat) {
+		t.Run(name, func(t *testing.T) {
+			on := bufferBytes(t, runPlanWith(t, cat, node, 1, CompileOptions{}))
+			off := bufferBytes(t, runPlanWith(t, cat, node, 1, CompileOptions{NoFusedKernels: true}))
+			if !bytes.Equal(on, off) {
+				t.Errorf("fused and generic result buffers differ (%d vs %d bytes)", len(on), len(off))
+			}
+		})
+	}
+}
+
+// TestFusedKernelsMultiWorkerEquivalence checks the same matrix across
+// worker counts, where float combine order may differ, via the tolerant
+// canonical key.
+func TestFusedKernelsMultiWorkerEquivalence(t *testing.T) {
+	cat := testDB(t)
+	for name, node := range equivPlans(cat) {
+		t.Run(name, func(t *testing.T) {
+			ref := runPlanWith(t, cat, node, 1, CompileOptions{NoFusedKernels: true}).SortedKey()
+			for _, workers := range []int{2, 4} {
+				if got := runPlanWith(t, cat, node, workers, CompileOptions{}).SortedKey(); got != ref {
+					t.Errorf("fused %d-worker result differs from generic reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedCrossResume suspends mid-query under one sink implementation and
+// resumes under the other, in both directions. Passing proves the flat
+// aggregation sink's SaveLocal/SaveGlobal bytes are format-identical to the
+// generic sink's — the checkpoint state formats are unchanged.
+func TestFusedCrossResume(t *testing.T) {
+	cat := testDB(t)
+	node := complexQuery(cat)
+	ref := runPlan(t, cat, node, 2).SortedKey()
+
+	dirs := []struct {
+		name            string
+		suspend, resume CompileOptions
+	}{
+		{"fused-to-generic", CompileOptions{}, CompileOptions{NoFusedKernels: true}},
+		{"generic-to-fused", CompileOptions{NoFusedKernels: true}, CompileOptions{}},
+	}
+	for _, d := range dirs {
+		t.Run(d.name, func(t *testing.T) {
+			resumed := 0
+			for trial := 0; trial < 6; trial++ {
+				pp1, err := CompileWith(node, cat, d.suspend)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex1 := NewExecutor(pp1, Options{Workers: 2})
+				go func(delay int) {
+					time.Sleep(time.Duration(delay) * 150 * time.Microsecond)
+					ex1.RequestSuspend(KindProcess)
+				}(trial)
+				res, err := ex1.Run(context.Background())
+				if err == nil {
+					// Finished before the request landed; still verify.
+					if got := res.SortedKey(); got != ref {
+						t.Fatalf("trial %d: completed result differs", trial)
+					}
+					continue
+				}
+				if !errors.Is(err, ErrSuspended) {
+					t.Fatalf("trial %d: err = %v", trial, err)
+				}
+				state := saveState(t, ex1)
+
+				pp2, err := CompileWith(node, cat, d.resume)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex2 := NewExecutor(pp2, Options{Workers: 2})
+				loadState(t, ex2, state)
+				res2, err := ex2.Run(context.Background())
+				if err != nil {
+					t.Fatalf("trial %d resume: %v", trial, err)
+				}
+				if got := res2.SortedKey(); got != ref {
+					t.Errorf("trial %d: cross-resumed result differs", trial)
+				}
+				resumed++
+			}
+			if resumed == 0 {
+				t.Skip("timing: no trial suspended mid-query")
+			}
+		})
+	}
+}
+
+// TestFusePipelineOpsMergesFilterProject pins the peephole: a compiled
+// scan+filter+project pipeline carries one fused operator, not two.
+func TestFusePipelineOpsMergesFilterProject(t *testing.T) {
+	cat := testDB(t)
+	b := plan.NewBuilder(cat)
+	e := b.Scan("emp", "id", "salary")
+	node := e.Filter(expr.Lt(e.Col("id"), expr.Int(100))).
+		Project([]string{"v"}, expr.Mul(e.Col("salary"), expr.Float(2))).Node()
+	pp, err := Compile(node, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pp.Pipelines[len(pp.Pipelines)-1]
+	if len(p.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1 fused op", len(p.Ops))
+	}
+	f, ok := p.Ops[0].(*FusedOp)
+	if !ok {
+		t.Fatalf("op is %T, want *FusedOp", p.Ops[0])
+	}
+	if f.pred == nil || f.projs == nil {
+		t.Error("merged op should carry both predicate and projections")
+	}
+	// And the off switch really is off.
+	ppOff, err := CompileWith(node, cat, CompileOptions{NoFusedKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ppOff.Pipelines[len(ppOff.Pipelines)-1].Ops {
+		if _, ok := op.(*FusedOp); ok {
+			t.Error("NoFusedKernels plan contains a FusedOp")
+		}
+	}
+}

@@ -21,9 +21,21 @@ type HashJoinBuildSink struct {
 	payTypes []vector.Type
 	rowTypes []vector.Type // keyTypes ++ payTypes
 
-	buf     *RowBuffer
-	buckets map[uint64][]int64
-	final   bool
+	buf   *RowBuffer
+	index joinIndex
+	final bool
+}
+
+// joinIndex is the probe-side hash index over the build buffer: a flat
+// chained-bucket layout (slot heads + per-row next links) with a stored
+// hash per row as a cheap prefilter before the real key comparison. It is
+// rebuilt from the row buffer on finalize and on checkpoint load, so it
+// never appears in the persisted state.
+type joinIndex struct {
+	mask   uint64
+	heads  []int64  // slot -> first row id, -1 when empty
+	next   []int64  // row id -> next row in chain, -1 at end
+	hashes []uint64 // row id -> key hash
 }
 
 // NewHashJoinBuildSink builds the sink for the given key expressions and
@@ -45,9 +57,11 @@ func NewHashJoinBuildSink(keys []expr.Expr, inTypes []vector.Type) *HashJoinBuil
 
 type joinBuildLocal struct {
 	buf *RowBuffer
-	// keyVecs is per-chunk scratch for evaluated key vectors; worker-local,
-	// so plain reuse is race-free.
+	// keyVecs and rowCols are per-chunk scratch for evaluated key vectors
+	// and the key++payload column layout; worker-local, so plain reuse is
+	// race-free.
 	keyVecs []*vector.Vector
+	rowCols []*vector.Vector
 }
 
 // MakeLocal implements Sink.
@@ -69,18 +83,13 @@ func (s *HashJoinBuildSink) Consume(ls LocalState, c *vector.Chunk) error {
 		}
 		keyVecs[i] = v
 	}
-	for i := 0; i < c.Len(); i++ {
-		dst := l.buf.tail()
-		// Append key columns then payload columns for row i.
-		for k, kv := range keyVecs {
-			dst.Col(k).AppendFrom(kv, i)
-		}
-		for j := 0; j < c.NumCols(); j++ {
-			dst.Col(len(keyVecs)+j).AppendFrom(c.Col(j), i)
-		}
-		dst.SetLen(dst.Len() + 1)
-		l.buf.rows++
-	}
+	// Lay out key columns then payload columns and bulk-append the whole
+	// chunk; AppendRange copies, so aliasing key vectors to input columns
+	// (a bare column-reference key) is fine.
+	l.rowCols = l.rowCols[:0]
+	l.rowCols = append(l.rowCols, keyVecs...)
+	l.rowCols = append(l.rowCols, c.Cols()...)
+	l.buf.appendVectors(l.rowCols, c.Len())
 	return nil
 }
 
@@ -99,28 +108,65 @@ func (s *HashJoinBuildSink) Finalize() error {
 
 func (s *HashJoinBuildSink) rebuildBuckets() {
 	nk := len(s.keyTypes)
-	s.buckets = make(map[uint64][]int64, s.buf.Rows())
-	if nk == 0 {
+	rows := s.buf.Rows()
+	s.index = joinIndex{}
+	if nk == 0 || rows == 0 {
 		return // cross join: no index, every row matches
 	}
 	keyIdx := make([]int, nk)
 	for i := range keyIdx {
 		keyIdx[i] = i
 	}
+	// Pass 1: hash every row and record NULL-key rows (SQL equality: NULL
+	// keys never match, so they are left out of the chains).
+	hashes := make([]uint64, rows)
+	skip := make([]bool, rows)
+	var chunkHashes []uint64
 	var rowID int64
-	var hashes []uint64
 	for ci := 0; ci < s.buf.NumChunks(); ci++ {
 		c := s.buf.Chunk(ci)
-		hashes = c.Hash(keyIdx, hashes)
-		for i := 0; i < c.Len(); i++ {
-			if rowHasNullKey(c, nk, i) {
-				rowID++
-				continue // SQL equality: NULL keys never match
+		chunkHashes = c.Hash(keyIdx, chunkHashes)
+		copy(hashes[rowID:], chunkHashes)
+		hasNulls := false
+		for k := 0; k < nk; k++ {
+			if c.Col(k).HasNulls() {
+				hasNulls = true
+				break
 			}
-			s.buckets[hashes[i]] = append(s.buckets[hashes[i]], rowID)
-			rowID++
 		}
+		if hasNulls {
+			for i := 0; i < c.Len(); i++ {
+				skip[rowID+int64(i)] = rowHasNullKey(c, nk, i)
+			}
+		}
+		rowID += int64(c.Len())
 	}
+	// Pass 2: chain rows under power-of-two slots. Inserting in descending
+	// row order yields ascending chains, preserving the match emission
+	// order of the old per-hash bucket lists.
+	slots := uint64(1)
+	for slots < uint64(rows) {
+		slots <<= 1
+	}
+	idx := joinIndex{
+		mask:   slots - 1,
+		heads:  make([]int64, slots),
+		next:   make([]int64, rows),
+		hashes: hashes,
+	}
+	for i := range idx.heads {
+		idx.heads[i] = -1
+	}
+	for r := rows - 1; r >= 0; r-- {
+		if skip[r] {
+			idx.next[r] = -1
+			continue
+		}
+		slot := hashes[r] & idx.mask
+		idx.next[r] = idx.heads[slot]
+		idx.heads[slot] = r
+	}
+	s.index = idx
 }
 
 func rowHasNullKey(c *vector.Chunk, nk, i int) bool {
@@ -174,10 +220,7 @@ func (s *HashJoinBuildSink) LoadLocal(dec *vector.Decoder) (LocalState, error) {
 // MemBytes implements Sink.
 func (s *HashJoinBuildSink) MemBytes() int64 {
 	b := s.buf.MemBytes()
-	if s.buckets != nil {
-		b += int64(len(s.buckets)) * 48 // map overhead estimate
-		b += s.buf.Rows() * 8
-	}
+	b += int64(len(s.index.heads)+len(s.index.next)+len(s.index.hashes)) * 8
 	return b
 }
 
@@ -366,12 +409,17 @@ func (p *HashJoinProbeOp) Process(in *vector.Chunk, emit func(*vector.Chunk) err
 			}
 		}
 	} else {
+		idx := &p.build.index
 		for i := 0; i < n; i++ {
+			if idx.heads == nil {
+				break // empty build side: nothing can match
+			}
 			if probeRowHasNullKey(keyVecs, i) {
 				continue // NULL keys never match
 			}
-			for _, r := range p.build.buckets[hashes[i]] {
-				if !p.keysEqual(keyVecs, i, r) {
+			h := hashes[i]
+			for r := idx.heads[h&idx.mask]; r >= 0; r = idx.next[r] {
+				if idx.hashes[r] != h || !p.keysEqual(keyVecs, i, r) {
 					continue
 				}
 				if err := appendPair(i, r); err != nil {

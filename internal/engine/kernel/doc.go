@@ -1,0 +1,14 @@
+// Package kernel holds the type-specialized, branch-reduced compute kernels
+// behind the fused operator paths: arithmetic/comparison loops over raw
+// slices, selection-vector gathers, grouped aggregate folds, and the bitmap
+// helpers they share. The *_gen.go files are emitted by
+// internal/engine/kernelgen — edit the generator, not the output — and CI's
+// generate-check job fails on any drift between the two.
+//
+// Kernels are pure compute: no allocation, no interface dispatch, no
+// knowledge of chunks or operators. Null handling follows the engine-wide
+// invariant that a null row's backing storage holds the zero value; any
+// kernel that can set null bits also zeroes the backing it masks.
+package kernel
+
+//go:generate go run ../kernelgen

@@ -1,0 +1,13 @@
+package kernel
+
+// HashBytes hashes an encoded aggregate group key. FNV-1a 64, written out
+// inline so the hot probe path pays no hash.Hash allocation or interface
+// call per row.
+func HashBytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}

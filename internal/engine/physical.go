@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/riveterdb/riveter/internal/catalog"
+	"github.com/riveterdb/riveter/internal/expr"
 	"github.com/riveterdb/riveter/internal/plan"
 	"github.com/riveterdb/riveter/internal/vector"
 )
@@ -41,8 +42,19 @@ func (pp *PhysicalPlan) Result() *CollectorSink {
 	return pp.Pipelines[len(pp.Pipelines)-1].Sink.(*CollectorSink)
 }
 
+// CompileOptions tune physical plan lowering.
+type CompileOptions struct {
+	// NoFusedKernels disables the generated kernel layer: filters and
+	// projections stay on the generic interface-dispatched FilterOp/ProjectOp
+	// and aggregation uses the map-based HashAggSink. Results and checkpoint
+	// bytes are identical either way; the flag exists for equivalence testing
+	// and as an escape hatch.
+	NoFusedKernels bool
+}
+
 type compiler struct {
 	cat   *catalog.Catalog
+	opts  CompileOptions
 	pipes []*Pipeline
 	// memo shares materialized breakers across references to the same plan
 	// node: a subplan appearing several times (Q15's revenue view, say)
@@ -61,10 +73,16 @@ type memoEntry struct {
 	label string
 }
 
-// Compile lowers a logical plan into pipelines. Pipelines are emitted
-// bottom-up, so the slice order is already a valid sequential schedule.
+// Compile lowers a logical plan into pipelines with the default options
+// (fused kernels enabled). Pipelines are emitted bottom-up, so the slice
+// order is already a valid sequential schedule.
 func Compile(root plan.Node, cat *catalog.Catalog) (*PhysicalPlan, error) {
-	c := &compiler{cat: cat, memo: make(map[plan.Node]*memoEntry)}
+	return CompileWith(root, cat, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(root plan.Node, cat *catalog.Catalog, opts CompileOptions) (*PhysicalPlan, error) {
+	c := &compiler{cat: cat, opts: opts, memo: make(map[plan.Node]*memoEntry)}
 	final := &Pipeline{Label: "result"}
 	types, err := c.compile(root, final)
 	if err != nil {
@@ -72,6 +90,9 @@ func Compile(root plan.Node, cat *catalog.Catalog) (*PhysicalPlan, error) {
 	}
 	final.Sink = NewCollectorSink(types, -1)
 	c.register(final)
+	for _, p := range c.pipes {
+		fusePipelineOps(p)
+	}
 	return &PhysicalPlan{
 		Pipelines:   c.pipes,
 		OutSchema:   root.Schema(),
@@ -99,7 +120,7 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		p.Label = appendLabel(p.Label, "scan("+t.Table+")")
 		types := src.OutTypes()
 		if t.Filter != nil {
-			p.Ops = append(p.Ops, NewFilterOp(t.Filter, types))
+			p.Ops = append(p.Ops, c.filterOp(t.Filter, types))
 		}
 		return types, nil
 
@@ -108,14 +129,15 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.Ops = append(p.Ops, NewFilterOp(t.Cond, types))
+		p.Ops = append(p.Ops, c.filterOp(t.Cond, types))
 		return types, nil
 
 	case *plan.Project:
-		if _, err := c.compile(t.Child, p); err != nil {
+		inTypes, err := c.compile(t.Child, p)
+		if err != nil {
 			return nil, err
 		}
-		op := NewProjectOp(t.Exprs)
+		op := c.projectOp(t.Exprs, inTypes)
 		p.Ops = append(p.Ops, op)
 		return op.OutTypes(), nil
 
@@ -154,7 +176,12 @@ func (c *compiler) compile(n plan.Node, p *Pipeline) ([]vector.Type, error) {
 			return nil, err
 		}
 		outTypes := t.Schema().Types()
-		sink := NewHashAggSink(t.GroupBy, t.Aggs, outTypes)
+		var sink BufferedSink
+		if c.opts.NoFusedKernels {
+			sink = NewHashAggSink(t.GroupBy, t.Aggs, outTypes)
+		} else {
+			sink = NewFlatAggSink(t.GroupBy, t.Aggs, outTypes)
+		}
 		cp.Sink = sink
 		cp.Label = appendLabel(cp.Label, "aggregate")
 		c.register(cp)
@@ -246,6 +273,55 @@ func (c *compiler) scanShared(p *Pipeline, e *memoEntry) []vector.Type {
 	p.Deps = append(p.Deps, e.id)
 	p.Label = appendLabel(p.Label, e.label)
 	return e.types
+}
+
+// filterOp lowers a predicate to a fused kernel operator when the expression
+// compiles to a columnar program, else to the generic FilterOp.
+func (c *compiler) filterOp(cond expr.Expr, types []vector.Type) StreamOp {
+	if !c.opts.NoFusedKernels {
+		if prog := expr.CompileProgram(cond); prog != nil && prog.OutType() == vector.TypeBool {
+			return NewFusedOp(prog, nil, types)
+		}
+	}
+	return NewFilterOp(cond, types)
+}
+
+// projectOp lowers a projection to a fused kernel operator when every
+// expression compiles, else to the generic ProjectOp. Mixing would buy
+// nothing: one generic expression forces the per-row result copy anyway.
+func (c *compiler) projectOp(exprs []expr.Expr, inTypes []vector.Type) StreamOp {
+	if !c.opts.NoFusedKernels {
+		progs := make([]*expr.Program, len(exprs))
+		ok := true
+		for i, e := range exprs {
+			if progs[i] = expr.CompileProgram(e); progs[i] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return NewFusedOp(nil, progs, inTypes)
+		}
+	}
+	return NewProjectOp(exprs)
+}
+
+// fusePipelineOps merges a filter-only FusedOp immediately followed by a
+// project-only FusedOp into one scan+filter+project stage, so survivors are
+// gathered once and projected in place instead of crossing an operator
+// boundary per morsel.
+func fusePipelineOps(p *Pipeline) {
+	out := p.Ops[:0]
+	for _, op := range p.Ops {
+		if f, ok := op.(*FusedOp); ok && f.pred == nil && len(out) > 0 {
+			if prev, ok2 := out[len(out)-1].(*FusedOp); ok2 && prev.projs == nil {
+				out[len(out)-1] = NewFusedOp(prev.pred, f.projs, prev.inTypes)
+				continue
+			}
+		}
+		out = append(out, op)
+	}
+	p.Ops = out
 }
 
 func appendLabel(cur, add string) string {

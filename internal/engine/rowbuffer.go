@@ -50,10 +50,27 @@ func (b *RowBuffer) tail() *vector.Chunk {
 
 // AppendChunk appends all rows of c.
 func (b *RowBuffer) AppendChunk(c *vector.Chunk) {
-	for i := 0; i < c.Len(); i++ {
-		b.tail().AppendRowFrom(c, i)
+	b.appendVectors(c.Cols(), c.Len())
+}
+
+// appendVectors bulk-appends rows [0,n) of the given column vectors,
+// packing chunks densely to ChunkCapacity so Locate/Row keep their
+// fixed-stride addressing (and checkpoint chunk boundaries stay put).
+func (b *RowBuffer) appendVectors(cols []*vector.Vector, n int) {
+	start := 0
+	for start < n {
+		t := b.tail()
+		m := n - start
+		if room := vector.ChunkCapacity - t.Len(); m > room {
+			m = room
+		}
+		for j, v := range cols {
+			t.Col(j).AppendRange(v, start, start+m)
+		}
+		t.SetLen(t.Len() + m)
+		start += m
 	}
-	b.rows += int64(c.Len())
+	b.rows += int64(n)
 }
 
 // AppendRowFrom appends row i of c.

@@ -86,9 +86,7 @@ func (s *SinkSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
 	}
 	src := buf.Chunk(int(idx))
 	dst.Reset()
-	for i := 0; i < src.Len(); i++ {
-		dst.AppendRowFrom(src, i)
-	}
+	dst.AppendChunk(src)
 	return src.Len(), nil
 }
 
@@ -122,9 +120,7 @@ func (s *UnionSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
 		if idx < int64(buf.NumChunks()) {
 			src := buf.Chunk(int(idx))
 			dst.Reset()
-			for i := 0; i < src.Len(); i++ {
-				dst.AppendRowFrom(src, i)
-			}
+			dst.AppendChunk(src)
 			return src.Len(), nil
 		}
 		idx -= int64(buf.NumChunks())

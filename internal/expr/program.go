@@ -1,0 +1,1001 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/riveterdb/riveter/internal/engine/kernel"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// Program is a compiled columnar evaluation plan for an expression tree.
+// Where the generic Expr.Eval path allocates a fresh *vector.Vector at every
+// tree node on every chunk, a program instance owns one reusable register
+// vector per node and dispatches its inner loops to the type-specialized
+// kernels in internal/engine/kernel.
+//
+// Semantics are bit-for-bit those of Expr.Eval: the same IEEE operations in
+// the same per-row order, the same three-valued NULL rules, and the same
+// zero-backing-under-null storage invariant (null rows hold the zero value,
+// which the chunk hash and the checkpoint codec both observe).
+//
+// A Program is immutable and shareable across workers; all mutable state
+// lives in Instances (one per worker or pooled scratch).
+type Program struct {
+	root Expr
+	typ  vector.Type
+}
+
+// CompileProgram compiles e into a columnar program, or returns nil if the
+// tree contains a node (or a statically detectable type error) the program
+// compiler does not support. Callers must fall back to the generic
+// Expr.Eval path on nil — the fallback contract: programs are an
+// optimization, never a semantic fork.
+func CompileProgram(e Expr) *Program {
+	if !compilable(e) {
+		return nil
+	}
+	return &Program{root: e, typ: e.Type()}
+}
+
+// OutType returns the program's statically known result type.
+func (p *Program) OutType() vector.Type { return p.typ }
+
+// String renders the underlying expression (plan-fingerprint form).
+func (p *Program) String() string { return p.root.String() }
+
+// compilable reports whether every node under e has a columnar
+// implementation. Statically detectable type errors (NOT over a non-bool,
+// LIKE over a non-string, …) also return false so the generic path gets to
+// produce its usual runtime error.
+func compilable(e Expr) bool {
+	switch x := e.(type) {
+	case *Column:
+		return true
+	case *Const:
+		switch x.Val.Type {
+		case vector.TypeInt64, vector.TypeDate, vector.TypeFloat64, vector.TypeString, vector.TypeBool:
+			return true
+		}
+		return false
+	case *Cast:
+		if !compilable(x.In) {
+			return false
+		}
+		from := x.In.Type()
+		if from == x.To {
+			return true
+		}
+		toF := x.To == vector.TypeFloat64 && (from == vector.TypeInt64 || from == vector.TypeDate)
+		toI := x.To == vector.TypeInt64 && from == vector.TypeFloat64
+		return toF || toI
+	case *Arith:
+		return compilable(x.L) && compilable(x.R)
+	case *Compare:
+		return compilable(x.L) && compilable(x.R)
+	case *AndExpr:
+		return boolArgs(x.Args)
+	case *OrExpr:
+		return boolArgs(x.Args)
+	case *NotExpr:
+		return x.In.Type() == vector.TypeBool && compilable(x.In)
+	case *IsNullExpr:
+		return compilable(x.In)
+	case *InExpr:
+		return compilable(x.In)
+	case *LikeExpr:
+		return x.In.Type() == vector.TypeString && compilable(x.In)
+	case *ExtractExpr:
+		return x.In.Type() == vector.TypeDate && compilable(x.In)
+	case *SubstrExpr:
+		return x.In.Type() == vector.TypeString && compilable(x.In)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if w.Type() != vector.TypeBool || !compilable(w) {
+				return false
+			}
+		}
+		for _, t := range x.Thens {
+			if !compilable(t) {
+				return false
+			}
+		}
+		return x.Else == nil || compilable(x.Else)
+	default:
+		return false
+	}
+}
+
+func boolArgs(args []Expr) bool {
+	for _, a := range args {
+		if a.Type() != vector.TypeBool || !compilable(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance is the mutable evaluation state of one Program: one register
+// vector per node, reused across chunks. The vector returned by Eval is
+// owned by the instance (or aliases an input column) and is valid only
+// until the next Eval. Instances are not safe for concurrent use; give
+// each worker its own.
+type Instance struct {
+	eval evalFn
+	typ  vector.Type
+}
+
+type evalFn func(c *vector.Chunk) (*vector.Vector, error)
+
+// NewInstance builds a fresh register set for the program.
+func (p *Program) NewInstance() *Instance {
+	return &Instance{eval: buildNode(p.root), typ: p.typ}
+}
+
+// OutType returns the instance's result type.
+func (in *Instance) OutType() vector.Type { return in.typ }
+
+// Eval evaluates the program over every row of the chunk.
+func (in *Instance) Eval(c *vector.Chunk) (*vector.Vector, error) { return in.eval(c) }
+
+// buildNode compiles one node into its evaluator closure. CompileProgram
+// vetted the tree, so an unknown node here is a bug, not a fallback.
+func buildNode(e Expr) evalFn {
+	switch x := e.(type) {
+	case *Column:
+		return buildColumn(x)
+	case *Const:
+		return buildConst(x)
+	case *Cast:
+		return buildCast(x)
+	case *Arith:
+		return buildArith(x)
+	case *Compare:
+		return buildCompare(x)
+	case *AndExpr:
+		return buildConnective(x.Args, true)
+	case *OrExpr:
+		return buildConnective(x.Args, false)
+	case *NotExpr:
+		return buildNot(x)
+	case *IsNullExpr:
+		return buildIsNull(x)
+	case *InExpr:
+		return buildIn(x)
+	case *LikeExpr:
+		return buildLike(x)
+	case *ExtractExpr:
+		return buildExtract(x)
+	case *SubstrExpr:
+		return buildSubstr(x)
+	case *CaseExpr:
+		return buildCase(x)
+	default:
+		panic(fmt.Sprintf("program: uncompilable node %T escaped CompileProgram", e))
+	}
+}
+
+// copyNulls transfers src's null bits onto out (whose bitmap was cleared by
+// the preceding Resize) and reports whether any bit is set.
+func copyNulls(out, src *vector.Vector, n int) bool {
+	sw := src.NullWords()
+	if len(sw) == 0 {
+		return false
+	}
+	w := out.EnsureNullWords(n)
+	kernel.OrWords(w, sw)
+	return kernel.AnyWord(w)
+}
+
+// mergeNulls2 ors both operands' null bits onto out; reports any set.
+func mergeNulls2(out, a, b *vector.Vector, n int) bool {
+	aw, bw := a.NullWords(), b.NullWords()
+	if len(aw) == 0 && len(bw) == 0 {
+		return false
+	}
+	w := out.EnsureNullWords(n)
+	kernel.OrWords(w, aw)
+	kernel.OrWords(w, bw)
+	return kernel.AnyWord(w)
+}
+
+// foldConst resolves e to a non-null compile-time constant, looking through
+// the numeric casts promote inserts around literals.
+func foldConst(e Expr) (vector.Value, bool) {
+	switch x := e.(type) {
+	case *Const:
+		if x.Val.Null {
+			return vector.Value{}, false
+		}
+		return x.Val, true
+	case *Cast:
+		v, ok := foldConst(x.In)
+		if !ok {
+			return vector.Value{}, false
+		}
+		from := x.In.Type()
+		switch {
+		case from == x.To:
+			return v, true
+		case x.To == vector.TypeFloat64 && (from == vector.TypeInt64 || from == vector.TypeDate):
+			return vector.NewFloat64(float64(v.I)), true
+		case x.To == vector.TypeInt64 && from == vector.TypeFloat64:
+			return vector.NewInt64(int64(v.F)), true
+		}
+		return vector.Value{}, false
+	default:
+		return vector.Value{}, false
+	}
+}
+
+func buildColumn(x *Column) evalFn {
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		if x.Index < 0 || x.Index >= c.NumCols() {
+			return nil, fmt.Errorf("column index %d out of range (%d cols)", x.Index, c.NumCols())
+		}
+		v := c.Col(x.Index)
+		if v.Type() != x.Typ {
+			return nil, fmt.Errorf("column %d: bound type %v but chunk has %v", x.Index, x.Typ, v.Type())
+		}
+		return v, nil
+	}
+}
+
+func buildConst(x *Const) evalFn {
+	reg := vector.New(x.Val.Type, 0)
+	val := x.Val
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		n := c.Len()
+		if val.Null {
+			reg.Reset()
+			for i := 0; i < n; i++ {
+				reg.AppendNull()
+			}
+			return reg, nil
+		}
+		switch val.Type {
+		case vector.TypeInt64, vector.TypeDate:
+			kernel.FillInt64(reg.ResizeInt64(n), val.I)
+		case vector.TypeFloat64:
+			kernel.FillFloat64(reg.ResizeFloat64(n), val.F)
+		case vector.TypeString:
+			kernel.FillString(reg.ResizeString(n), val.S)
+		case vector.TypeBool:
+			kernel.FillBool(reg.ResizeBool(n), val.B)
+		}
+		return reg, nil
+	}
+}
+
+func buildCast(x *Cast) evalFn {
+	inf := buildNode(x.In)
+	from := x.In.Type()
+	if from == x.To {
+		return inf
+	}
+	reg := vector.New(x.To, 0)
+	toFloat := x.To == vector.TypeFloat64
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		if toFloat {
+			dst := reg.ResizeFloat64(n)
+			src := av.Int64s()
+			for i := range dst {
+				dst[i] = float64(src[i])
+			}
+			if copyNulls(reg, av, n) {
+				kernel.ZeroNullsFloat64(dst, reg.NullWords())
+			}
+		} else {
+			dst := reg.ResizeInt64(n)
+			src := av.Float64s()
+			for i := range dst {
+				dst[i] = int64(src[i])
+			}
+			if copyNulls(reg, av, n) {
+				kernel.ZeroNullsInt64(dst, reg.NullWords())
+			}
+		}
+		return reg, nil
+	}
+}
+
+func buildArith(x *Arith) evalFn {
+	if s, ok := foldConst(x.R); ok {
+		return arithScalar(x.Op, x.typ, buildNode(x.L), s, false)
+	}
+	if s, ok := foldConst(x.L); ok {
+		return arithScalar(x.Op, x.typ, buildNode(x.R), s, true)
+	}
+	lf, rf := buildNode(x.L), buildNode(x.R)
+	reg := vector.New(x.typ, 0)
+	op, typ := x.Op, x.typ
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		lv, err := lf(c)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := rf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := lv.Len()
+		switch typ {
+		case vector.TypeInt64, vector.TypeDate:
+			dst := reg.ResizeInt64(n)
+			ls, rs := lv.Int64s(), rv.Int64s()
+			switch op {
+			case OpAdd:
+				kernel.AddInt64(dst, ls, rs)
+			case OpSub:
+				kernel.SubInt64(dst, ls, rs)
+			case OpMul:
+				kernel.MulInt64(dst, ls, rs)
+			default:
+				return nil, fmt.Errorf("integer division must have been promoted")
+			}
+			if mergeNulls2(reg, lv, rv, n) {
+				kernel.ZeroNullsInt64(dst, reg.NullWords())
+			}
+		case vector.TypeFloat64:
+			dst := reg.ResizeFloat64(n)
+			ls, rs := lv.Float64s(), rv.Float64s()
+			if op == OpDiv {
+				w := reg.EnsureNullWords(n)
+				kernel.OrWords(w, lv.NullWords())
+				kernel.OrWords(w, rv.NullWords())
+				kernel.DivFloat64(dst, ls, rs, w)
+				if kernel.AnyWord(w) {
+					kernel.ZeroNullsFloat64(dst, w)
+				}
+				return reg, nil
+			}
+			switch op {
+			case OpAdd:
+				kernel.AddFloat64(dst, ls, rs)
+			case OpSub:
+				kernel.SubFloat64(dst, ls, rs)
+			case OpMul:
+				kernel.MulFloat64(dst, ls, rs)
+			}
+			if mergeNulls2(reg, lv, rv, n) {
+				kernel.ZeroNullsFloat64(dst, reg.NullWords())
+			}
+		default:
+			return nil, fmt.Errorf("arith over non-numeric type %v", typ)
+		}
+		return reg, nil
+	}
+}
+
+// arithScalar evaluates vec ⊕ const (or const ⊕ vec when scalarLeft) without
+// materializing the constant.
+func arithScalar(op ArithOp, typ vector.Type, vf evalFn, s vector.Value, scalarLeft bool) evalFn {
+	reg := vector.New(typ, 0)
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := vf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		switch typ {
+		case vector.TypeInt64, vector.TypeDate:
+			dst := reg.ResizeInt64(n)
+			vs := av.Int64s()
+			x := s.I
+			switch op {
+			case OpAdd:
+				if scalarLeft {
+					kernel.AddInt64ScalarL(dst, x, vs)
+				} else {
+					kernel.AddInt64Scalar(dst, vs, x)
+				}
+			case OpSub:
+				if scalarLeft {
+					kernel.SubInt64ScalarL(dst, x, vs)
+				} else {
+					kernel.SubInt64Scalar(dst, vs, x)
+				}
+			case OpMul:
+				if scalarLeft {
+					kernel.MulInt64ScalarL(dst, x, vs)
+				} else {
+					kernel.MulInt64Scalar(dst, vs, x)
+				}
+			default:
+				return nil, fmt.Errorf("integer division must have been promoted")
+			}
+			if copyNulls(reg, av, n) {
+				kernel.ZeroNullsInt64(dst, reg.NullWords())
+			}
+		case vector.TypeFloat64:
+			dst := reg.ResizeFloat64(n)
+			vs := av.Float64s()
+			x := s.F
+			if op == OpDiv {
+				w := reg.EnsureNullWords(n)
+				kernel.OrWords(w, av.NullWords())
+				if scalarLeft {
+					kernel.DivFloat64ScalarL(dst, x, vs, w)
+				} else {
+					kernel.DivFloat64Scalar(dst, vs, x, w)
+				}
+				if kernel.AnyWord(w) {
+					kernel.ZeroNullsFloat64(dst, w)
+				}
+				return reg, nil
+			}
+			switch op {
+			case OpAdd:
+				if scalarLeft {
+					kernel.AddFloat64ScalarL(dst, x, vs)
+				} else {
+					kernel.AddFloat64Scalar(dst, vs, x)
+				}
+			case OpSub:
+				if scalarLeft {
+					kernel.SubFloat64ScalarL(dst, x, vs)
+				} else {
+					kernel.SubFloat64Scalar(dst, vs, x)
+				}
+			case OpMul:
+				if scalarLeft {
+					kernel.MulFloat64ScalarL(dst, x, vs)
+				} else {
+					kernel.MulFloat64Scalar(dst, vs, x)
+				}
+			}
+			if copyNulls(reg, av, n) {
+				kernel.ZeroNullsFloat64(dst, reg.NullWords())
+			}
+		default:
+			return nil, fmt.Errorf("arith over non-numeric type %v", typ)
+		}
+		return reg, nil
+	}
+}
+
+// flipCmp mirrors an operator across the operands: s op v ⇔ v flip(op) s.
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+func buildCompare(x *Compare) evalFn {
+	lt := x.L.Type()
+	// Bool comparisons stay on the materialized path (no kernels; rare).
+	if lt != vector.TypeBool {
+		if s, ok := foldConst(x.R); ok {
+			return compareScalar(x.Op, buildNode(x.L), s)
+		}
+		if s, ok := foldConst(x.L); ok {
+			return compareScalar(flipCmp(x.Op), buildNode(x.R), s)
+		}
+	}
+	lf, rf := buildNode(x.L), buildNode(x.R)
+	reg := vector.New(vector.TypeBool, 0)
+	op := x.Op
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		lv, err := lf(c)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := rf(c)
+		if err != nil {
+			return nil, err
+		}
+		if lv.Type() != rv.Type() {
+			lOK := lv.Type() == vector.TypeInt64 || lv.Type() == vector.TypeDate
+			rOK := rv.Type() == vector.TypeInt64 || rv.Type() == vector.TypeDate
+			if !lOK || !rOK {
+				return nil, fmt.Errorf("compare type mismatch: %v vs %v", lv.Type(), rv.Type())
+			}
+		}
+		n := lv.Len()
+		dst := reg.ResizeBool(n)
+		switch lv.Type() {
+		case vector.TypeInt64, vector.TypeDate:
+			ls, rs := lv.Int64s(), rv.Int64s()
+			switch op {
+			case OpEq:
+				kernel.EqInt64(dst, ls, rs)
+			case OpNe:
+				kernel.NeInt64(dst, ls, rs)
+			case OpLt:
+				kernel.LtInt64(dst, ls, rs)
+			case OpLe:
+				kernel.LeInt64(dst, ls, rs)
+			case OpGt:
+				kernel.GtInt64(dst, ls, rs)
+			default:
+				kernel.GeInt64(dst, ls, rs)
+			}
+		case vector.TypeFloat64:
+			ls, rs := lv.Float64s(), rv.Float64s()
+			switch op {
+			case OpEq:
+				kernel.EqFloat64(dst, ls, rs)
+			case OpNe:
+				kernel.NeFloat64(dst, ls, rs)
+			case OpLt:
+				kernel.LtFloat64(dst, ls, rs)
+			case OpLe:
+				kernel.LeFloat64(dst, ls, rs)
+			case OpGt:
+				kernel.GtFloat64(dst, ls, rs)
+			default:
+				kernel.GeFloat64(dst, ls, rs)
+			}
+		case vector.TypeString:
+			ls, rs := lv.Strings(), rv.Strings()
+			switch op {
+			case OpEq:
+				kernel.EqString(dst, ls, rs)
+			case OpNe:
+				kernel.NeString(dst, ls, rs)
+			case OpLt:
+				kernel.LtString(dst, ls, rs)
+			case OpLe:
+				kernel.LeString(dst, ls, rs)
+			case OpGt:
+				kernel.GtString(dst, ls, rs)
+			default:
+				kernel.GeString(dst, ls, rs)
+			}
+		case vector.TypeBool:
+			ls, rs := lv.Bools(), rv.Bools()
+			for i := 0; i < n; i++ {
+				dst[i] = op.matches(cmp3Bool(ls[i], rs[i]))
+			}
+		default:
+			return nil, fmt.Errorf("compare over unsupported type %v", lv.Type())
+		}
+		if mergeNulls2(reg, lv, rv, n) {
+			kernel.ZeroNullsBool(dst, reg.NullWords())
+		}
+		return reg, nil
+	}
+}
+
+// compareScalar evaluates vec ∘ const; a scalar on the left arrives here
+// with the operator already flipped.
+func compareScalar(op CmpOp, vf evalFn, s vector.Value) evalFn {
+	reg := vector.New(vector.TypeBool, 0)
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := vf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeBool(n)
+		switch av.Type() {
+		case vector.TypeInt64, vector.TypeDate:
+			vs := av.Int64s()
+			x := s.I
+			switch op {
+			case OpEq:
+				kernel.EqInt64Scalar(dst, vs, x)
+			case OpNe:
+				kernel.NeInt64Scalar(dst, vs, x)
+			case OpLt:
+				kernel.LtInt64Scalar(dst, vs, x)
+			case OpLe:
+				kernel.LeInt64Scalar(dst, vs, x)
+			case OpGt:
+				kernel.GtInt64Scalar(dst, vs, x)
+			default:
+				kernel.GeInt64Scalar(dst, vs, x)
+			}
+		case vector.TypeFloat64:
+			vs := av.Float64s()
+			x := s.F
+			switch op {
+			case OpEq:
+				kernel.EqFloat64Scalar(dst, vs, x)
+			case OpNe:
+				kernel.NeFloat64Scalar(dst, vs, x)
+			case OpLt:
+				kernel.LtFloat64Scalar(dst, vs, x)
+			case OpLe:
+				kernel.LeFloat64Scalar(dst, vs, x)
+			case OpGt:
+				kernel.GtFloat64Scalar(dst, vs, x)
+			default:
+				kernel.GeFloat64Scalar(dst, vs, x)
+			}
+		case vector.TypeString:
+			vs := av.Strings()
+			x := s.S
+			switch op {
+			case OpEq:
+				kernel.EqStringScalar(dst, vs, x)
+			case OpNe:
+				kernel.NeStringScalar(dst, vs, x)
+			case OpLt:
+				kernel.LtStringScalar(dst, vs, x)
+			case OpLe:
+				kernel.LeStringScalar(dst, vs, x)
+			case OpGt:
+				kernel.GtStringScalar(dst, vs, x)
+			default:
+				kernel.GeStringScalar(dst, vs, x)
+			}
+		default:
+			return nil, fmt.Errorf("compare over unsupported type %v", av.Type())
+		}
+		if copyNulls(reg, av, n) {
+			kernel.ZeroNullsBool(dst, reg.NullWords())
+		}
+		return reg, nil
+	}
+}
+
+func buildConnective(args []Expr, isAnd bool) evalFn {
+	fns := make([]evalFn, len(args))
+	for i, a := range args {
+		fns[i] = buildNode(a)
+	}
+	reg := vector.New(vector.TypeBool, 0)
+	argVecs := make([]*vector.Vector, len(args))
+	var vals, nulls []bool // three-valued fold scratch, reused across chunks
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		n := c.Len()
+		fast := true
+		for i, f := range fns {
+			av, err := f(c)
+			if err != nil {
+				return nil, err
+			}
+			argVecs[i] = av
+			if av.HasNulls() {
+				fast = false
+			}
+		}
+		dst := reg.ResizeBool(n)
+		if fast {
+			// Two-valued fold: AND = all true, OR = any true.
+			copy(dst, argVecs[0].Bools())
+			for _, av := range argVecs[1:] {
+				if isAnd {
+					kernel.AndBool(dst, dst, av.Bools())
+				} else {
+					kernel.OrBool(dst, dst, av.Bools())
+				}
+			}
+			return reg, nil
+		}
+		// Three-valued fold, mirroring the generic evalConnective exactly.
+		if cap(vals) < n {
+			vals = make([]bool, n)
+			nulls = make([]bool, n)
+		}
+		vals, nulls = vals[:n], nulls[:n]
+		for i := range vals {
+			vals[i] = isAnd // identity element: AND starts true, OR starts false
+			nulls[i] = false
+		}
+		for _, av := range argVecs {
+			bs := av.Bools()
+			for i := 0; i < n; i++ {
+				argNull := av.IsNull(i)
+				argVal := !argNull && bs[i]
+				if isAnd {
+					switch {
+					case !nulls[i] && !vals[i]:
+						// already false; stays false
+					case argNull:
+						nulls[i] = true
+					case !argVal:
+						vals[i], nulls[i] = false, false
+					}
+				} else {
+					switch {
+					case !nulls[i] && vals[i]:
+						// already true; stays true
+					case argNull:
+						nulls[i] = true
+					case argVal:
+						vals[i], nulls[i] = true, false
+					}
+				}
+			}
+		}
+		var w []uint64
+		for i := 0; i < n; i++ {
+			if nulls[i] {
+				if w == nil {
+					w = reg.EnsureNullWords(n)
+				}
+				kernel.SetNull(w, i)
+				dst[i] = false
+			} else {
+				dst[i] = vals[i]
+			}
+		}
+		return reg, nil
+	}
+}
+
+func buildNot(x *NotExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeBool, 0)
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeBool(n)
+		kernel.NotBool(dst, av.Bools())
+		if copyNulls(reg, av, n) {
+			kernel.ZeroNullsBool(dst, reg.NullWords())
+		}
+		return reg, nil
+	}
+}
+
+func buildIsNull(x *IsNullExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeBool, 0)
+	negate := x.Negate
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeBool(n)
+		w := av.NullWords()
+		if len(w) == 0 {
+			kernel.FillBool(dst, negate)
+			return reg, nil
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = kernel.NullAt(w, i) != negate
+		}
+		return reg, nil
+	}
+}
+
+func buildIn(x *InExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeBool, 0)
+	list, negate := x.List, x.Negate
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeBool(n)
+		w := av.NullWords()
+		for i := 0; i < n; i++ {
+			if kernel.NullAt(w, i) {
+				dst[i] = false
+				continue
+			}
+			v := av.Value(i)
+			found := false
+			for _, cand := range list {
+				if !cand.Null && cand.Equal(v) {
+					found = true
+					break
+				}
+			}
+			dst[i] = found != negate
+		}
+		copyNulls(reg, av, n)
+		return reg, nil
+	}
+}
+
+func buildLike(x *LikeExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeBool, 0)
+	pattern, negate := x.Pattern, x.Negate
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeBool(n)
+		ss := av.Strings()
+		w := av.NullWords()
+		if len(w) == 0 {
+			for i := 0; i < n; i++ {
+				dst[i] = LikeMatch(ss[i], pattern) != negate
+			}
+			return reg, nil
+		}
+		for i := 0; i < n; i++ {
+			if kernel.NullAt(w, i) {
+				dst[i] = false
+				continue
+			}
+			dst[i] = LikeMatch(ss[i], pattern) != negate
+		}
+		copyNulls(reg, av, n)
+		return reg, nil
+	}
+}
+
+func buildExtract(x *ExtractExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeInt64, 0)
+	field := x.Field
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeInt64(n)
+		ds := av.Int64s()
+		if field == FieldYear {
+			for i := range dst {
+				dst[i] = int64(vector.DateYear(ds[i]))
+			}
+		} else {
+			for i := range dst {
+				dst[i] = int64(vector.DateMonth(ds[i]))
+			}
+		}
+		if copyNulls(reg, av, n) {
+			kernel.ZeroNullsInt64(dst, reg.NullWords())
+		}
+		return reg, nil
+	}
+}
+
+func buildSubstr(x *SubstrExpr) evalFn {
+	inf := buildNode(x.In)
+	reg := vector.New(vector.TypeString, 0)
+	start, length := x.Start, x.Length
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		av, err := inf(c)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		dst := reg.ResizeString(n)
+		ss := av.Strings()
+		for i := range dst {
+			s := ss[i]
+			lo := start - 1
+			if lo < 0 {
+				lo = 0
+			}
+			if lo > len(s) {
+				lo = len(s)
+			}
+			hi := lo + length
+			if hi > len(s) {
+				hi = len(s)
+			}
+			dst[i] = s[lo:hi]
+		}
+		if copyNulls(reg, av, n) {
+			kernel.ZeroNullsString(dst, reg.NullWords())
+		}
+		return reg, nil
+	}
+}
+
+func buildCase(x *CaseExpr) evalFn {
+	condFns := make([]evalFn, len(x.Whens))
+	for i, w := range x.Whens {
+		condFns[i] = buildNode(w)
+	}
+	thenFns := make([]evalFn, len(x.Thens))
+	for i, t := range x.Thens {
+		thenFns[i] = buildNode(t)
+	}
+	var elseFn evalFn
+	if x.Else != nil {
+		elseFn = buildNode(x.Else)
+	}
+	reg := vector.New(x.typ, 0)
+	conds := make([]*vector.Vector, len(condFns))
+	thens := make([]*vector.Vector, len(thenFns))
+	typ := x.typ
+	return func(c *vector.Chunk) (*vector.Vector, error) {
+		n := c.Len()
+		for i, f := range condFns {
+			v, err := f(c)
+			if err != nil {
+				return nil, err
+			}
+			conds[i] = v
+		}
+		for i, f := range thenFns {
+			v, err := f(c)
+			if err != nil {
+				return nil, err
+			}
+			thens[i] = v
+		}
+		var elseV *vector.Vector
+		if elseFn != nil {
+			v, err := elseFn(c)
+			if err != nil {
+				return nil, err
+			}
+			elseV = v
+		}
+		// pick resolves the source vector for row i (nil means NULL).
+		pick := func(i int) *vector.Vector {
+			for bi, cond := range conds {
+				if !cond.IsNull(i) && cond.Bools()[i] {
+					return thens[bi]
+				}
+			}
+			return elseV
+		}
+		var w []uint64
+		setNull := func(i int) {
+			if w == nil {
+				w = reg.EnsureNullWords(n)
+			}
+			kernel.SetNull(w, i)
+		}
+		switch typ {
+		case vector.TypeInt64, vector.TypeDate:
+			dst := reg.ResizeInt64(n)
+			for i := 0; i < n; i++ {
+				if src := pick(i); src != nil && !src.IsNull(i) {
+					dst[i] = src.Int64s()[i]
+				} else {
+					dst[i] = 0
+					setNull(i)
+				}
+			}
+		case vector.TypeFloat64:
+			dst := reg.ResizeFloat64(n)
+			for i := 0; i < n; i++ {
+				if src := pick(i); src != nil && !src.IsNull(i) {
+					dst[i] = src.Float64s()[i]
+				} else {
+					dst[i] = 0
+					setNull(i)
+				}
+			}
+		case vector.TypeString:
+			dst := reg.ResizeString(n)
+			for i := 0; i < n; i++ {
+				if src := pick(i); src != nil && !src.IsNull(i) {
+					dst[i] = src.Strings()[i]
+				} else {
+					dst[i] = ""
+					setNull(i)
+				}
+			}
+		case vector.TypeBool:
+			dst := reg.ResizeBool(n)
+			for i := 0; i < n; i++ {
+				if src := pick(i); src != nil && !src.IsNull(i) {
+					dst[i] = src.Bools()[i]
+				} else {
+					dst[i] = false
+					setNull(i)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("CASE over unsupported type %v", typ)
+		}
+		return reg, nil
+	}
+}

@@ -1,0 +1,209 @@
+package expr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// programChunk builds an adversarial chunk for program-vs-Eval equivalence:
+// nulls in every column, NaN and signed zeros, empty and escape-y strings.
+// Columns: 0 int64, 1 float64, 2 string, 3 date, 4 bool, 5 float64 (divisors
+// incl. zero), 6 int64 (no nulls).
+func programChunk() *vector.Chunk {
+	c := vector.NewChunk([]vector.Type{
+		vector.TypeInt64, vector.TypeFloat64, vector.TypeString,
+		vector.TypeDate, vector.TypeBool, vector.TypeFloat64, vector.TypeInt64,
+	})
+	d := func(s string) vector.Value { return vector.NewDate(vector.MustParseDate(s)) }
+	rows := [][]vector.Value{
+		{vector.NewInt64(1), vector.NewFloat64(1.5), vector.NewString("apple"), d("1994-03-15"), vector.NewBool(true), vector.NewFloat64(2), vector.NewInt64(10)},
+		{vector.NewInt64(-7), vector.NewFloat64(math.NaN()), vector.NewString(""), d("1995-07-01"), vector.NewBool(false), vector.NewFloat64(0), vector.NewInt64(-3)},
+		{vector.NewNull(vector.TypeInt64), vector.NewFloat64(math.Copysign(0, -1)), vector.NewString("50%"), d("1996-12-31"), vector.NewNull(vector.TypeBool), vector.NewFloat64(-1), vector.NewInt64(0)},
+		{vector.NewInt64(42), vector.NewNull(vector.TypeFloat64), vector.NewNull(vector.TypeString), d("1997-01-02"), vector.NewBool(true), vector.NewNull(vector.TypeFloat64), vector.NewInt64(7)},
+		{vector.NewInt64(3), vector.NewFloat64(1e300), vector.NewString("a_b"), d("1993-11-30"), vector.NewBool(false), vector.NewFloat64(-0.5), vector.NewInt64(1)},
+		{vector.NewNull(vector.TypeInt64), vector.NewFloat64(-1e300), vector.NewString("apple pie"), d("1998-06-15"), vector.NewNull(vector.TypeBool), vector.NewFloat64(3), vector.NewInt64(2)},
+	}
+	for _, r := range rows {
+		c.AppendRowValues(r...)
+	}
+	return c
+}
+
+// vectorBytes canonically serializes a vector: type, length, padded null
+// bitmap, and backing for every row (null rows included). Byte equality means
+// the two vectors agree on values, null bits, float bit patterns, and the
+// zero-backing-under-null invariant.
+func vectorBytes(t *testing.T, v *vector.Vector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := vector.NewEncoder(&buf)
+	enc.Vector(v)
+	if err := enc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assertProgramMatchesEval compiles e, runs the program twice (instances are
+// reusable), and demands byte-identical output to the generic Eval.
+func assertProgramMatchesEval(t *testing.T, e Expr, c *vector.Chunk) {
+	t.Helper()
+	want, err := e.Eval(c)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	wantB := vectorBytes(t, want)
+	p := CompileProgram(e)
+	if p == nil {
+		t.Fatalf("CompileProgram(%s) = nil, want a program", e)
+	}
+	if p.OutType() != e.Type() {
+		t.Fatalf("program type %v != expr type %v", p.OutType(), e.Type())
+	}
+	inst := p.NewInstance()
+	for pass := 0; pass < 2; pass++ {
+		got, err := inst.Eval(c)
+		if err != nil {
+			t.Fatalf("program Eval(%s) pass %d: %v", e, pass, err)
+		}
+		if !bytes.Equal(vectorBytes(t, got), wantB) {
+			t.Fatalf("program output differs from Eval for %s (pass %d)\n got: %v\nwant: %v", e, pass, got, want)
+		}
+	}
+}
+
+func i64() Expr  { return Col(0, vector.TypeInt64) }
+func f64() Expr  { return Col(1, vector.TypeFloat64) }
+func str() Expr  { return Col(2, vector.TypeString) }
+func date() Expr { return Col(3, vector.TypeDate) }
+func bl() Expr   { return Col(4, vector.TypeBool) }
+func div() Expr  { return Col(5, vector.TypeFloat64) }
+func i2() Expr   { return Col(6, vector.TypeInt64) }
+
+func TestProgramMatchesEval(t *testing.T) {
+	c := programChunk()
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		// NULL propagation through arithmetic, including the scalar
+		// specializations on both sides and int/float promotion.
+		{"add-int", Add(i64(), i2())},
+		{"sub-int-scalar", Sub(i64(), Int(3))},
+		{"sub-scalar-int", Sub(Int(100), i64())},
+		{"mul-float", Mul(f64(), div())},
+		{"mul-float-scalar", Mul(f64(), Float(2.5))},
+		{"add-promote", Add(i64(), f64())},
+		{"div-vec", Div(f64(), div())}, // zero divisors -> NULL
+		{"div-scalar", Div(f64(), Float(0))},
+		{"div-scalar-left", Div(Float(1), div())},
+		{"date-minus-int", Sub(date(), Int(30))},
+		// NULL propagation through comparisons, NaN semantics, scalar flips.
+		{"eq-int", Eq(i64(), i2())},
+		{"lt-float", Lt(f64(), div())},
+		{"le-float-nan", Le(f64(), f64())},
+		{"ge-scalar-left", Ge(Float(0), f64())},
+		{"ne-string", Ne(str(), Str("apple"))},
+		{"gt-string", Gt(str(), str())},
+		{"cmp-bool", Eq(bl(), bl())},
+		{"cmp-date", Between(date(), Date("1994-01-01"), Date("1996-12-31"))},
+		{"cmp-mixed-promote", Gt(i64(), Float(0.5))},
+		// Three-valued logic: connectives over columns with NULLs.
+		{"and", And(bl(), Gt(i64(), Int(0)))},
+		{"or", Or(bl(), IsNull(f64()))},
+		{"and-or-not", Or(And(bl(), Not(bl())), Not(And(bl(), Gt(f64(), Float(0)))))},
+		{"not-null", Not(bl())},
+		{"is-null", IsNull(i64())},
+		{"is-not-null", IsNotNull(str())},
+		// Misc nodes: IN, CASE, EXTRACT, SUBSTR.
+		{"in", In(i64(), vector.NewInt64(1), vector.NewInt64(42))},
+		{"not-in", NotIn(str(), vector.NewString("apple"), vector.NewString(""))},
+		{"case", When(Gt(f64(), Float(0)), Str("pos"), Str("nonpos"))},
+		{"case-null-cond", When(bl(), i64(), i2())},
+		{"extract-year", ExtractYear(date())},
+		{"extract-month", ExtractMonth(date())},
+		{"substr", Substr(str(), 2, 3)},
+		// Casts, including the constant-folding path inside scalar arith.
+		{"cast-int-float", ToFloat(i64())},
+		{"cast-date-float", ToFloat(date())},
+		{"cast-const-fold", Mul(f64(), ToFloat(Int(3)))},
+		{"null-literal", Add(i64(), Lit(vector.NewNull(vector.TypeInt64)))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertProgramMatchesEval(t, tc.e, c)
+		})
+	}
+}
+
+// TestProgramLikePatterns covers LIKE's edge patterns — empty pattern, bare
+// wildcards, escaped _ and %, trailing escape — against the generic path.
+func TestProgramLikePatterns(t *testing.T) {
+	c := programChunk()
+	patterns := []string{
+		"", "%", "_", "%%", "a%", "%e", "a__le", "50\\%", "a\\_b", "%\\%%", "\\", "apple",
+	}
+	for _, pat := range patterns {
+		assertProgramMatchesEval(t, Like(str(), pat), c)
+		assertProgramMatchesEval(t, NotLike(str(), pat), c)
+	}
+}
+
+// TestProgramCastOverflow pins float->int cast behavior on values outside the
+// int64 range and NaN: whatever the generic path produces, the program must
+// reproduce bit-for-bit.
+func TestProgramCastOverflow(t *testing.T) {
+	c := programChunk() // column 1 holds 1e300, -1e300, NaN
+	e := &Cast{In: f64(), To: vector.TypeInt64}
+	assertProgramMatchesEval(t, e, c)
+	// And through arithmetic on the cast result.
+	assertProgramMatchesEval(t, Add(&Cast{In: f64(), To: vector.TypeInt64}, Int(1)), c)
+}
+
+// TestProgramFallbacks pins the generic-fallback contract: expressions the
+// program layer does not support compile to nil rather than to a wrong
+// program.
+func TestProgramFallbacks(t *testing.T) {
+	bad := []Expr{
+		&Cast{In: str(), To: vector.TypeInt64},                                  // unsupported cast
+		Add(Col(0, vector.TypeInt64), &Cast{In: str(), To: vector.TypeFloat64}), // poisoned subtree
+	}
+	for _, e := range bad {
+		if p := CompileProgram(e); p != nil {
+			t.Errorf("CompileProgram(%s) compiled, want nil fallback", e)
+		}
+	}
+}
+
+// TestProgramInstanceIndependence runs two instances of one program over
+// different chunks and checks they do not share register state.
+func TestProgramInstanceIndependence(t *testing.T) {
+	e := Add(Mul(f64(), Float(2)), div())
+	p := CompileProgram(e)
+	if p == nil {
+		t.Fatal("program did not compile")
+	}
+	c1 := programChunk()
+	c2 := vector.NewChunk(c1.Types())
+	c2.AppendRowValues(
+		vector.NewInt64(9), vector.NewFloat64(4.5), vector.NewString("x"),
+		vector.NewDate(vector.MustParseDate("1999-09-09")), vector.NewBool(true),
+		vector.NewFloat64(1), vector.NewInt64(5),
+	)
+	in1, in2 := p.NewInstance(), p.NewInstance()
+	v1, err := in1.Eval(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := vectorBytes(t, v1)
+	if _, err := in2.Eval(c2); err != nil {
+		t.Fatal(err)
+	}
+	// in2's evaluation must not have disturbed in1's output vector.
+	if !bytes.Equal(vectorBytes(t, v1), b1) {
+		t.Error("instances share register state")
+	}
+}

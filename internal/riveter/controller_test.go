@@ -17,7 +17,7 @@ import (
 // milliseconds, giving the timers room to act.
 func slowCatalog(t testing.TB) *catalog.Catalog {
 	t.Helper()
-	cat, err := tpch.Generate(tpch.Config{SF: 0.02})
+	cat, err := tpch.Generate(tpch.Config{SF: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func calibrated(t testing.TB, c *Controller, id int) QuerySpec {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node := q.Build(plan.NewBuilder(c.Cat), 0.02)
+	node := q.Build(plan.NewBuilder(c.Cat), 0.05)
 	spec, err := c.Calibrate(q.Name, node)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,58 @@
+package tpch
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/plan"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+func runQueryWith(t testing.TB, q Query, workers int, opts engine.CompileOptions) *engine.ResultSet {
+	t.Helper()
+	cat := queryCatalog(t)
+	node := q.Build(plan.NewBuilder(cat), testSF)
+	pp, err := engine.CompileWith(node, cat, opts)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", q.Name, err)
+	}
+	ex := engine.NewExecutor(pp, engine.Options{Workers: workers})
+	res, err := ex.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s: run: %v", q.Name, err)
+	}
+	return res
+}
+
+// TestQueriesKernelByteEquivalence runs all 22 TPC-H queries single-worker
+// with the fused kernel layer on and off and demands byte-identical result
+// buffers — same values, same float bit patterns, same null bitmaps.
+func TestQueriesKernelByteEquivalence(t *testing.T) {
+	for _, q := range All() {
+		var on, off bytes.Buffer
+		encOn, encOff := vector.NewEncoder(&on), vector.NewEncoder(&off)
+		runQueryWith(t, q, 1, engine.CompileOptions{}).Buf.Save(encOn)
+		runQueryWith(t, q, 1, engine.CompileOptions{NoFusedKernels: true}).Buf.Save(encOff)
+		if encOn.Err() != nil || encOff.Err() != nil {
+			t.Fatalf("%s: encode: %v / %v", q.Name, encOn.Err(), encOff.Err())
+		}
+		if !bytes.Equal(on.Bytes(), off.Bytes()) {
+			t.Errorf("%s: fused and generic result buffers differ (%d vs %d bytes)",
+				q.Name, on.Len(), off.Len())
+		}
+	}
+}
+
+// TestQueriesKernelMultiWorkerEquivalence compares fused multi-worker runs
+// against the generic single-worker reference with the float-tolerant key
+// (combine order varies across workers).
+func TestQueriesKernelMultiWorkerEquivalence(t *testing.T) {
+	for _, q := range All() {
+		ref := runQueryWith(t, q, 1, engine.CompileOptions{NoFusedKernels: true}).SortedKey()
+		if got := runQueryWith(t, q, 4, engine.CompileOptions{}).SortedKey(); got != ref {
+			t.Errorf("%s: fused 4-worker result differs from generic reference", q.Name)
+		}
+	}
+}

@@ -70,6 +70,15 @@ func (c *Chunk) AppendRowFrom(src *Chunk, i int) {
 	c.length++
 }
 
+// AppendChunk bulk-appends every row of src (same column layout) using
+// per-column range copies instead of per-row dispatch.
+func (c *Chunk) AppendChunk(src *Chunk) {
+	for j, col := range c.cols {
+		col.AppendRange(src.cols[j], 0, src.length)
+	}
+	c.length += src.length
+}
+
 // AppendRowValues appends one row of boxed values.
 func (c *Chunk) AppendRowValues(vals ...Value) {
 	if len(vals) != len(c.cols) {

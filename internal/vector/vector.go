@@ -211,6 +211,107 @@ func (v *Vector) AppendFrom(src *Vector, i int) {
 	}
 }
 
+// ResizeInt64 sets the vector to exactly n int64/date rows with no nulls and
+// returns the backing slice for direct writes. Existing contents are
+// unspecified; callers overwrite every row.
+func (v *Vector) ResizeInt64(n int) []int64 {
+	if cap(v.ints) < n {
+		v.ints = make([]int64, n)
+	} else {
+		v.ints = v.ints[:n]
+	}
+	v.length = n
+	v.nulls = v.nulls[:0]
+	return v.ints
+}
+
+// ResizeFloat64 is ResizeInt64 for float64 vectors.
+func (v *Vector) ResizeFloat64(n int) []float64 {
+	if cap(v.floats) < n {
+		v.floats = make([]float64, n)
+	} else {
+		v.floats = v.floats[:n]
+	}
+	v.length = n
+	v.nulls = v.nulls[:0]
+	return v.floats
+}
+
+// ResizeString is ResizeInt64 for string vectors.
+func (v *Vector) ResizeString(n int) []string {
+	if cap(v.strs) < n {
+		v.strs = make([]string, n)
+	} else {
+		v.strs = v.strs[:n]
+	}
+	v.length = n
+	v.nulls = v.nulls[:0]
+	return v.strs
+}
+
+// ResizeBool is ResizeInt64 for bool vectors.
+func (v *Vector) ResizeBool(n int) []bool {
+	if cap(v.bools) < n {
+		v.bools = make([]bool, n)
+	} else {
+		v.bools = v.bools[:n]
+	}
+	v.length = n
+	v.nulls = v.nulls[:0]
+	return v.bools
+}
+
+// NullWords exposes the raw null bitmap (one bit per row, LSB first); nil or
+// short means the remaining rows are non-null.
+func (v *Vector) NullWords() []uint64 { return v.nulls }
+
+// EnsureNullWords grows the null bitmap to cover n rows, zeroing any newly
+// exposed words, and returns it for direct bit manipulation.
+func (v *Vector) EnsureNullWords(n int) []uint64 {
+	words := (n + 63) >> 6
+	if cap(v.nulls) < words {
+		nw := make([]uint64, words)
+		copy(nw, v.nulls)
+		v.nulls = nw
+	} else {
+		old := len(v.nulls)
+		v.nulls = v.nulls[:words]
+		for i := old; i < words; i++ {
+			v.nulls[i] = 0
+		}
+	}
+	return v.nulls
+}
+
+// AppendRange bulk-appends rows [start, end) of src, which must have the same
+// type family. Backing values are copied wholesale; null bits transfer per
+// row only when src actually has nulls. Correct because null rows hold the
+// zero value in backing storage (the AppendNull invariant).
+func (v *Vector) AppendRange(src *Vector, start, end int) {
+	if end <= start {
+		return
+	}
+	switch v.typ {
+	case TypeInt64, TypeDate:
+		v.ints = append(v.ints, src.ints[start:end]...)
+	case TypeFloat64:
+		v.floats = append(v.floats, src.floats[start:end]...)
+	case TypeString:
+		v.strs = append(v.strs, src.strs[start:end]...)
+	case TypeBool:
+		v.bools = append(v.bools, src.bools[start:end]...)
+	}
+	base := v.length
+	v.length += end - start
+	if len(src.nulls) > 0 {
+		for i := start; i < end; i++ {
+			if src.IsNull(i) {
+				v.SetNull(base + i - start)
+			}
+		}
+	}
+}
+
 // HashInto combines the hash of each row into the accumulator slice, which
 // must have at least Len entries.
 func (v *Vector) HashInto(acc []uint64) {

@@ -1,9 +1,13 @@
 #!/bin/sh
 # bench_compare.sh — diff two BENCH_engine.json files (see bench_json.sh)
 # and gate performance regressions. For every benchmark in a gated section
-# (default: engine and tpch) a ns/op regression above FAIL_PCT (default 25%)
-# fails the run; regressions between WARN_PCT (default 10%) and FAIL_PCT
-# only warn, as do regressions in the non-gated sections. Benchmarks present
+# (default: engine and tpch) a ns/op or allocs/op regression above FAIL_PCT
+# (default 25%) fails the run; regressions between WARN_PCT (default 10%)
+# and FAIL_PCT only warn, as do regressions in the non-gated sections.
+# Allocation counts are gated with the same thresholds as wall time because
+# they are deterministic — an allocs/op jump is always a real code change,
+# never machine noise, and the fused kernel layer exists precisely to keep
+# the hot paths allocation-free. Benchmarks present
 # in one file but not the other are reported, and a duplicate benchmark name
 # within a section is an error — two benchmarks whose names collapse to the
 # same JSON key would silently gate each other's numbers.
@@ -37,9 +41,10 @@ awk -v basefile="$BASE" -v freshfile="$FRESH" \
     -v failpct="$FAIL_PCT" -v warnpct="$WARN_PCT" \
     -v gated="$GATED_SECTIONS" -v ratiopct="$LINEAGE_RATIO_PCT" \
     -v proxypct="$PROXY_OVERHEAD_PCT" '
-# load parses one bench_json.sh document into ns[<section>/<name>],
-# recording the key order in keys[] and flagging duplicates.
-function load(file, ns, keys, nkeys,    line, sec, name, key, q, n) {
+# load parses one bench_json.sh document into ns[<section>/<name>] and
+# al[<section>/<name>] (allocs/op, when present), recording the key order
+# in keys[] and flagging duplicates.
+function load(file, ns, al, keys, nkeys,    line, sec, name, key, q, n) {
     sec = ""
     while ((getline line < file) > 0) {
         if (match(line, /^  "[a-z_]+": \[/)) {
@@ -59,6 +64,8 @@ function load(file, ns, keys, nkeys,    line, sec, name, key, q, n) {
             continue
         }
         ns[key] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+        if (match(line, /"allocs_per_op": [0-9.eE+-]+/))
+            al[key] = substr(line, RSTART + 17, RLENGTH - 17) + 0
         keys[++nkeys[0]] = key
     }
     close(file)
@@ -68,8 +75,8 @@ function load(file, ns, keys, nkeys,    line, sec, name, key, q, n) {
 BEGIN {
     errs = 0; warns = 0
     nb[0] = 0; nf[0] = 0
-    load(basefile, bns, bkeys, nb)
-    load(freshfile, fns, fkeys, nf)
+    load(basefile, bns, bal, bkeys, nb)
+    load(freshfile, fns, fal, fkeys, nf)
     if (nb[0] == 0) { printf "::error::no benchmarks parsed from baseline %s\n", basefile; errs++ }
     if (nf[0] == 0) { printf "::error::no benchmarks parsed from fresh run %s\n", freshfile; errs++ }
 
@@ -95,6 +102,18 @@ BEGIN {
             warns++
         } else if (pct < -warnpct) {
             printf "%s improved %.1f%%: %.0f -> %.0f ns/op\n", key, -pct, old, new
+        }
+        # Allocation gate: same thresholds, same sections.
+        if (!((key in bal) && (key in fal)) || bal[key] <= 0) continue
+        apct = (fal[key] - bal[key]) / bal[key] * 100
+        if (apct > failpct && (sec in gate)) {
+            printf "::error::%s allocates %.1f%% more: %.0f -> %.0f allocs/op (limit %s%%)\n", key, apct, bal[key], fal[key], failpct
+            errs++
+        } else if (apct > warnpct) {
+            printf "::warning::%s allocates %.1f%% more: %.0f -> %.0f allocs/op\n", key, apct, bal[key], fal[key]
+            warns++
+        } else if (apct < -warnpct) {
+            printf "%s allocates %.1f%% less: %.0f -> %.0f allocs/op\n", key, -apct, bal[key], fal[key]
         }
     }
     for (i = 1; i <= nb[0]; i++) {

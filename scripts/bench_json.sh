@@ -13,6 +13,13 @@ set -eu
 
 OUT=${1:-BENCH_engine.json}
 BENCHTIME=${BENCHTIME:-1x}
+# On a small (single-core) container, a long benchmark run picks up GC
+# and scheduling debris from its neighbors; BENCH_COUNT>1 repeats every
+# engine/tpch/checkpoint/blobstore/strategy benchmark and keeps the
+# fastest run per name — the same min-of-counts the controlplane section
+# has always used. CI smoke stays at 1; use BENCH_COUNT=3 with
+# BENCHTIME=5x when recording a committed baseline.
+BENCH_COUNT=${BENCH_COUNT:-1}
 # The strategy benchmarks time a single fsync-bounded seal, so one slow
 # fsync outlier can swing the lineage acceptance ratio by an order of
 # magnitude; always take at least 20 samples regardless of BENCHTIME.
@@ -29,15 +36,15 @@ GO=${GO:-go}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-$GO test ./internal/engine -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+$GO test ./internal/engine -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" \
     | tee "$tmp/engine.txt"
-$GO test ./internal/tpch -run '^$' -bench 'BenchmarkTPCH/' -benchmem -benchtime "$BENCHTIME" \
+$GO test ./internal/tpch -run '^$' -bench 'BenchmarkTPCH/' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" \
     | tee "$tmp/tpch.txt"
-$GO test ./internal/checkpoint -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+$GO test ./internal/checkpoint -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" \
     | tee "$tmp/checkpoint.txt"
-$GO test ./internal/blobstore -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+$GO test ./internal/blobstore -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" \
     | tee "$tmp/blobstore.txt"
-$GO test ./internal/strategy -run '^$' -bench 'Lineage' -benchmem -benchtime "$STRAT_BENCHTIME" \
+$GO test ./internal/strategy -run '^$' -bench 'Lineage' -benchmem -benchtime "$STRAT_BENCHTIME" -count "$BENCH_COUNT" \
     | tee "$tmp/strategy.txt"
 $GO test ./internal/controlplane -run '^$' -bench 'BenchmarkProxy' -benchmem \
     -benchtime "$CP_BENCHTIME" -count "$CP_COUNT" \
@@ -46,9 +53,11 @@ $GO test ./internal/controlplane -run '^$' -bench 'BenchmarkProxy' -benchmem \
 awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" \
     -v ckptfile="$tmp/checkpoint.txt" -v blobfile="$tmp/blobstore.txt" \
     -v stratfile="$tmp/strategy.txt" -v cpfile="$tmp/controlplane.txt" '
-function emit_bench(file, label,    line, n, parts, name, first) {
-    printf "  \"%s\": [", label
-    first = 1
+# emit_bench keeps the fastest run per benchmark name when -count
+# repeats them (min-of-counts; B/op and allocs/op ride along from the
+# fastest run — allocation counts are deterministic across counts).
+function emit_bench(file, label,    line, n, parts, name, i, nn, names, ns, by, al, hasmem) {
+    nn = 0
     while ((getline line < file) > 0) {
         if (line !~ /^Benchmark/) continue
         n = split(line, parts, /[ \t]+/)
@@ -57,14 +66,23 @@ function emit_bench(file, label,    line, n, parts, name, first) {
         sub(/^Benchmark/, "", name)
         sub(/-[0-9]+$/, "", name)      # strip GOMAXPROCS suffix
         if (label == "tpch") sub(/^TPCH\//, "", name)
-        if (!first) printf ","
-        first = 0
-        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, parts[3]
-        if (n >= 8 && parts[6] == "B/op")
-            printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", parts[5], parts[7]
-        printf "}"
+        if (!(name in ns)) { names[++nn] = name; ns[name] = -1 }
+        if (ns[name] >= 0 && parts[3] + 0 >= ns[name]) continue
+        ns[name] = parts[3] + 0
+        if (n >= 8 && parts[6] == "B/op") {
+            by[name] = parts[5] + 0; al[name] = parts[7] + 0; hasmem[name] = 1
+        }
     }
     close(file)
+    printf "  \"%s\": [", label
+    for (i = 1; i <= nn; i++) {
+        name = names[i]
+        if (i > 1) printf ","
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %g", name, ns[name]
+        if (name in hasmem)
+            printf ", \"bytes_per_op\": %g, \"allocs_per_op\": %g", by[name], al[name]
+        printf "}"
+    }
     printf "\n  ]"
 }
 # emit_cp parses the controlplane run, which differs from the others in
