@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (executor workers, suspension strategies,
 # adaptive controller, serving layer, public API) — the -race job covers these.
-RACE_PKGS := . ./internal/engine/... ./internal/expr/... ./internal/vector/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/... ./internal/faultnet/...
+RACE_PKGS := . ./internal/engine/... ./internal/expr/... ./internal/vector/... ./internal/strategy/... ./internal/riveter/... ./internal/obs/... ./internal/server/... ./internal/blobstore/... ./internal/controlplane/... ./internal/faultnet/... ./internal/fold/...
 
 # Packages exercising the fault-injection matrix: the injectable
 # filesystem, checkpoint crash/verify tests, the lineage-log crash matrix,
@@ -18,7 +18,7 @@ FAULT_PKGS := . ./internal/faultfs/... ./internal/checkpoint/... ./internal/stra
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race vet fmt lint generate generate-check profile scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite chaos-suite fault-matrix ci
+.PHONY: all build test race vet fmt lint generate generate-check profile scheduler-suite blob-suite lineage-suite bench-smoke bench bench-gate serve-smoke fleet-suite chaos-suite fold-suite fault-matrix ci
 
 all: build
 
@@ -164,6 +164,16 @@ chaos-suite:
 	$(GO) test -race -count=2 -timeout 30m \
 		-run 'TestChaos|TestBreaker|TestRetry' ./internal/controlplane/
 
+# The shared-execution subsystem under the race detector, twice: the scan
+# hub and subplan cache unit suites, the 22-query fold-vs-isolated
+# equivalence and suspend-one-rider acceptance tests in the root package,
+# and the server's whole-plan folding, plan cache, and rider-aware
+# preemption tests.
+fold-suite:
+	$(GO) test -race -count=2 ./internal/fold/...
+	$(GO) test -race -count=2 -run 'Fold|PlanCache|RawSQL' \
+		. ./internal/server/...
+
 # The fault matrix under the race detector, twice — crash points, torn
 # writes, ENOSPC, quarantine, retry/fallback/abandon ladders. -count=2
 # also shakes out order dependence between injected faults.
@@ -172,4 +182,4 @@ fault-matrix:
 		-run 'Fault|Crash|Verify|Quarantine|Retry|Sweep|Abandon|Degraded|ResumeInPlace|Injector|Budget|Torn|ENOSPC' \
 		$(FAULT_PKGS)
 
-ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fleet-suite chaos-suite fault-matrix
+ci: build vet fmt lint test race scheduler-suite blob-suite lineage-suite bench-smoke bench-gate serve-smoke fleet-suite chaos-suite fold-suite fault-matrix

@@ -30,8 +30,21 @@ func main() {
 		ckdir   = flag.String("checkpoint-dir", "", "checkpoint directory (default: temp dir)")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 		metrics = flag.Bool("metrics", false, "collect decision traces and dump a metrics snapshot (human-readable + JSON) at exit")
+		foldExp = flag.Bool("fold", false, "run the shared-execution folding experiment (same as -exp fold): 32-session mixed burst, folded vs isolated")
 	)
 	flag.Parse()
+	if *foldExp || *exp == "fold" {
+		sfv, err := parseFloats(*sfs)
+		if err != nil {
+			fatal("bad -sfs: %v", err)
+		}
+		t, err := runFoldExperiment(sfv[len(sfv)-1], *workers)
+		if err != nil {
+			fatal("%v", err)
+		}
+		t.Fprint(os.Stdout)
+		return
+	}
 
 	cfg := bench.Config{
 		Workers:       *workers,

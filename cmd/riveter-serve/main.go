@@ -69,10 +69,14 @@ func main() {
 		idleSuspend  = flag.Duration("idle-suspend", 0, "scale-to-zero: park running sessions nobody touched for this long (0 = off)")
 		control      = flag.String("control", "", "control-plane proxy URL to register with (needs -advertise)")
 		advertise    = flag.String("advertise", "", "URL the proxy should reach this instance at (e.g. http://127.0.0.1:8080)")
+		foldFlag     = flag.Bool("fold", false, "shared execution: fold identical concurrent queries onto one execution and share table scans")
 	)
 	flag.Parse()
 
 	opts := []riveter.Option{riveter.WithWorkers(*workers), riveter.WithTracing()}
+	if *foldFlag {
+		opts = append(opts, riveter.WithFold())
+	}
 	if *ckdir != "" {
 		opts = append(opts, riveter.WithCheckpointDir(*ckdir))
 	}
@@ -136,6 +140,7 @@ func main() {
 		PreemptLevel: level,
 		InstanceID:   *instanceID,
 		IdleSuspend:  *idleSuspend,
+		Fold:         *foldFlag,
 	})
 	if err != nil {
 		log.Fatal(err)

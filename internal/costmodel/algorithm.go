@@ -88,6 +88,15 @@ type Input struct {
 	// resume. That re-execution is a direct cost of choosing the pipeline
 	// strategy, on top of its suspend/resume latencies.
 	PipelineDiscard time.Duration
+	// FoldResume is the extra resume latency a folded execution pays on
+	// top of the checkpoint restore: a rider that detached from shared
+	// scan hubs must either catch up to the live window (direct reads of
+	// the morsels it is behind by) or privatize its remaining scan. The
+	// server prices it with FoldProfile.CatchUpCost / PrivatizeCost and it
+	// loads every suspending strategy equally — redo pays nothing, which
+	// is exactly the asymmetry the picker should see: folded executions
+	// are cheap to kill and expensive to park.
+	FoldResume time.Duration
 	// Query feeds the process-image size estimator.
 	Query QueryInfo
 }
@@ -181,7 +190,7 @@ func costEstPpl(in Input, p Params) time.Duration {
 		return infCost
 	}
 	ls := p.IO.SuspendLatency(in.PipelineStateBytes)
-	lr := p.IO.ResumeLatency(in.PipelineStateBytes)
+	lr := p.IO.ResumeLatency(in.PipelineStateBytes) + in.FoldResume
 	// The suspension cannot start before the next breaker; mid-pipeline the
 	// exposure window shifts by the breaker ETA.
 	prob := overlapProbability(in.Ct+in.NextBreakerEta+ls, p)
@@ -219,7 +228,7 @@ func costEstProc(in Input, p Params, est SizeEstimator) (time.Duration, time.Dur
 			continue // L = infinity at this point
 		}
 		ls := p.IO.SuspendLatency(size)
-		lr := p.IO.ResumeLatency(size)
+		lr := p.IO.ResumeLatency(size) + in.FoldResume
 		prob := overlapProbability(st+ls, p)
 		cost := ls + lr + time.Duration(prob*float64(st))
 		if cost < bestCost {
@@ -246,7 +255,7 @@ func costEstLineage(in Input, p Params) time.Duration {
 		prof = DefaultLineageProfile()
 	}
 	ls := prof.SealLatency(in.LineageTailBytes)
-	lr := p.IO.ResumeLatency(in.LineageStateBytes) + in.LineageReplay
+	lr := p.IO.ResumeLatency(in.LineageStateBytes) + in.LineageReplay + in.FoldResume
 	prob := overlapProbability(in.Ct+ls, p)
 	return ls + lr + time.Duration(prob*float64(in.LineageReplay))
 }

@@ -1,0 +1,69 @@
+package costmodel
+
+import (
+	"time"
+
+	"github.com/riveterdb/riveter/internal/obs"
+)
+
+// FoldProfile characterizes shared-scan folding for the cost model: what a
+// detached rider pays to get back into a fold after a suspension. A rider
+// that rejoins a live hub must read the morsels it is behind the shared
+// window by directly from the base table (catch-up); a rider that cannot
+// rejoin (its hub died with the leader, or folding is off on the resuming
+// instance) re-reads its remaining morsels as a private scan. Both are
+// in-memory columnar reads, so one bandwidth term denominates both; the
+// split matters because catch-up is proportional to how far behind the
+// rider fell while suspended, privatization to how much scan was left.
+// Published as costmodel.fold.* gauges so /metrics shows what Algorithm 1
+// and the preemption picker price folded victims with.
+type FoldProfile struct {
+	// ScanBytesPerSec is the in-memory base-table scan bandwidth behind
+	// catch-up and privatization pricing.
+	ScanBytesPerSec float64
+	// MorselBytes is the mean bytes one morsel of the folded scans covers,
+	// converting morsel distances into bytes.
+	MorselBytes float64
+}
+
+// Enabled reports whether the profile carries usable numbers.
+func (f FoldProfile) Enabled() bool {
+	return f.ScanBytesPerSec > 0 && f.MorselBytes > 0
+}
+
+// DefaultFoldProfile assumes the engine's flat in-memory processing
+// bandwidth and a morsel of 1024 rows averaging 64 bytes each — the same
+// deliberately round numbers the admission estimator runs on.
+func DefaultFoldProfile() FoldProfile {
+	return FoldProfile{
+		ScanBytesPerSec: 256 << 20,
+		MorselBytes:     64 << 10,
+	}
+}
+
+// CatchUpCost estimates the time a rejoining rider spends on direct
+// below-window reads before it converges with the shared stream.
+func (f FoldProfile) CatchUpCost(morselsBehind int64) time.Duration {
+	if !f.Enabled() || morselsBehind <= 0 {
+		return 0
+	}
+	return time.Duration(float64(morselsBehind) * f.MorselBytes / f.ScanBytesPerSec * float64(time.Second))
+}
+
+// PrivatizeCost estimates the time a rider that cannot rejoin spends
+// re-scanning its remaining morsels privately.
+func (f FoldProfile) PrivatizeCost(morselsRemaining int64) time.Duration {
+	if !f.Enabled() || morselsRemaining <= 0 {
+		return 0
+	}
+	return time.Duration(float64(morselsRemaining) * f.MorselBytes / f.ScanBytesPerSec * float64(time.Second))
+}
+
+// Publish records the profile's terms as gauges.
+func (f FoldProfile) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge(obs.MetricFoldScanBps).Set(int64(f.ScanBytesPerSec))
+	r.Gauge(obs.MetricFoldMorselBytes).Set(int64(f.MorselBytes))
+}

@@ -123,6 +123,17 @@ type Options struct {
 	// Obs attaches metrics and tracing. The zero value disables both; the
 	// hot morsel loop then pays only two thread-local integer adds.
 	Obs obs.Context
+	// Compile carries the plan-lowering options for paths that compile on
+	// the caller's behalf (the strategy restore functions): a restored
+	// rider rejoins its shared scan hubs only when ScanShare is threaded
+	// through here. Executor construction itself ignores it.
+	Compile CompileOptions
+	// Live, when set, is a shared live-execution gauge: Run increments it
+	// on entry and decrements on exit (including suspension). The fold
+	// subsystem's scan hubs consult it for the single-rider fast path —
+	// while at most one execution is live, shared-window maintenance is
+	// pure overhead, so hubs serve private base reads instead.
+	Live *atomic.Int64
 }
 
 // execMetrics holds the executor's metric handles, resolved once at
@@ -530,6 +541,10 @@ func (ex *Executor) Run(ctx context.Context) (*ResultSet, error) {
 	ex.ranAlready = true
 	ex.mu.Unlock()
 	ex.stopAll.Store(false)
+	if ex.opts.Live != nil {
+		ex.opts.Live.Add(1)
+		defer ex.opts.Live.Add(-1)
+	}
 
 	defer func() {
 		ex.mu.Lock()

@@ -1,0 +1,208 @@
+package fold
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// fakeSource is a deterministic base table: morsel i holds rowsPer rows
+// whose values encode (morsel, row), so any misrouted read is visible in
+// the data itself. It counts base reads to prove sharing happened.
+type fakeSource struct {
+	morsels int64
+	rowsPer int
+	reads   atomic.Int64
+}
+
+func (f *fakeSource) MorselCount() int64      { return f.morsels }
+func (f *fakeSource) OutTypes() []vector.Type { return []vector.Type{vector.TypeInt64} }
+
+func (f *fakeSource) ReadMorsel(idx int64, dst *vector.Chunk) (int, error) {
+	f.reads.Add(1)
+	dst.Reset()
+	col := dst.Col(0)
+	for r := 0; r < f.rowsPer; r++ {
+		col.AppendInt64(idx*1000 + int64(r))
+	}
+	dst.SetLen(f.rowsPer)
+	return f.rowsPer, nil
+}
+
+func checkMorsel(t *testing.T, got *vector.Chunk, idx int64, rowsPer int) {
+	t.Helper()
+	if got.Len() != rowsPer {
+		t.Fatalf("morsel %d: got %d rows, want %d", idx, got.Len(), rowsPer)
+	}
+	vals := got.Col(0).Int64s()
+	for r := 0; r < rowsPer; r++ {
+		if vals[r] != idx*1000+int64(r) {
+			t.Fatalf("morsel %d row %d: got %d, want %d", idx, r, vals[r], idx*1000+int64(r))
+		}
+	}
+}
+
+// TestHubFillThenHit: the first rider to ask for a morsel fills the shared
+// slot; the second is served from it without touching the base table.
+func TestHubFillThenHit(t *testing.T) {
+	base := &fakeSource{morsels: 8, rowsPer: 4}
+	m := NewManager(obs.NewRegistry(), nil)
+	r1 := m.Share("t", []int{0}, base)
+	r2 := m.Share("t", []int{0}, base)
+
+	dst := vector.NewChunk(base.OutTypes())
+	for idx := int64(0); idx < 8; idx++ {
+		if _, err := r1.ReadMorsel(idx, dst); err != nil {
+			t.Fatal(err)
+		}
+		checkMorsel(t, dst, idx, 4)
+	}
+	if got := base.reads.Load(); got != 8 {
+		t.Fatalf("after first pass: %d base reads, want 8", got)
+	}
+	for idx := int64(0); idx < 8; idx++ {
+		if _, err := r2.ReadMorsel(idx, dst); err != nil {
+			t.Fatal(err)
+		}
+		checkMorsel(t, dst, idx, 4)
+	}
+	if got := base.reads.Load(); got != 8 {
+		t.Fatalf("second rider hit the base table: %d reads, want 8", got)
+	}
+	if m.Hubs() != 1 {
+		t.Fatalf("Hubs() = %d, want 1", m.Hubs())
+	}
+}
+
+// TestHubDirectBehindWindow: a rider more than WindowMorsels behind the
+// stream head reads the base table directly and still gets correct rows.
+func TestHubDirectBehindWindow(t *testing.T) {
+	base := &fakeSource{morsels: WindowMorsels * 3, rowsPer: 2}
+	m := NewManager(nil, nil)
+	fast := m.Share("t", []int{0}, base)
+	slow := m.Share("t", []int{0}, base)
+
+	dst := vector.NewChunk(base.OutTypes())
+	for idx := int64(0); idx < WindowMorsels*3; idx++ {
+		if _, err := fast.ReadMorsel(idx, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Morsel 0's ring slot now caches morsel 2*WindowMorsels; the laggard
+	// must get morsel 0's rows anyway, via a direct read.
+	before := base.reads.Load()
+	if _, err := slow.ReadMorsel(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	checkMorsel(t, dst, 0, 2)
+	if base.reads.Load() != before+1 {
+		t.Fatalf("laggard read was not direct: %d base reads, want %d", base.reads.Load(), before+1)
+	}
+}
+
+// TestHubDistinctColumnSets: different projections get different hubs.
+func TestHubDistinctColumnSets(t *testing.T) {
+	m := NewManager(nil, nil)
+	m.Share("t", []int{0}, &fakeSource{morsels: 1, rowsPer: 1})
+	m.Share("t", []int{0, 1}, &fakeSource{morsels: 1, rowsPer: 1})
+	m.Share("u", []int{0}, &fakeSource{morsels: 1, rowsPer: 1})
+	if m.Hubs() != 3 {
+		t.Fatalf("Hubs() = %d, want 3", m.Hubs())
+	}
+}
+
+// TestHubConcurrentRiders hammers one hub from many goroutines at skewed
+// paces under -race: every rider must see exactly its own morsel's rows.
+func TestHubConcurrentRiders(t *testing.T) {
+	base := &fakeSource{morsels: 200, rowsPer: 8}
+	m := NewManager(obs.NewRegistry(), nil)
+	const riders = 8
+	var wg sync.WaitGroup
+	for g := 0; g < riders; g++ {
+		wg.Add(1)
+		r := m.Share("t", []int{0}, base)
+		go func(g int) {
+			defer wg.Done()
+			dst := vector.NewChunk(base.OutTypes())
+			// Stagger stride per rider so windows interleave: some riders
+			// race ahead, others trail into direct-read territory.
+			for idx := int64(g % 3); idx < 200; idx += int64(1 + g%3) {
+				if _, err := r.ReadMorsel(idx, dst); err != nil {
+					t.Error(err)
+					return
+				}
+				checkMorsel(t, dst, idx, 8)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := base.reads.Load(); got > 200*riders {
+		t.Fatalf("more base reads (%d) than an unshared scan would do", got)
+	}
+}
+
+// TestHubSingleRiderFastPath: with at most one live execution, reads
+// bypass the shared window entirely; once a second execution is live the
+// same hub switches to the shared protocol.
+func TestHubSingleRiderFastPath(t *testing.T) {
+	base := &fakeSource{morsels: 4, rowsPer: 2}
+	var live atomic.Int64
+	m := NewManager(obs.NewRegistry(), &live)
+	r := m.Share("t", []int{0}, base)
+	dst := vector.NewChunk(base.OutTypes())
+
+	live.Store(1)
+	for idx := int64(0); idx < 4; idx++ {
+		if _, err := r.ReadMorsel(idx, dst); err != nil {
+			t.Fatal(err)
+		}
+		checkMorsel(t, dst, idx, 2)
+	}
+	// A lone rider re-reading a morsel must hit the base again: nothing
+	// was cached on its behalf.
+	if _, err := r.ReadMorsel(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.reads.Load(); got != 5 {
+		t.Fatalf("lone rider cached morsels: %d base reads, want 5", got)
+	}
+
+	live.Store(2)
+	if _, err := r.ReadMorsel(1, dst); err != nil { // fill
+		t.Fatal(err)
+	}
+	checkMorsel(t, dst, 1, 2)
+	if _, err := r.ReadMorsel(1, dst); err != nil { // hit
+		t.Fatal(err)
+	}
+	checkMorsel(t, dst, 1, 2)
+	if got := base.reads.Load(); got != 6 {
+		t.Fatalf("shared mode did not cache: %d base reads, want 6", got)
+	}
+}
+
+// TestGaugeAddConcurrent is the regression test for Gauge.Add: concurrent
+// deltas from hub fan-out goroutines must not lose updates the way a
+// Set(Value()+delta) read-modify-write does.
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := obs.NewRegistry().Gauge("test.gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8*1000 {
+		t.Fatalf("Gauge.Add lost updates: %d, want %d", got, 8*1000)
+	}
+}

@@ -1,0 +1,114 @@
+package fold
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+// DefaultSubplanBudget bounds the subplan cache's resident bytes.
+const DefaultSubplanBudget = 64 << 20
+
+// SubplanCache is a bounded LRU of materialized subplan results keyed by
+// plan fingerprint. Executions publish their finalized breakers after a
+// successful run; later compiles with an equal fingerprint fold the whole
+// subtree onto the cached rows (engine.SubplanProvider). Buffers are
+// finalized and immutable, and BufferSource reads copy rows out, so one
+// entry serves any number of concurrent executors. Entries stay valid for
+// the database's lifetime because tables are immutable after load; the
+// fingerprint covers tables, projections, predicates, and literals, so
+// equal keys mean an identical result.
+type SubplanCache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	order   *list.List // front = most recent
+	entries map[uint64]*list.Element
+
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type subplanEntry struct {
+	fp    uint64
+	buf   *engine.RowBuffer
+	types []vector.Type
+	bytes int64
+}
+
+// NewSubplanCache builds a cache bounded to budget bytes (<=0 uses the
+// default), recording fold.subplan.* metrics into r (nil ok).
+func NewSubplanCache(budget int64, r *obs.Registry) *SubplanCache {
+	if budget <= 0 {
+		budget = DefaultSubplanBudget
+	}
+	c := &SubplanCache{
+		budget:  budget,
+		order:   list.New(),
+		entries: map[uint64]*list.Element{},
+	}
+	if r != nil {
+		c.hits = r.Counter(obs.MetricFoldSubplanHits)
+		c.misses = r.Counter(obs.MetricFoldSubplanMisses)
+	}
+	return c
+}
+
+// Lookup implements engine.SubplanProvider.
+func (c *SubplanCache) Lookup(fp uint64) (*engine.RowBuffer, []vector.Type, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses.Inc()
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*subplanEntry)
+	c.hits.Inc()
+	return e.buf, e.types, true
+}
+
+// Publish inserts (or refreshes) a finalized subplan result, evicting from
+// the LRU tail until the budget holds. Oversized single results are
+// dropped rather than wiping the cache.
+func (c *SubplanCache) Publish(fp uint64, buf *engine.RowBuffer, types []vector.Type) {
+	if buf == nil {
+		return
+	}
+	size := buf.MemBytes()
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		c.order.MoveToFront(el)
+		old := el.Value.(*subplanEntry)
+		c.bytes += size - old.bytes
+		el.Value = &subplanEntry{fp: fp, buf: buf, types: types, bytes: size}
+		return
+	}
+	for c.bytes+size > c.budget {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*subplanEntry)
+		c.order.Remove(tail)
+		delete(c.entries, e.fp)
+		c.bytes -= e.bytes
+	}
+	c.entries[fp] = c.order.PushFront(&subplanEntry{fp: fp, buf: buf, types: types, bytes: size})
+	c.bytes += size
+}
+
+// Len returns the resident entry count.
+func (c *SubplanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,65 @@
+package fold
+
+import (
+	"testing"
+
+	"github.com/riveterdb/riveter/internal/engine"
+	"github.com/riveterdb/riveter/internal/obs"
+	"github.com/riveterdb/riveter/internal/vector"
+)
+
+func intBuffer(vals ...int64) *engine.RowBuffer {
+	b := engine.NewRowBuffer([]vector.Type{vector.TypeInt64})
+	for _, v := range vals {
+		b.AppendRowValues(vector.NewInt64(v))
+	}
+	return b
+}
+
+func TestSubplanCacheLookupAndRefresh(t *testing.T) {
+	types := []vector.Type{vector.TypeInt64}
+	c := NewSubplanCache(0, obs.NewRegistry())
+	if _, _, ok := c.Lookup(1); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Publish(1, intBuffer(10, 11), types)
+	buf, _, ok := c.Lookup(1)
+	if !ok || buf.Rows() != 2 {
+		t.Fatalf("Lookup(1) = %v rows ok=%v, want 2 rows", buf.Rows(), ok)
+	}
+	// Refreshing the same fingerprint must replace, not duplicate.
+	c.Publish(1, intBuffer(20, 21, 22), types)
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d after refresh, want 1", c.Len())
+	}
+	buf, _, _ = c.Lookup(1)
+	if buf.Rows() != 3 {
+		t.Fatalf("refresh kept stale buffer: %d rows, want 3", buf.Rows())
+	}
+}
+
+func TestSubplanCacheEviction(t *testing.T) {
+	types := []vector.Type{vector.TypeInt64}
+	one := intBuffer(1)
+	// Budget fits two single-row buffers but not three.
+	c := NewSubplanCache(2*one.MemBytes(), nil)
+	c.Publish(1, intBuffer(1), types)
+	c.Publish(2, intBuffer(2), types)
+	c.Publish(3, intBuffer(3), types) // evicts fp=1, the LRU tail
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+	if _, _, ok := c.Lookup(1); ok {
+		t.Fatal("LRU tail survived eviction")
+	}
+	for _, fp := range []uint64{2, 3} {
+		if _, _, ok := c.Lookup(fp); !ok {
+			t.Fatalf("fp %d evicted, want resident", fp)
+		}
+	}
+	// An oversized result is dropped, not cached.
+	c.Publish(4, intBuffer(make([]int64, 3*4096)...), types)
+	if _, _, ok := c.Lookup(4); ok {
+		t.Fatal("oversized entry was cached")
+	}
+}

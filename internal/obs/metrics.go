@@ -50,6 +50,17 @@ func (g *Gauge) Set(n int64) {
 	g.v.Store(n)
 }
 
+// Add atomically adjusts the value by delta. Concurrent adjusters must use
+// Add, never Set(Value()+delta) — the read-modify-write loses updates under
+// contention (the fold hub's fan-out goroutines adjust shared rider gauges
+// from many pipelines at once, which is what surfaced this).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // Value returns the last set value (0 for nil).
 func (g *Gauge) Value() int64 {
 	if g == nil {

@@ -219,6 +219,38 @@ const (
 	MetricCPBreakerRejected = "controlplane.breaker.rejected"
 	MetricCPBreakerOpen     = "controlplane.breaker.open"
 
+	// Shared-execution (fold) metrics. Hubs gauges live scan hubs; Attached
+	// counts riders attached to hubs (engine-level scan sharing); Hits
+	// counts morsels served from a hub's shared window; Fills counts
+	// morsels a rider materialized into the window for everyone behind it;
+	// DirectReads counts below-window (catch-up / privatized) reads that
+	// went straight to the base table; SubplanHits / SubplanMisses count
+	// cross-session common-subplan cache lookups.
+	MetricFoldHubs          = "fold.hubs"
+	MetricFoldAttached      = "fold.attached"
+	MetricFoldHits          = "fold.hits"
+	MetricFoldFills         = "fold.fills"
+	MetricFoldDirectReads   = "fold.direct_reads"
+	MetricFoldSubplanHits   = "fold.subplan.hits"
+	MetricFoldSubplanMisses = "fold.subplan.misses"
+
+	// MetricServerFolded counts sessions the server folded onto a live
+	// leader at admission (whole-plan folding: the rider holds no slot and
+	// receives the leader's teed result); MetricServerFoldRiders gauges
+	// riders currently attached to live leaders.
+	MetricServerFolded     = "server.folded"
+	MetricServerFoldRiders = "server.fold_riders"
+
+	// Prepared-plan cache metrics (the server's SQL front door).
+	MetricPlanCacheHit  = "server.plancache.hit"
+	MetricPlanCacheMiss = "server.plancache.miss"
+
+	// Published fold cost-model terms (see costmodel.FoldProfile): the
+	// shared-scan replay bandwidth behind catch-up pricing and the mean
+	// morsel size the terms are denominated in.
+	MetricFoldScanBps     = "costmodel.fold.scan_bytes_per_sec"
+	MetricFoldMorselBytes = "costmodel.fold.morsel_bytes"
+
 	// Injected network-fault metrics (internal/faultnet): one counter per
 	// fault kind plus a total, mirroring the faultfs Injected() accounting
 	// so chaos tests can assert the plan actually fired.

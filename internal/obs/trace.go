@@ -97,6 +97,19 @@ const (
 	// Attrs: strategy, suspended, terminated, suspend_latency,
 	// resume_latency, persisted_bytes, total_time, normal_time.
 	EvOutcome = "strategy.outcome"
+	// EvFoldAttach records an execution compiled onto shared scan hubs:
+	// its base-table reads ride the per-table morsel streams instead of
+	// private scans. Attrs: fingerprint.
+	EvFoldAttach = "fold.attach"
+	// EvFoldDetach records a rider detaching from its hubs at a morsel
+	// boundary (suspension requested while folded); the hubs keep
+	// streaming for the surviving riders. Attrs: kind.
+	EvFoldDetach = "fold.detach"
+	// EvFoldRejoin records a resumed rider re-attaching to live hubs:
+	// below-window morsels are read directly from the base table
+	// (catch-up) until the rider converges with the shared window.
+	// Attrs: fingerprint.
+	EvFoldRejoin = "fold.rejoin"
 )
 
 // Attr is one structured event attribute.

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"github.com/riveterdb/riveter/internal/vector"
 )
@@ -43,7 +46,8 @@ type sessionResponse struct {
 // Handler returns the server's HTTP API:
 //
 //	GET  /healthz             readiness: instance, accepting/draining, live counts
-//	POST /query               submit {"sql"|"tpch", "priority", "wait", "session"}
+//	POST /query               submit {"sql"|"tpch", "priority", "wait", "session"},
+//	                          or a raw SQL statement as a non-JSON body
 //	GET  /sessions            all session snapshots, newest first
 //	GET  /sessions/{id}       one session (result inlined when done)
 //	GET  /sessions/key/{key}  one session addressed by client session key
@@ -89,9 +93,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
+	}
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == "application/json" ||
+		(len(bytes.TrimSpace(body)) > 0 && bytes.TrimSpace(body)[0] == '{') {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	} else {
+		// Raw statement text: `curl -d 'select ...' /query` submits the body
+		// as SQL with default priority and no wait.
+		req.SQL = string(bytes.TrimSpace(body))
 	}
 	prio, err := ParsePriority(req.Priority)
 	if err != nil {

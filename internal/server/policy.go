@@ -53,20 +53,32 @@ func (SuspensionAware) Less(a, b *Session) bool {
 	return a.seq < b.seq
 }
 
-// Preempt implements Policy.
+// Preempt implements Policy. Among eligible victims it prefers sessions
+// with no folded riders: suspending a fold leader stalls every rider
+// attached to it, so a rider-free victim of the same class frees the slot
+// at a fraction of the collateral cost.
 func (p SuspensionAware) Preempt(running []*Session, head *Session, now time.Time) *Session {
-	var victim *Session
-	for _, r := range running {
-		if r.priority >= head.priority {
-			continue
+	pick := func(skipLeaders bool) *Session {
+		var victim *Session
+		for _, r := range running {
+			if r.priority >= head.priority {
+				continue
+			}
+			if now.Sub(r.started) < p.Grace {
+				continue
+			}
+			if skipLeaders && len(r.riders) > 0 {
+				continue
+			}
+			if victim == nil || r.priority < victim.priority ||
+				(r.priority == victim.priority && r.started.Before(victim.started)) {
+				victim = r
+			}
 		}
-		if now.Sub(r.started) < p.Grace {
-			continue
-		}
-		if victim == nil || r.priority < victim.priority ||
-			(r.priority == victim.priority && r.started.Before(victim.started)) {
-			victim = r
-		}
+		return victim
 	}
-	return victim
+	if v := pick(true); v != nil {
+		return v
+	}
+	return pick(false)
 }

@@ -101,6 +101,17 @@ type Config struct {
 	// riveter.WithBlobStore; defaults to a process-unique id. Instances
 	// sharing one store must use distinct ids.
 	InstanceID string
+	// Fold enables whole-plan folding at admission: a submission whose
+	// plan fingerprint matches a live session (queued, running, or
+	// suspended) attaches to it as a rider instead of executing — no slot,
+	// no queue entry — and receives the leader's result when it completes.
+	// If the leader fails, riders privatize: each re-enqueues as a
+	// standalone session. Combine with a DB opened riveter.WithFold() so
+	// non-identical plans still share scans and subplans underneath.
+	Fold bool
+	// PlanCacheSize bounds the prepared-plan LRU for SQL submissions
+	// (default 64 entries; negative disables caching).
+	PlanCacheSize int
 	// IdleSuspend is the scale-to-zero window: a running session nobody is
 	// watching (no Wait in flight and no Info/HTTP snapshot for this long)
 	// is suspended to the configured store — or the checkpoint directory
@@ -127,6 +138,8 @@ type serverMetrics struct {
 	migrated      *obs.Counter
 	idleSuspended *obs.Counter
 	idleWoken     *obs.Counter
+	folded        *obs.Counter
+	foldRiders    *obs.Gauge
 }
 
 func resolveServerMetrics(r *obs.Registry) serverMetrics {
@@ -149,6 +162,8 @@ func resolveServerMetrics(r *obs.Registry) serverMetrics {
 		migrated:      r.Counter(obs.MetricServerMigrated),
 		idleSuspended: r.Counter(obs.MetricServerIdleSuspended),
 		idleWoken:     r.Counter(obs.MetricServerIdleWoken),
+		folded:        r.Counter(obs.MetricServerFolded),
+		foldRiders:    r.Gauge(obs.MetricServerFoldRiders),
 	}
 }
 
@@ -179,10 +194,17 @@ type Server struct {
 	// spot termination notice) from a plain Shutdown in Health reports.
 	draining atomic.Bool
 
+	// plans caches prepared plans for SQL submissions (nil = disabled).
+	plans *planCache
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sessions map[string]*Session
 	byKey    map[string]*Session // client session keys -> sessions
+	// folds maps plan fingerprints to the live session new identical
+	// submissions fold onto (Config.Fold). Entries are removed when the
+	// leader reaches a terminal state.
+	folds    map[uint64]*Session
 	queue    *sessionQueue
 	running  map[string]*Session
 	free     int
@@ -234,9 +256,13 @@ func New(cfg Config) (*Server, error) {
 		met:        resolveServerMetrics(cfg.DB.Metrics()),
 		sessions:   map[string]*Session{},
 		byKey:      map[string]*Session{},
+		folds:      map[uint64]*Session{},
 		running:    map[string]*Session{},
 		free:       cfg.Slots,
 		instanceID: sanitizeInstanceID(cfg.InstanceID),
+	}
+	if cfg.PlanCacheSize >= 0 {
+		s.plans = newPlanCache(cfg.PlanCacheSize, cfg.DB.Metrics())
 	}
 	if st, serr := cfg.DB.BlobStore(); serr == nil {
 		s.store = st
@@ -281,7 +307,7 @@ func (s *Server) Submit(req Request) (*Session, error) {
 	case req.SQL != "" && req.TPCH != 0:
 		return nil, fmt.Errorf("server: set exactly one of SQL or TPCH")
 	case req.SQL != "":
-		q, err = s.db.Prepare(req.SQL)
+		q, err = s.prepareSQL(req.SQL)
 		display = req.SQL
 	case req.TPCH != 0:
 		q, err = s.db.PrepareTPCH(req.TPCH)
@@ -306,6 +332,11 @@ func (s *Server) Submit(req Request) (*Session, error) {
 		if prev, ok := s.byKey[req.Key]; ok {
 			s.touchLocked(prev)
 			return prev, nil
+		}
+	}
+	if s.cfg.Fold {
+		if sess := s.foldOntoLocked(q, display, req); sess != nil {
+			return sess, nil
 		}
 	}
 	verdict, aerr := s.adm.Admit(est, s.queue.Len(), s.free)
@@ -335,8 +366,73 @@ func (s *Server) Submit(req Request) (*Session, error) {
 	if sess.key != "" {
 		s.byKey[sess.key] = sess
 	}
+	if s.cfg.Fold {
+		// This session becomes the fold leader for its fingerprint: later
+		// identical submissions ride it until it reaches a terminal state.
+		s.folds[q.Fingerprint()] = sess
+	}
 	s.enqueueLocked(sess)
 	return sess, nil
+}
+
+// prepareSQL compiles a statement through the prepared-plan cache.
+// riveter.Query is immutable, so a cached plan backs any number of
+// sessions; repeated statements also come out pointer-identical, which
+// keeps their fingerprints trivially equal for fold grouping.
+func (s *Server) prepareSQL(sql string) (*riveter.Query, error) {
+	if s.plans == nil {
+		return s.db.Prepare(sql)
+	}
+	key := normalizeSQL(sql)
+	if q := s.plans.get(key); q != nil {
+		return q, nil
+	}
+	q, err := s.db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.put(key, q)
+	return q, nil
+}
+
+// foldOntoLocked attaches a submission as a rider on the live session
+// already computing the same plan, when one exists. The rider holds no
+// slot and no queue entry; it finishes when its leader does. Returns nil
+// when no live leader matches.
+func (s *Server) foldOntoLocked(q *riveter.Query, display string, req Request) *Session {
+	fp := q.Fingerprint()
+	lead, ok := s.folds[fp]
+	if !ok || lead.state == StateDone || lead.state == StateFailed {
+		delete(s.folds, fp)
+		return nil
+	}
+	s.seq++
+	now := time.Now()
+	sess := &Session{
+		id:         fmt.Sprintf("s-%d", s.seq),
+		key:        req.Key,
+		display:    display,
+		sql:        req.SQL,
+		tpch:       req.TPCH,
+		priority:   req.Priority,
+		seq:        s.seq,
+		q:          q,
+		est:        lead.est,
+		state:      StateQueued,
+		submitted:  now,
+		lastQueued: now,
+		lastTouch:  now,
+		foldedInto: lead,
+		done:       make(chan struct{}),
+	}
+	lead.riders = append(lead.riders, sess)
+	s.sessions[sess.id] = sess
+	if sess.key != "" {
+		s.byKey[sess.key] = sess
+	}
+	s.met.folded.Inc()
+	s.met.foldRiders.Add(1)
+	return sess
 }
 
 // touchLocked records a client interaction with a session: the idle clock
@@ -998,9 +1094,50 @@ func (s *Server) finish(sess *Session, res *riveter.Result, err error) {
 			s.traces = s.traces[len(s.traces)-traceRingCap:]
 		}
 	}
+	finished := s.settleRidersLocked(sess, res, err)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	close(sess.done)
+	for _, r := range finished {
+		close(r.done)
+	}
+}
+
+// settleRidersLocked resolves a finished fold leader's riders: a clean
+// completion tees the result to every rider; a failure privatizes them —
+// each rider re-enters the dispatch queue as a standalone session, so one
+// leader's bad luck never fails the queries that merely folded onto it.
+// Returns the riders whose done channels the caller must close (outside
+// the lock). Caller holds s.mu.
+func (s *Server) settleRidersLocked(sess *Session, res *riveter.Result, err error) []*Session {
+	if lead, ok := s.folds[sess.q.Fingerprint()]; ok && lead == sess {
+		delete(s.folds, sess.q.Fingerprint())
+	}
+	riders := sess.riders
+	sess.riders = nil
+	if len(riders) == 0 {
+		return nil
+	}
+	s.met.foldRiders.Add(-int64(len(riders)))
+	now := time.Now()
+	if err != nil {
+		for _, r := range riders {
+			r.foldedInto = nil
+			r.state = StateQueued
+			r.lastQueued = now
+			s.enqueueLocked(r)
+		}
+		return nil
+	}
+	for _, r := range riders {
+		r.res, r.err = res, nil
+		r.state = StateDone
+		r.finished = now
+		r.waited += now.Sub(r.lastQueued)
+		s.met.done.Inc()
+		s.met.sessionDur.ObserveDuration(now.Sub(r.submitted))
+	}
+	return riders
 }
 
 // Shutdown gracefully stops the server: new submissions are refused,
@@ -1242,7 +1379,7 @@ func (s *Server) restoreState() error {
 			q, qerr = s.db.PrepareTPCH(p.TPCH)
 			display = fmt.Sprintf("tpch:%d", p.TPCH)
 		} else {
-			q, qerr = s.db.Prepare(p.SQL)
+			q, qerr = s.prepareSQL(p.SQL)
 			display = p.SQL
 		}
 		if n := sessionSeq(p.ID); n > s.seq {
@@ -1438,7 +1575,7 @@ func (s *Server) adoptPersistedSession(p persistedSession, own bool, now time.Ti
 		q, qerr = s.db.PrepareTPCH(p.TPCH)
 		display = fmt.Sprintf("tpch:%d", p.TPCH)
 	} else {
-		q, qerr = s.db.Prepare(p.SQL)
+		q, qerr = s.prepareSQL(p.SQL)
 		display = p.SQL
 	}
 	id := p.ID

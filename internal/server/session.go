@@ -149,6 +149,13 @@ type Session struct {
 	// the scheduler never double-suspends one execution.
 	suspendRequested bool
 
+	// Whole-plan folding linkage (Config.Fold). foldedInto points a rider
+	// at the leader whose result it receives; riders lists a leader's
+	// attached riders. A rider holds no slot and no queue entry; if its
+	// leader fails, the rider privatizes (foldedInto cleared, re-enqueued).
+	foldedInto *Session
+	riders     []*Session
+
 	// Scale-to-zero bookkeeping. lastTouch is the last client interaction
 	// (submit, Info, Wait, HTTP snapshot); waiters counts in-flight Wait
 	// calls, which keep a session from counting as idle. idlePark marks a
@@ -178,8 +185,12 @@ type Info struct {
 	Checkpoint  string        `json:"checkpoint,omitempty"`
 	StoreKey    string        `json:"store_key,omitempty"`
 	Lineage     string        `json:"lineage,omitempty"`
-	NumRows     int64         `json:"num_rows,omitempty"`
-	Error       string        `json:"error,omitempty"`
+	// FoldedInto names the leader session this rider is folded onto;
+	// Riders counts the riders folded onto this session.
+	FoldedInto string `json:"folded_into,omitempty"`
+	Riders     int    `json:"riders,omitempty"`
+	NumRows    int64  `json:"num_rows,omitempty"`
+	Error      string `json:"error,omitempty"`
 	// EstInputBytes and EstStateBytes echo the admission inputs.
 	EstInputBytes int64 `json:"est_input_bytes"`
 	EstStateBytes int64 `json:"est_state_bytes"`
@@ -203,6 +214,10 @@ func (s *Session) infoLocked() Info {
 		Lineage:       s.lineage,
 		EstInputBytes: s.est.InputBytes,
 		EstStateBytes: s.est.StateBytes,
+		Riders:        len(s.riders),
+	}
+	if s.foldedInto != nil {
+		in.FoldedInto = s.foldedInto.id
 	}
 	switch s.state {
 	case StateQueued, StateSuspended:

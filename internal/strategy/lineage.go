@@ -613,7 +613,7 @@ func VerifyLineage(fsys faultfs.FS, path string) (*LineageScan, error) {
 // so any worker count can resume) and Run then re-executes exactly the
 // pipelines that had not finalized by that record — the bounded replay.
 func RestoreLineage(fsys faultfs.FS, cat *catalog.Catalog, node plan.Node, path string, store *blobstore.Store, opts engine.Options) (*engine.Executor, *LineageScan, error) {
-	pp, err := engine.Compile(node, cat)
+	pp, err := engine.CompileWith(node, cat, opts.Compile)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -66,7 +66,7 @@ func PersistStore(ex *engine.Executor, st *blobstore.Store, key, query string, d
 // verified on the way through; the read result's Duration is the
 // measured L_r against the store.
 func RestoreStore(cat *catalog.Catalog, node plan.Node, st *blobstore.Store, key string, opts engine.Options) (*engine.Executor, *blobstore.ReadResult, error) {
-	pp, err := engine.Compile(node, cat)
+	pp, err := engine.CompileWith(node, cat, opts.Compile)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -183,7 +183,7 @@ func Restore(cat *catalog.Catalog, node plan.Node, path string, opts engine.Opti
 
 // RestoreFS is Restore over an injectable filesystem.
 func RestoreFS(fsys faultfs.FS, cat *catalog.Catalog, node plan.Node, path string, opts engine.Options) (*engine.Executor, *checkpoint.ReadResult, error) {
-	pp, err := engine.Compile(node, cat)
+	pp, err := engine.CompileWith(node, cat, opts.Compile)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,7 +222,7 @@ func Relaunch(cat *catalog.Catalog, node plan.Node, ex *engine.Executor, opts en
 	if enc.Err() != nil {
 		return nil, fmt.Errorf("strategy: relaunch save: %w", enc.Err())
 	}
-	pp, err := engine.Compile(node, cat)
+	pp, err := engine.CompileWith(node, cat, opts.Compile)
 	if err != nil {
 		return nil, err
 	}

@@ -57,7 +57,7 @@ type LineageInfo struct {
 // where the caller degrades to a checkpoint strategy (the returned
 // Execution still supports Checkpoint and CheckpointDegraded).
 func (q *Query) StartWithLineage(ctx context.Context, cfg LineageConfig) (*Execution, error) {
-	pp, err := engine.Compile(q.node, q.db.cat)
+	pp, err := engine.CompileWith(q.node, q.db.cat, q.db.compileOpts(false))
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +85,7 @@ func (q *Query) StartWithLineage(ctx context.Context, cfg LineageConfig) (*Execu
 	}
 	ex := engine.NewExecutor(pp, engine.Options{
 		Workers:   q.db.workers,
+		Live:      &q.db.live,
 		Obs:       o,
 		OnMorsel:  lin.OnMorsel,
 		OnBreaker: lin.OnBreaker,
@@ -160,7 +161,7 @@ func (e *Execution) SealLineage() (*LineageInfo, error) {
 // only the pipelines that had not finalized by that record; a torn tail
 // left by a crash is detected, truncated, and never replayed.
 func (q *Query) StartFromLineage(ctx context.Context, path string, cfg LineageConfig) (*Execution, error) {
-	pp, err := engine.Compile(q.node, q.db.cat)
+	pp, err := engine.CompileWith(q.node, q.db.cat, q.db.compileOpts(false))
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +189,7 @@ func (q *Query) StartFromLineage(ctx context.Context, path string, cfg LineageCo
 	}
 	ex, _, err := strategy.RestoreLineagePlan(q.db.fsys, pp, path, q.db.store, engine.Options{
 		Workers:   q.db.workers,
+		Live:      &q.db.live,
 		Obs:       o,
 		OnMorsel:  lin.OnMorsel,
 		OnBreaker: lin.OnBreaker,
@@ -214,7 +216,7 @@ func (q *Query) StartFromLineage(ctx context.Context, path string, cfg LineageCo
 // suspendable.
 func (q *Query) ResumeFromLineage(ctx context.Context, path string) (*Result, error) {
 	ex, _, err := strategy.RestoreLineage(q.db.fsys, q.db.cat, q.node, path, q.db.store,
-		engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(nil)})
+		engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: q.db.obsFor(nil), Compile: q.db.compileOpts(false)})
 	if err != nil {
 		return nil, err
 	}

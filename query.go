@@ -60,6 +60,12 @@ func (db *DB) PrepareTPCH(id int) (*Query, error) {
 // Name returns the query's display name.
 func (q *Query) Name() string { return q.name }
 
+// Fingerprint returns the plan fingerprint: a hash of the canonicalized
+// plan tree (tables, projections, predicates, literals). Equal
+// fingerprints mean identical plans — the server's whole-plan fold groups
+// key on it.
+func (q *Query) Fingerprint() uint64 { return plan.Fingerprint(q.node) }
+
 // Plan renders the logical plan tree.
 func (q *Query) Plan() string { return plan.Tree(q.node) }
 
@@ -111,14 +117,21 @@ func (db *DB) Query(ctx context.Context, query string) (*Result, error) {
 	return q.Run(ctx)
 }
 
-// Run executes the query to completion.
+// Run executes the query to completion. Run is the one non-suspendable
+// execution path, so it is also the one allowed to fold whole subtrees
+// onto the cross-session subplan cache (a cache hit changes the pipeline
+// shape, which a checkpointable execution must never let happen).
 func (q *Query) Run(ctx context.Context) (*Result, error) {
-	pp, err := engine.Compile(q.node, q.db.cat)
+	pp, err := engine.CompileWith(q.node, q.db.cat, q.db.compileOpts(true))
 	if err != nil {
 		return nil, err
 	}
-	ex := engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(nil)})
-	return ex.Run(ctx)
+	ex := engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: q.db.obsFor(nil)})
+	res, err := ex.Run(ctx)
+	if err == nil {
+		q.db.publishShared(pp)
+	}
+	return res, err
 }
 
 // Execution is an in-flight query that can be suspended.
@@ -136,20 +149,31 @@ type Execution struct {
 	err  error
 }
 
-// Start launches the query asynchronously.
+// Start launches the query asynchronously. With folding enabled the
+// compile attaches every base-table scan to its shared hub (scan sharing
+// is shape-neutral, so the execution stays fully checkpointable), and a
+// clean completion publishes the plan's materialized subplans for later
+// sessions to fold onto.
 func (q *Query) Start(ctx context.Context) (*Execution, error) {
-	pp, err := engine.Compile(q.node, q.db.cat)
+	pp, err := engine.CompileWith(q.node, q.db.cat, q.db.compileOpts(false))
 	if err != nil {
 		return nil, err
 	}
+	o := q.db.obsFor(q.db.newTrace(q.name))
+	if q.db.foldM != nil && o.Trace != nil {
+		o.Trace.Event(obs.EvFoldAttach, obs.A("fingerprint", pp.Fingerprint))
+	}
 	e := &Execution{
 		q:    q,
-		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Obs: q.db.obsFor(q.db.newTrace(q.name))}),
+		ex:   engine.NewExecutor(pp, engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: o}),
 		done: make(chan struct{}),
 	}
 	go func() {
 		defer close(e.done)
 		e.res, e.err = e.ex.Run(ctx)
+		if e.err == nil {
+			q.db.publishShared(pp)
+		}
 	}()
 	return e, nil
 }
@@ -161,10 +185,12 @@ func (q *Query) Start(ctx context.Context) (*Execution, error) {
 // picking up where the last checkpoint left off.
 func (q *Query) StartFromCheckpoint(ctx context.Context, path string) (*Execution, error) {
 	o := q.db.obsFor(q.db.newTrace(q.name))
-	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
+	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path,
+		engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: o, Compile: q.db.compileOpts(false)})
 	if err != nil {
 		return nil, err
 	}
+	q.foldRejoinEvent(o)
 	e := &Execution{q: q, ex: ex, done: make(chan struct{})}
 	go func() {
 		defer close(e.done)
@@ -192,6 +218,11 @@ func (e *Execution) Suspend(k Strategy) error {
 		e.ex.RequestSuspend(engine.KindProcess)
 	default:
 		return fmt.Errorf("riveter: Suspend supports PipelineLevel, ProcessLevel, and LineageLevel; cancel the context for Redo")
+	}
+	if e.q.db.foldM != nil {
+		if tr := e.ex.Obs().Trace; tr != nil {
+			tr.Event(obs.EvFoldDetach, obs.A("kind", strategy.KindName(k)))
+		}
 	}
 	return nil
 }
@@ -291,7 +322,8 @@ func (e *Execution) ResumeInPlace(ctx context.Context) (*Execution, error) {
 		return nil, fmt.Errorf("riveter: execution is not suspended (err=%v)", e.err)
 	}
 	q := e.q
-	ex, err := strategy.Relaunch(q.db.cat, q.node, e.ex, engine.Options{Workers: q.db.workers, Obs: e.ex.Obs()})
+	ex, err := strategy.Relaunch(q.db.cat, q.node, e.ex,
+		engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: e.ex.Obs(), Compile: q.db.compileOpts(false)})
 	if err != nil {
 		return nil, err
 	}
@@ -311,11 +343,20 @@ func (q *Query) Resume(ctx context.Context, path string) (*Result, error) {
 }
 
 func (q *Query) resume(ctx context.Context, path string, o obs.Context) (*Result, error) {
-	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path, engine.Options{Workers: q.db.workers, Obs: o})
+	ex, _, err := strategy.RestoreFS(q.db.fsys, q.db.cat, q.node, path,
+		engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: o, Compile: q.db.compileOpts(false)})
 	if err != nil {
 		return nil, err
 	}
+	q.foldRejoinEvent(o)
 	return ex.Run(ctx)
+}
+
+// foldRejoinEvent records a restored rider re-attaching to its scan hubs.
+func (q *Query) foldRejoinEvent(o obs.Context) {
+	if q.db.foldM != nil && o.Trace != nil {
+		o.Trace.Event(obs.EvFoldRejoin, obs.A("fingerprint", plan.Fingerprint(q.node)))
+	}
 }
 
 // Resume loads a checkpoint of this (suspended) execution's query and runs
@@ -398,10 +439,12 @@ func (q *Query) StartFromStore(ctx context.Context, key string) (*Execution, err
 		return nil, err
 	}
 	o := q.db.obsFor(q.db.newTrace(q.name))
-	ex, _, err := strategy.RestoreStore(q.db.cat, q.node, st, key, engine.Options{Workers: q.db.workers, Obs: o})
+	ex, _, err := strategy.RestoreStore(q.db.cat, q.node, st, key,
+		engine.Options{Workers: q.db.workers, Live: &q.db.live, Obs: o, Compile: q.db.compileOpts(false)})
 	if err != nil {
 		return nil, err
 	}
+	q.foldRejoinEvent(o)
 	e := &Execution{q: q, ex: ex, done: make(chan struct{})}
 	go func() {
 		defer close(e.done)

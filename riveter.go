@@ -45,6 +45,7 @@ import (
 	"github.com/riveterdb/riveter/internal/costmodel"
 	"github.com/riveterdb/riveter/internal/engine"
 	"github.com/riveterdb/riveter/internal/faultfs"
+	"github.com/riveterdb/riveter/internal/fold"
 	"github.com/riveterdb/riveter/internal/obs"
 	"github.com/riveterdb/riveter/internal/strategy"
 	"github.com/riveterdb/riveter/internal/tpch"
@@ -92,6 +93,19 @@ type DB struct {
 	storeCfg      *StoreConfig
 	store         *blobstore.Store
 	storeErr      error
+
+	// Shared-execution state (WithFold): foldM registers one scan hub per
+	// (table, column-set) and rides every base-table scan on it; subplans
+	// caches materialized subplan results across sessions; foldProf is the
+	// cost model's view of detach/rejoin pricing.
+	foldM    *fold.Manager
+	subplans *fold.SubplanCache
+	foldProf costmodel.FoldProfile
+
+	// live counts in-flight executions across every start/resume path; the
+	// fold manager's hubs consult it to skip shared-window maintenance
+	// while at most one execution is running.
+	live atomic.Int64
 }
 
 // Option configures Open.
@@ -149,6 +163,19 @@ func WithBlobStore(cfg StoreConfig) Option {
 	return func(db *DB) { db.storeCfg = &cfg }
 }
 
+// WithFold enables shared execution: every base-table scan rides a shared
+// per-(table, column-set) morsel stream (one hub per group, any number of
+// concurrent sessions), and completed executions publish their
+// materialized subplan results into a fingerprint-keyed cache that later
+// identical subplans fold onto. Results are byte-identical with and
+// without folding; suspension keeps working unchanged (a suspended rider's
+// cursor is already in the checkpoint — on resume it rejoins its hub
+// mid-stream, catching up the morsels it missed with direct reads, or
+// falls back to a private scan when resumed on a non-folding instance).
+func WithFold() Option {
+	return func(db *DB) { db.foldProf = costmodel.DefaultFoldProfile() }
+}
+
 // WithTracing enables per-execution traces: executions created by
 // Query.Start and adaptive runs record structured events (pipeline
 // start/finish, suspension requests and acknowledgements, checkpoint
@@ -188,6 +215,11 @@ func Open(opts ...Option) *DB {
 	db.lineage, _ = costmodel.CalibrateLineage(db.fsys, db.checkpointDir)
 	if db.storeCfg != nil {
 		db.initStore()
+	}
+	if db.foldProf.Enabled() {
+		db.foldM = fold.NewManager(db.metrics, &db.live)
+		db.subplans = fold.NewSubplanCache(0, db.metrics)
+		db.foldProf.Publish(db.metrics)
 	}
 	db.io.Publish(db.metrics)
 	db.lineage.Publish(db.metrics)
@@ -242,6 +274,40 @@ func (db *DB) IOProfile() costmodel.IOProfile { return db.io }
 // latency, log bandwidth, replay bandwidth) Algorithm 1 prices the
 // lineage strategy with.
 func (db *DB) LineageProfile() costmodel.LineageProfile { return db.lineage }
+
+// FoldEnabled reports whether shared execution is on (WithFold).
+func (db *DB) FoldEnabled() bool { return db.foldM != nil }
+
+// FoldProfile returns the fold cost terms Algorithm 1 prices detached
+// riders with (the zero profile when folding is off).
+func (db *DB) FoldProfile() costmodel.FoldProfile { return db.foldProf }
+
+// compileOpts assembles the plan-lowering options for one compile.
+// Shape-neutral scan sharing applies everywhere folding is on; the
+// shape-changing subplan-cache lookup only where the caller says the
+// execution can never be checkpointed (restores revalidate pipeline
+// counts, so checkpoint shape must not depend on cache state).
+func (db *DB) compileOpts(subplanLookup bool) engine.CompileOptions {
+	opts := engine.CompileOptions{}
+	if db.foldM != nil {
+		opts.ScanShare = db.foldM
+		if subplanLookup {
+			opts.Subplans = db.subplans
+		}
+	}
+	return opts
+}
+
+// publishShared records a completed plan's materialized subplan results
+// into the cross-session cache.
+func (db *DB) publishShared(pp *engine.PhysicalPlan) {
+	if db.subplans == nil {
+		return
+	}
+	for _, sh := range pp.Shared {
+		db.subplans.Publish(sh.Fingerprint, sh.Sink.Buffer(), sh.Types)
+	}
+}
 
 // FS returns the filesystem checkpoint I/O goes through.
 func (db *DB) FS() faultfs.FS { return db.fsys }

@@ -23,6 +23,14 @@
 # instance) must stay under PROXY_OVERHEAD_PCT (default 5%) — the
 # resilience layer must be free on the happy path.
 #
+# And the shared-execution budget (fold section): FoldBurst32's paired
+# fold_speedup (the same 32-session mixed TPC-H burst served with folding
+# off and on) must reach FOLD_SPEEDUP_MIN (default 1.5), and
+# FoldSingleOverhead's paired single_overhead_pct (a lone session on a
+# fold-enabled database vs a plain one) must stay under FOLD_OVERHEAD_PCT
+# (default 10%) — sharing must pay off under concurrency without taxing
+# the session that has nobody to share with.
+#
 # Messages use GitHub workflow annotations (::error::/::warning::), which
 # degrade to plain text locally.
 #
@@ -36,11 +44,14 @@ WARN_PCT=${WARN_PCT:-10}
 GATED_SECTIONS=${GATED_SECTIONS:-engine tpch}
 LINEAGE_RATIO_PCT=${LINEAGE_RATIO_PCT:-10}
 PROXY_OVERHEAD_PCT=${PROXY_OVERHEAD_PCT:-5}
+FOLD_SPEEDUP_MIN=${FOLD_SPEEDUP_MIN:-1.5}
+FOLD_OVERHEAD_PCT=${FOLD_OVERHEAD_PCT:-10}
 
 awk -v basefile="$BASE" -v freshfile="$FRESH" \
     -v failpct="$FAIL_PCT" -v warnpct="$WARN_PCT" \
     -v gated="$GATED_SECTIONS" -v ratiopct="$LINEAGE_RATIO_PCT" \
-    -v proxypct="$PROXY_OVERHEAD_PCT" '
+    -v proxypct="$PROXY_OVERHEAD_PCT" \
+    -v foldmin="$FOLD_SPEEDUP_MIN" -v foldovpct="$FOLD_OVERHEAD_PCT" '
 # load parses one bench_json.sh document into ns[<section>/<name>] and
 # al[<section>/<name>] (allocs/op, when present), recording the key order
 # in keys[] and flagging duplicates.
@@ -165,6 +176,43 @@ BEGIN {
         errs++
     } else {
         printf "proxy resilience overhead is %.1f%% of a bare client request (ceiling %s%%)\n", overhead, proxypct
+    }
+
+    # The shared-execution budget: both metrics come paired from the
+    # fresh run (folding off vs on, interleaved), so the gate is
+    # baseline-independent like the proxy one.
+    speedup = ""; foldov = ""
+    sec = ""
+    while ((getline line < freshfile) > 0) {
+        if (match(line, /^  "[a-z_]+": \[/)) {
+            split(line, q, "\"")
+            sec = q[2]
+            continue
+        }
+        if (sec != "fold") continue
+        if (line ~ /"name": "FoldBurst32"/ && match(line, /"fold_speedup": [0-9.eE+-]+/))
+            speedup = substr(line, RSTART + 16, RLENGTH - 16) + 0
+        if (line ~ /"name": "FoldSingleOverhead"/ && match(line, /"single_overhead_pct": -?[0-9.eE+-]+/))
+            foldov = substr(line, RSTART + 22, RLENGTH - 22) + 0
+    }
+    close(freshfile)
+    if (speedup == "") {
+        printf "::warning::fold/FoldBurst32 missing from the fresh run; fold speedup gate skipped\n"
+        warns++
+    } else if (speedup + 0 < foldmin + 0) {
+        printf "::error::folded 32-session burst is only %.2fx an isolated one (floor %sx)\n", speedup, foldmin
+        errs++
+    } else {
+        printf "folded 32-session burst runs %.2fx the isolated aggregate throughput (floor %sx)\n", speedup, foldmin
+    }
+    if (foldov == "") {
+        printf "::warning::fold/FoldSingleOverhead missing from the fresh run; fold single-session gate skipped\n"
+        warns++
+    } else if (foldov > foldovpct) {
+        printf "::error::fold-enabled database costs a lone session %.1f%% (ceiling %s%%)\n", foldov, foldovpct
+        errs++
+    } else {
+        printf "fold machinery costs a lone session %.1f%% (ceiling %s%%)\n", foldov, foldovpct
     }
 
     printf "bench gate: %d benchmark(s) compared, %d warning(s), %d error(s)\n", nf[0], warns, errs

@@ -31,6 +31,14 @@ STRAT_BENCHTIME=${STRAT_BENCHTIME:-20x}
 # in the min-of-counts).
 CP_BENCHTIME=${CP_BENCHTIME:-200x}
 CP_COUNT=${CP_COUNT:-3}
+# The fold benchmarks serve whole TPC-H bursts per iteration, so single
+# iterations carry multi-millisecond scheduling noise; take a few
+# iterations, several times, and keep the best run per name. The gate
+# reads the paired fold-speedup / single-overhead-pct metrics, which are
+# ratios of interleaved runs — machine-load drift largely cancels, and
+# min-of-counts removes what remains.
+FOLD_BENCHTIME=${FOLD_BENCHTIME:-3x}
+FOLD_COUNT=${FOLD_COUNT:-3}
 GO=${GO:-go}
 
 tmp=$(mktemp -d)
@@ -49,10 +57,14 @@ $GO test ./internal/strategy -run '^$' -bench 'Lineage' -benchmem -benchtime "$S
 $GO test ./internal/controlplane -run '^$' -bench 'BenchmarkProxy' -benchmem \
     -benchtime "$CP_BENCHTIME" -count "$CP_COUNT" \
     | tee "$tmp/controlplane.txt"
+$GO test ./internal/server -run '^$' -bench 'BenchmarkFold' \
+    -benchtime "$FOLD_BENCHTIME" -count "$FOLD_COUNT" \
+    | tee "$tmp/fold.txt"
 
 awk -v benchtime="$BENCHTIME" -v enginefile="$tmp/engine.txt" -v tpchfile="$tmp/tpch.txt" \
     -v ckptfile="$tmp/checkpoint.txt" -v blobfile="$tmp/blobstore.txt" \
-    -v stratfile="$tmp/strategy.txt" -v cpfile="$tmp/controlplane.txt" '
+    -v stratfile="$tmp/strategy.txt" -v cpfile="$tmp/controlplane.txt" \
+    -v foldfile="$tmp/fold.txt" '
 # emit_bench keeps the fastest run per benchmark name when -count
 # repeats them (min-of-counts; B/op and allocs/op ride along from the
 # fastest run — allocation counts are deterministic across counts).
@@ -119,6 +131,44 @@ function emit_cp(file, label,    line, n, parts, name, i, first, nn, names, ns, 
     }
     printf "\n  ]"
 }
+# emit_fold parses the shared-execution run. Like emit_cp it scans
+# value/unit pairs for custom metrics; per name it keeps the fastest run
+# by ns/op, the BEST fold-speedup (max — noise only loses sharing), and
+# the best single-overhead-pct (min — noise only inflates overhead).
+function emit_fold(file, label,    line, n, parts, name, i, nn, names, ns, sp, ov, hassp, hasov) {
+    nn = 0
+    while ((getline line < file) > 0) {
+        if (line !~ /^Benchmark/) continue
+        n = split(line, parts, /[ \t]+/)
+        name = parts[1]
+        sub(/^Benchmark/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        if (!(name in ns)) { names[++nn] = name; ns[name] = -1 }
+        for (i = 3; i < n; i += 2) {
+            if (parts[i + 1] == "ns/op" && (ns[name] < 0 || parts[i] + 0 < ns[name]))
+                ns[name] = parts[i] + 0
+            if (parts[i + 1] == "fold-speedup" && (!(name in hassp) || parts[i] + 0 > sp[name])) {
+                sp[name] = parts[i] + 0
+                hassp[name] = 1
+            }
+            if (parts[i + 1] == "single-overhead-pct" && (!(name in hasov) || parts[i] + 0 < ov[name])) {
+                ov[name] = parts[i] + 0
+                hasov[name] = 1
+            }
+        }
+    }
+    close(file)
+    printf "  \"%s\": [", label
+    for (i = 1; i <= nn; i++) {
+        name = names[i]
+        if (i > 1) printf ","
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %g", name, ns[name]
+        if (name in hassp) printf ", \"fold_speedup\": %g", sp[name]
+        if (name in hasov) printf ", \"single_overhead_pct\": %g", ov[name]
+        printf "}"
+    }
+    printf "\n  ]"
+}
 BEGIN {
     goos = ""; goarch = ""; cpu = ""
     while ((getline line < enginefile) > 0) {
@@ -137,7 +187,8 @@ BEGIN {
     emit_bench(ckptfile, "checkpoint");   printf ",\n"
     emit_bench(blobfile, "blobstore");    printf ",\n"
     emit_bench(stratfile, "strategy");    printf ",\n"
-    emit_cp(cpfile, "controlplane");      printf "\n"
+    emit_cp(cpfile, "controlplane");      printf ",\n"
+    emit_fold(foldfile, "fold");          printf "\n"
     printf "}\n"
 }' > "$OUT"
 
